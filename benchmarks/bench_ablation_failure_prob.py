@@ -1,0 +1,51 @@
+"""Ablation: the decryption-failure target (Section IV-B).
+
+Cheetah replaces worst-case noise bounds with a statistical estimate
+scaled so the failure probability stays below 1e-10.  This bench sweeps
+the failure target and reports the performance left on the table by more
+conservative settings, plus the worst-case-model cost the paper's
+baseline pays.
+"""
+
+import math
+
+import pytest
+
+from repro.core.failure import tail_factor
+from repro.core.noise_model import NoiseMode, Schedule
+from repro.core.ptune import HePTune
+from repro.nn.models import lenet5
+
+
+@pytest.mark.benchmark(group="ablation-failure")
+def test_failure_target_ablation(benchmark):
+    network = lenet5()
+
+    def run():
+        costs = {}
+        for mode in (NoiseMode.PRACTICAL, NoiseMode.WORST):
+            tuner = HePTune(schedule=Schedule.PARTIAL_ALIGNED, mode=mode)
+            costs[mode.value] = sum(t.int_mults for t in tuner.tune_network(network))
+        return costs
+
+    costs = benchmark.pedantic(run, rounds=1, iterations=1)
+    ratio = costs["worst"] / costs["practical"]
+    print("\nFailure-probability ablation (LeNet5, Sched-PA)")
+    print(f"  practical (Pr<=1e-10) cost: {costs['practical']:.3e} int mults")
+    print(f"  worst-case cost:            {costs['worst']:.3e} int mults")
+    print(f"  statistical model speedup:  {ratio:.2f}x")
+    assert ratio > 1.0, "the practical model must buy performance"
+
+
+@pytest.mark.benchmark(group="ablation-failure")
+def test_tail_factor_scaling(benchmark):
+    """The noise headroom grows only logarithmically with stricter targets."""
+    targets = [1e-6, 1e-10, 1e-14]
+    factors = benchmark.pedantic(
+        lambda: [tail_factor(t) for t in targets], rounds=1, iterations=1
+    )
+    print("\ntail factors:", [f"{t:g}: {z:.2f} sigma" for t, z in zip(targets, factors)])
+    extra_bits = math.log2(factors[-1] / factors[0])
+    print(f"extra noise margin from 1e-6 -> 1e-14: {extra_bits:.2f} bits")
+    assert factors == sorted(factors)
+    assert extra_bits < 1.0  # cheap to be paranoid, the paper's point

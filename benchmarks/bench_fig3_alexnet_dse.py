@@ -1,0 +1,70 @@
+"""Figure 3: HE parameter design-space exploration for AlexNet.
+
+Regenerates (a/b) the per-layer DSE clouds -- total integer mults vs
+remaining noise budget, with Gazelle's configuration and HE-PTune's
+optimum marked -- and (c) the per-layer HE-PTune speedup bars.  Also
+reports the fraction of infeasible points (Section IV-C).
+"""
+
+import pytest
+
+from repro.core.baselines import gazelle_configuration, ptune_configuration
+from repro.core.noise_model import NoiseMode, Schedule
+from repro.core.ptune import HePTune
+from repro.nn.models import alexnet
+
+
+@pytest.fixture(scope="module")
+def network():
+    return alexnet()
+
+
+@pytest.mark.benchmark(group="fig3")
+def test_fig3_dse_scatter(benchmark, network):
+    """The blue-dot cloud for the first and last tunable layers."""
+    tuner = HePTune(schedule=Schedule.INPUT_ALIGNED, mode=NoiseMode.PRACTICAL)
+
+    def sweep():
+        clouds = {}
+        for layer in (network.linear_layers[0], network.linear_layers[5]):
+            points = list(tuner.candidates(layer))
+            clouds[layer.name] = points
+        return clouds
+
+    clouds = benchmark.pedantic(sweep, rounds=1, iterations=1)
+    print("\nFigure 3a/b -- DSE cloud summary (int mults vs remaining budget)")
+    for name, points in clouds.items():
+        feasible = [p for p in points if p.feasible]
+        infeasible_frac = 1 - len(feasible) / len(points)
+        best = min(feasible, key=lambda p: p.int_mults)
+        print(
+            f"  {name}: {len(points)} points, {infeasible_frac*100:.0f}% infeasible, "
+            f"optimum {best.int_mults:.2e} mults at {best.noise.budget_bits:.1f} bits left"
+        )
+        assert len(points) > 100
+        assert 0.0 < infeasible_frac < 1.0
+        # The optimum leaves little slack (the paper found ~1 bit).
+        assert best.noise.budget_bits < 15.0
+
+
+@pytest.mark.benchmark(group="fig3")
+def test_fig3_per_layer_speedup_bars(benchmark, network):
+    """Figure 3c: HE-PTune vs Gazelle per AlexNet layer."""
+
+    def compare():
+        gazelle = gazelle_configuration(network)
+        ptune = ptune_configuration(network)
+        return [
+            (g.layer.name, g.int_mults / p.int_mults)
+            for g, p in zip(gazelle.tuned_layers, ptune.tuned_layers)
+        ]
+
+    bars = benchmark.pedantic(compare, rounds=1, iterations=1)
+    print("\nFigure 3c -- HE-PTune speedup per AlexNet layer")
+    for name, speedup in bars:
+        print(f"  {name:<8}{speedup:6.2f}x")
+    speedups = [s for _, s in bars]
+    assert all(s >= 1.0 for s in speedups)
+    # Layer-to-layer variation is the figure's point: tailoring helps
+    # some layers much more than others.
+    assert max(speedups) / min(speedups) > 1.15

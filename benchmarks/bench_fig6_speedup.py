@@ -1,0 +1,61 @@
+"""Figure 6: per-model speedup of HE-PTune and HE-PTune+Sched-PA over
+Gazelle, for the five-model zoo.
+
+Paper reference points: HE-PTune harmonic mean 2.98x (5.25x without
+MNIST); Sched-PA adds 5.20x (6.11x); combined mean 13.5x, max 79.6x.
+"""
+
+import pytest
+
+from repro.core.baselines import FleetSummary, speedup_report
+from repro.nn.models import MODEL_BUILDERS, build_model
+
+MODELS = list(MODEL_BUILDERS)
+
+
+@pytest.fixture(scope="module")
+def reports():
+    return [speedup_report(build_model(name)) for name in MODELS]
+
+
+@pytest.mark.benchmark(group="fig6")
+def test_fig6_per_model_speedups(benchmark, reports):
+    def summarise():
+        return FleetSummary(reports)
+
+    summary = benchmark.pedantic(summarise, rounds=1, iterations=1)
+    print("\nFigure 6 -- speedup over Gazelle")
+    print(f"{'model':<14}{'HE-PTune':>10}{'+Sched-PA':>11}{'combined':>10}")
+    for report in reports:
+        print(
+            f"{report.network.name:<14}{report.ptune_speedup:>9.2f}x"
+            f"{report.sched_pa_speedup:>10.2f}x{report.cheetah_speedup:>9.2f}x"
+        )
+    print(
+        f"harmonic means: ptune {summary.ptune_harmonic_mean():.2f}x "
+        f"(paper 2.98), sched-pa {summary.sched_pa_harmonic_mean():.2f}x "
+        f"(paper 5.20), combined {summary.combined_harmonic_mean():.2f}x "
+        f"(paper 13.5), max {summary.max_combined_speedup():.1f}x (paper 79.6)"
+    )
+    # Shape assertions: every optimization helps on every model, and the
+    # combined harmonic mean lands in the paper's regime.
+    for report in reports:
+        assert report.ptune_speedup > 1.0
+        assert report.sched_pa_speedup > 1.0
+    assert 5.0 < summary.combined_harmonic_mean() < 40.0
+
+
+@pytest.mark.benchmark(group="fig6")
+def test_fig6_imagenet_models_gain_more(benchmark, reports):
+    """The paper's means rise when MNIST models are excluded."""
+
+    def means():
+        summary = FleetSummary(reports)
+        return (
+            summary.combined_harmonic_mean(include_mnist=True),
+            summary.combined_harmonic_mean(include_mnist=False),
+        )
+
+    with_mnist, without_mnist = benchmark.pedantic(means, rounds=1, iterations=1)
+    print(f"\ncombined HM with MNIST {with_mnist:.2f}x, without {without_mnist:.2f}x")
+    assert without_mnist > 0.8 * with_mnist

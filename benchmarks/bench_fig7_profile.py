@@ -1,0 +1,50 @@
+"""Figure 7: ResNet50 HE inference profiling.
+
+(a) The kernel time breakdown -- paper: NTT 55.2%, Rotate 31.8%,
+Mult 10.3%, Add 2.2%, Other 0.5% over a 970 s run.
+(b) The successive-speedup limit study to reach 100 ms plaintext latency
+-- paper: NTT 16384x, Rotate 8192x, Mult 4096x, Add 4096x.
+"""
+
+import pytest
+
+from repro.profiling import limit_study, network_profile
+
+PAPER_FRACTIONS = {"ntt": 0.552, "rotate": 0.318, "mult": 0.103, "add": 0.022}
+PAPER_TOTAL_SECONDS = 970.0
+PLAINTEXT_TARGET_SECONDS = 0.1
+
+
+@pytest.mark.benchmark(group="fig7")
+def test_fig7a_kernel_breakdown(benchmark, resnet_tuned):
+    profile = benchmark.pedantic(
+        network_profile, args=(resnet_tuned,), rounds=1, iterations=1
+    )
+    fractions = profile.fractions()
+    print("\nFigure 7a -- ResNet50 kernel time breakdown")
+    print(f"{'kernel':<9}{'measured':>10}{'paper':>8}")
+    for kernel, paper in PAPER_FRACTIONS.items():
+        print(f"{kernel:<9}{fractions[kernel]*100:>9.1f}%{paper*100:>7.1f}%")
+    assert profile.dominant() == "ntt"
+    assert fractions["ntt"] > 0.40
+    assert fractions["rotate"] > fractions["add"]
+    assert fractions["add"] < 0.05
+
+
+@pytest.mark.benchmark(group="fig7")
+def test_fig7b_speedup_needed(benchmark, resnet_tuned):
+    profile = network_profile(resnet_tuned)
+
+    def study():
+        return limit_study(profile, PAPER_TOTAL_SECONDS, PLAINTEXT_TARGET_SECONDS)
+
+    result = benchmark.pedantic(study, rounds=1, iterations=1)
+    print("\nFigure 7b -- speedup needed per kernel (paper: ntt 16384, rotate 8192,")
+    print("mult 4096, add 4096)")
+    for kernel, factor in sorted(result.speedups.items(), key=lambda kv: -kv[1]):
+        print(f"  {kernel:<8}{factor:>8}x")
+    print(f"  final latency {result.final_seconds*1000:.1f} ms")
+    assert result.final_seconds <= PLAINTEXT_TARGET_SECONDS
+    assert result.speedups["ntt"] == max(result.speedups.values())
+    # Three to four orders of magnitude, as the paper reports.
+    assert 1024 <= result.speedups["ntt"] <= 65536

@@ -1,0 +1,52 @@
+"""Figure 8: GPU NTT speedup over CPU as a function of batch size.
+
+Paper (cuHE on a 1080-Ti): speedup saturates around 120x at batch sizes
+512/1024 for n = 16K/32K/64K; nvprof shows 70% warp occupancy and 85%
+warp execution efficiency at batch 512.
+"""
+
+import pytest
+
+from repro.profiling import (
+    PAPER_BATCHES,
+    PAPER_NS,
+    PEAK_SPEEDUP,
+    sweep,
+    warp_execution_efficiency,
+    warp_occupancy,
+)
+
+
+@pytest.mark.benchmark(group="fig8")
+def test_fig8_gpu_ntt_speedup_curve(benchmark):
+    points = benchmark.pedantic(
+        sweep, args=(PAPER_BATCHES, PAPER_NS), rounds=1, iterations=1
+    )
+    print("\nFigure 8 -- modelled GPU NTT speedup over CPU")
+    header = "batch".ljust(8) + "".join(f"n={n//1024}K".rjust(10) for n in PAPER_NS)
+    print(header)
+    for batch in PAPER_BATCHES:
+        row = [p.speedup for p in points if p.batch == batch]
+        print(f"{batch:<8}" + "".join(f"{s:>9.1f}x" for s in row))
+
+    by_n = {n: [p for p in points if p.n == n] for n in PAPER_NS}
+    for n, series in by_n.items():
+        speedups = [p.speedup for p in sorted(series, key=lambda p: p.batch)]
+        assert speedups == sorted(speedups), "speedup must rise with batch"
+        # Saturation: the last doubling of batch buys < 10% more speedup.
+        assert speedups[-1] / speedups[-2] < 1.10
+        assert 100.0 <= speedups[-1] <= PEAK_SPEEDUP
+
+
+@pytest.mark.benchmark(group="fig8")
+def test_fig8_nvprof_counters_at_batch_512(benchmark):
+    occupancy = benchmark.pedantic(
+        warp_occupancy, args=(512,), rounds=1, iterations=1
+    )
+    efficiency = warp_execution_efficiency(512)
+    print(
+        f"\nbatch 512: warp occupancy {occupancy*100:.0f}% (paper 70%), "
+        f"execution efficiency {efficiency*100:.0f}% (paper 85%)"
+    )
+    assert abs(occupancy - 0.70) < 0.08
+    assert efficiency == pytest.approx(0.85)

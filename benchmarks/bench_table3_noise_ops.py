@@ -1,0 +1,79 @@
+"""Table III: noise impact of the basic BFV operations.
+
+Measures live per-operator noise against the paper's worst-case bounds
+(fresh 2nB^2; Add additive; Mult multiplicative; Rotate additive) and
+prints the comparison table.
+"""
+
+import math
+
+import numpy as np
+import pytest
+
+from repro.bfv import invariant_noise_budget
+from repro.bfv.noise import noise_magnitude
+from repro.core.noise_model import NoiseMode, eta_mult, eta_rotate, fresh_noise
+from repro.core.ptune import ModelParams
+
+
+def _proxy(params):
+    return ModelParams(
+        n=params.n,
+        plain_bits=params.plain_modulus.bit_length(),
+        coeff_bits=params.coeff_bits,
+        w_dcmp_bits=params.w_dcmp_bits,
+        a_dcmp_bits=params.a_dcmp_bits,
+    )
+
+
+def _measure(live_scheme, live_keys, bench_rng):
+    scheme = live_scheme
+    secret, public = live_keys
+    params = scheme.params
+    t = params.plain_modulus
+    galois = scheme.generate_galois_keys(secret, [1])
+
+    ct = scheme.encrypt_values(bench_rng.integers(0, 50, 64), public)
+    rows = {}
+    fresh_bits = math.log2(max(2, noise_magnitude(scheme, ct, secret))) - math.log2(t)
+    rows["fresh"] = (fresh_bits, math.log2(fresh_noise(_proxy(params), NoiseMode.WORST)))
+
+    added = scheme.add(ct, ct)
+    add_bits = math.log2(max(2, noise_magnitude(scheme, added, secret))) - math.log2(t)
+    rows["add"] = (add_bits, rows["fresh"][1] + 1)  # v0 + v1
+
+    # Table III's HE_Mult row models the windowed (decomposed) product:
+    # noise factor n * l_pt * Wdcmp / 2.
+    weights = scheme.encoder.encode(bench_rng.integers(0, t, params.n, dtype=np.int64))
+    windows = scheme.encrypt_windowed(bench_rng.integers(0, 50, 64), public, params.l_pt)
+    mult = scheme.mul_plain_windowed(windows, weights)
+    mult_bits = math.log2(max(2, noise_magnitude(scheme, mult, secret))) - math.log2(t)
+    rows["mult"] = (
+        mult_bits,
+        rows["fresh"][1] + math.log2(eta_mult(_proxy(params), NoiseMode.WORST)),
+    )
+
+    rotated = scheme.rotate_rows(ct, 1, galois)
+    rot_bits = math.log2(max(2, noise_magnitude(scheme, rotated, secret))) - math.log2(t)
+    rot_bound = math.log2(
+        fresh_noise(_proxy(params), NoiseMode.WORST)
+        + eta_rotate(_proxy(params), NoiseMode.WORST)
+    )
+    rows["rotate"] = (rot_bits, rot_bound)
+    return rows
+
+
+@pytest.mark.benchmark(group="table3")
+def test_table3_noise_of_basic_operations(
+    benchmark, live_scheme, live_keys, bench_rng
+):
+    rows = benchmark.pedantic(
+        _measure, args=(live_scheme, live_keys, bench_rng), rounds=1, iterations=1
+    )
+    print("\nTable III -- noise (bits) after each operation, measured vs bound")
+    print(f"{'op':<8}{'measured':>10}{'worst-case bound':>18}")
+    for op, (measured, bound) in rows.items():
+        print(f"{op:<8}{measured:>10.1f}{bound:>18.1f}")
+        assert measured <= bound + 1.0, f"{op} noise exceeds Table III bound"
+    # Multiplicative growth dwarfs additive growth.
+    assert rows["mult"][0] > rows["rotate"][0] > rows["fresh"][0] - 1

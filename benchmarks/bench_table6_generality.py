@@ -1,0 +1,40 @@
+"""Table VI: generality -- VGG16 and AlexNet on the PT-ResNet50 accelerator.
+
+Paper: ResNet50 100 ms (+0%), VGG16 215 ms (+59%), AlexNet 77 ms (+28%);
+foreign models pay for mismatched PE/lane granularity.
+"""
+
+import pytest
+
+from repro.accel import generality_study
+from repro.nn.models import alexnet, resnet50, vgg16
+
+
+@pytest.mark.benchmark(group="table6")
+def test_table6_generality(benchmark):
+    rows = benchmark.pedantic(
+        generality_study,
+        args=([resnet50(), vgg16(), alexnet()], resnet50()),
+        kwargs={"target_latency_s": 0.1},
+        rounds=1,
+        iterations=1,
+    )
+    print("\nTable VI -- models on the ResNet50-optimal accelerator")
+    print(
+        f"{'model':<10}{'lat ms':>8}{'increase':>10}{'ideal PEs-lanes':>17}"
+        f"{'outCT (K)':>11}{'prt':>7}"
+    )
+    for row in rows:
+        print(
+            f"{row.model:<10}{row.latency_ms:>8.0f}{row.increase_pct:>9.0f}%"
+            f"{f'{row.pes}-{row.lanes}':>17}{row.mean_out_cts_thousands:>11.2f}"
+            f"{row.mean_partials:>7.0f}"
+        )
+    by_model = {row.model: row for row in rows}
+    # The host model runs close to its own optimum.
+    assert by_model["ResNet50"].increase_pct < 15.0
+    # Foreign models pay a generality penalty.
+    assert max(by_model["VGG16"].increase_pct, by_model["AlexNet"].increase_pct) > 5.0
+    # VGG16 is the slowest model in absolute terms, as in the paper.
+    assert by_model["VGG16"].latency_ms > by_model["ResNet50"].latency_ms
+    assert by_model["VGG16"].latency_ms > by_model["AlexNet"].latency_ms

@@ -1,0 +1,44 @@
+"""Shared fixtures for the experiment benches.
+
+Each bench regenerates one table or figure of the paper and prints the
+rows/series it reports.  Run with::
+
+    pytest benchmarks/ --benchmark-only -s
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.bfv import BfvParameters, BfvScheme
+from repro.core.baselines import cheetah_configuration
+from repro.nn.models import build_model
+
+
+@pytest.fixture(scope="session")
+def resnet_tuned():
+    return cheetah_configuration(build_model("ResNet50")).tuned_layers
+
+
+@pytest.fixture(scope="session")
+def live_scheme():
+    params = BfvParameters.create(
+        n=2048,
+        plain_bits=17,
+        coeff_bits=100,
+        w_dcmp_bits=6,
+        a_dcmp_bits=20,
+        require_security=False,
+    )
+    return BfvScheme(params, seed=2024)
+
+
+@pytest.fixture(scope="session")
+def live_keys(live_scheme):
+    return live_scheme.keygen()
+
+
+@pytest.fixture(scope="session")
+def bench_rng():
+    return np.random.default_rng(7)

@@ -1,0 +1,54 @@
+"""Design a Cheetah accelerator for a model (Figures 10 and 11).
+
+Runs the whole hardware flow: tune the model with HE-PTune + Sched-PA,
+profile the hot kernels, compute the speedups hardware must deliver
+(Figure 7b), sweep the PE/lane design space, and print the power-latency
+Pareto frontier with the design selected for plaintext-equivalent latency
+-- the paper's ~100 ms / ~30 W / ~545 mm^2 (5 nm) ResNet50 result.
+
+Run:  python examples/design_accelerator.py [model]
+"""
+
+import sys
+
+from repro import CheetahFramework
+from repro.nn.models import build_model
+
+
+def main(model_name: str = "ResNet50") -> None:
+    network = build_model(model_name)
+    framework = CheetahFramework(target_latency_s=0.1, reference_cpu_seconds=970.0)
+    print(f"running the full Cheetah flow for {network.name} ...")
+    result = framework.run(network)
+
+    print("\nkernel profile (Figure 7a):")
+    for kernel, fraction in result.profile.fractions().items():
+        print(f"  {kernel:<8}{fraction * 100:>6.1f}%")
+
+    print("\nspeedup needed per kernel for plaintext latency (Figure 7b):")
+    for kernel, factor in sorted(result.limit.speedups.items(), key=lambda kv: -kv[1]):
+        print(f"  {kernel:<8}{factor:>8}x")
+
+    print("\npower-latency Pareto frontier (Figure 11a, 5 nm):")
+    print(f"{'PEs':>5}{'lanes':>7}{'latency ms':>12}{'power W':>9}{'area mm2':>10}")
+    for report in result.dse.pareto[:10]:
+        print(
+            f"{report.config.num_pes:>5}{report.config.lanes_per_pe:>7}"
+            f"{report.latency_ms:>12.1f}{report.power_w_5nm:>9.1f}"
+            f"{report.area_mm2_5nm:>10.0f}"
+        )
+
+    selected = result.selected_design
+    print(
+        f"\nselected design: {selected.config.num_pes} PEs x "
+        f"{selected.config.lanes_per_pe} lanes"
+    )
+    print(f"  latency: {selected.latency_ms:.1f} ms (target 100 ms)")
+    print(f"  power:   {selected.power_w_5nm:.1f} W in 5 nm (paper: ~30 W)")
+    print(f"  area:    {selected.area_mm2_5nm:.0f} mm^2 in 5 nm (paper: ~545 mm^2)")
+    print(f"  IO util: {selected.io_utilization * 100:.0f}% (paper: ~12%)")
+    print("\n" + result.summary())
+
+
+if __name__ == "__main__":
+    main(sys.argv[1] if len(sys.argv) > 1 else "ResNet50")

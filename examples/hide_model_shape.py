@@ -1,0 +1,68 @@
+"""Shape hiding: the paper's Section II-B future work, implemented.
+
+The Gazelle protocol leaks layer count and shapes to the client.  This
+example pads channel/feature dimensions to buckets and inserts null
+(identity) layers, verifies the hidden network computes the identical
+function, and prices the privacy with HE-PTune's cost model.
+
+Run:  python examples/hide_model_shape.py
+"""
+
+import numpy as np
+
+from repro.nn.layers import ActivationLayer, ConvLayer, FCLayer
+from repro.nn.models import Network
+from repro.nn.plaintext import PlaintextRunner
+from repro.nn.quantize import synthetic_conv_weights, synthetic_fc_weights
+from repro.protocol import (
+    hiding_overhead,
+    insert_null_layers,
+    null_layer_weights,
+    pad_network,
+)
+
+
+def main() -> None:
+    rescale = 3
+    network = Network(
+        "SecretCNN",
+        [
+            ConvLayer("c1", w=10, fw=3, ci=1, co=5),
+            ActivationLayer("r1", "relu", 5 * 8 * 8),
+            ConvLayer("c2", w=8, fw=3, ci=5, co=7),
+            ActivationLayer("r2", "relu", 7 * 6 * 6),
+            FCLayer("f1", 7 * 6 * 6, 10),
+        ],
+    )
+    weights = {
+        "c1": synthetic_conv_weights(3, 1, 5, bits=4, seed=0),
+        "c2": synthetic_conv_weights(3, 5, 7, bits=4, seed=1),
+        "f1": synthetic_fc_weights(7 * 6 * 6, 10, bits=4, seed=2),
+    }
+    print("original architecture (leaked to the client):")
+    for layer in network.linear_layers:
+        print(f"  {layer}")
+
+    hidden = insert_null_layers(network, count=2)
+    hidden_weights = dict(weights)
+    hidden_weights.update(null_layer_weights(hidden, rescale))
+    print(f"\nwith null layers: {len(hidden.conv_layers)} convolutions "
+          f"(was {len(network.conv_layers)}) -- depth hidden")
+
+    rng = np.random.default_rng(5)
+    image = rng.integers(0, 16, (1, 10, 10))
+    original = PlaintextRunner(network, weights, rescale_bits=rescale).run(image)
+    disguised = PlaintextRunner(hidden, hidden_weights, rescale_bits=rescale).run(image)
+    print("function preserved:", np.array_equal(original, disguised))
+    assert np.array_equal(original, disguised)
+
+    padded = pad_network(network, channel_bucket=16, feature_bucket=128)
+    print("\npadded architecture (what the client now sees):")
+    for layer in padded.linear_layers:
+        print(f"  {layer}")
+    overhead = hiding_overhead(network, padded)
+    print(f"\nprivacy price (HE-PTune cost model): {overhead.slowdown:.2f}x compute")
+
+
+if __name__ == "__main__":
+    main()

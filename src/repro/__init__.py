@@ -1,0 +1,28 @@
+"""Cheetah: Optimizing and Accelerating Homomorphic Encryption for
+Private Inference (HPCA 2021) -- a complete reproduction.
+
+Subpackages
+-----------
+``repro.bfv``
+    From-scratch BFV homomorphic encryption (the SEAL stand-in).
+``repro.core``
+    HE-PTune performance/noise models, parameter tuning, Sched-PA,
+    baselines, and the end-to-end framework.
+``repro.scheduling``
+    Live homomorphic convolution/FC under both dot-product schedules.
+``repro.nn``
+    The five-model zoo, quantization, and plaintext reference inference.
+``repro.protocol``
+    The Gazelle client-cloud HE+GC private-inference protocol.
+``repro.profiling``
+    Kernel profiling, the speedup-needed limit study, the GPU NTT model.
+``repro.accel``
+    The Cheetah accelerator: kernel cost models, PE/Lane architecture,
+    whole-accelerator simulation and design-space exploration.
+"""
+
+from .core.framework import CheetahFramework, CheetahResult
+
+__version__ = "1.0.0"
+
+__all__ = ["CheetahFramework", "CheetahResult", "__version__"]

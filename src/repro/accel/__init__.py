@@ -1,0 +1,61 @@
+"""Cheetah accelerator architecture model: kernel cost models + DSE
+(Fig. 10), lane/PE architecture (Fig. 9), whole-accelerator simulation
+and design space exploration (Fig. 11, Table VI), technology scaling."""
+
+from . import tech
+from .dse import (
+    DseResult,
+    GeneralityRow,
+    LANE_SWEEP,
+    PE_SWEEP,
+    accelerator_dse,
+    generality_study,
+)
+from .kernels import (
+    KERNEL_NAMES,
+    KernelCost,
+    KernelDesign,
+    evaluate_kernel,
+    kernel_design_space,
+    kernel_dse,
+    kernel_work,
+    speedup_over_cpu,
+)
+from .mapper import LayerMapping, map_layer, map_network, mean_out_cts, mean_partials
+from .pareto import pareto_front, sort_by
+from .pe import LaneCost, LaneDesign, PeCost, PeDesign, evaluate_lane, evaluate_pe
+from .simulator import AcceleratorConfig, AcceleratorReport, simulate
+
+__all__ = [
+    "tech",
+    "DseResult",
+    "GeneralityRow",
+    "LANE_SWEEP",
+    "PE_SWEEP",
+    "accelerator_dse",
+    "generality_study",
+    "KERNEL_NAMES",
+    "KernelCost",
+    "KernelDesign",
+    "evaluate_kernel",
+    "kernel_design_space",
+    "kernel_dse",
+    "kernel_work",
+    "speedup_over_cpu",
+    "LayerMapping",
+    "map_layer",
+    "map_network",
+    "mean_out_cts",
+    "mean_partials",
+    "pareto_front",
+    "sort_by",
+    "LaneCost",
+    "LaneDesign",
+    "PeCost",
+    "PeDesign",
+    "evaluate_lane",
+    "evaluate_pe",
+    "AcceleratorConfig",
+    "AcceleratorReport",
+    "simulate",
+]

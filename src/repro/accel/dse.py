@@ -1,0 +1,133 @@
+"""Accelerator-level design space exploration (Figures 10 and 11, Table VI).
+
+Sweeps PEs (2-1024) and lanes per PE (4-8192) over a tuned network,
+extracts the power-latency Pareto frontier, selects the design meeting a
+target latency (the paper's 100 ms plaintext-equivalent point), and
+evaluates cross-model generality by running other networks on a fixed
+design.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..core.baselines import cheetah_configuration
+from ..nn.models import Network
+from .mapper import map_layer, mean_out_cts, mean_partials
+from .pareto import pareto_front, sort_by
+from .simulator import AcceleratorConfig, AcceleratorReport, simulate
+
+#: The paper's sweep bounds (Section VIII-A).
+PE_SWEEP = (2, 4, 8, 16, 32, 64, 128, 256, 512, 1024)
+LANE_SWEEP = (4, 8, 16, 32, 64, 128, 256, 512, 1024, 2048, 4096, 8192)
+
+#: Cap on total lanes to keep sweeps tractable (beyond this, designs are
+#: deep in the diminishing-returns regime the paper labels impractical).
+MAX_TOTAL_LANES = 1 << 16
+
+
+@dataclass
+class DseResult:
+    """All evaluated designs plus the power-latency Pareto frontier."""
+
+    reports: list[AcceleratorReport]
+    pareto: list[AcceleratorReport]
+
+    def select_for_latency(self, target_s: float) -> AcceleratorReport:
+        """Cheapest Pareto design meeting the latency target.
+
+        Falls back to the fastest design when nothing meets the target.
+        """
+        meeting = [r for r in self.pareto if r.latency_s <= target_s]
+        if meeting:
+            return min(meeting, key=lambda r: r.power_w_40nm)
+        return min(self.pareto, key=lambda r: r.latency_s)
+
+
+def accelerator_dse(
+    tuned_layers,
+    pe_sweep=PE_SWEEP,
+    lane_sweep=LANE_SWEEP,
+    ntt_unroll: int = 4,
+) -> DseResult:
+    """Sweep (PEs, lanes) and return all points plus the Pareto frontier."""
+    reports = []
+    for pes in pe_sweep:
+        for lanes in lane_sweep:
+            if pes * lanes > MAX_TOTAL_LANES:
+                continue
+            config = AcceleratorConfig(
+                num_pes=pes, lanes_per_pe=lanes, ntt_unroll=ntt_unroll
+            )
+            reports.append(simulate(tuned_layers, config))
+    front = pareto_front(
+        reports, objectives=lambda r: (r.latency_s, r.power_w_40nm)
+    )
+    return DseResult(reports=reports, pareto=sort_by(front, lambda r: r.latency_s))
+
+
+@dataclass
+class GeneralityRow:
+    """One row of Table VI."""
+
+    model: str
+    latency_ms: float
+    increase_pct: float
+    pes: int
+    lanes: int
+    mean_out_cts_thousands: float
+    mean_partials: float
+
+
+def generality_study(
+    networks: list[Network],
+    host_network: Network,
+    target_latency_s: float = 0.1,
+) -> list[GeneralityRow]:
+    """Table VI: run each model on the host model's optimal accelerator.
+
+    The host network's Pareto design (selected for the latency target) is
+    fixed; every other model runs on it and is compared against its own
+    ideal design at equal PE*lane budget.
+    """
+    host_tuned = cheetah_configuration(host_network).tuned_layers
+    host_dse = accelerator_dse(host_tuned)
+    host_design = host_dse.select_for_latency(target_latency_s)
+    budget = host_design.config.num_pes * host_design.config.lanes_per_pe
+
+    rows = []
+    for network in networks:
+        tuned = cheetah_configuration(network).tuned_layers
+        on_host = simulate(tuned, host_design.config)
+        ideal = _best_config_at_budget(tuned, budget)
+        increase = 100.0 * (on_host.latency_s - ideal.latency_s) / ideal.latency_s
+        mappings = [map_layer(t.layer, t.params) for t in tuned]
+        rows.append(
+            GeneralityRow(
+                model=network.name,
+                latency_ms=on_host.latency_ms,
+                increase_pct=max(0.0, increase),
+                pes=ideal.config.num_pes,
+                lanes=ideal.config.lanes_per_pe,
+                mean_out_cts_thousands=mean_out_cts(mappings) / 1e3,
+                mean_partials=mean_partials(mappings),
+            )
+        )
+    return rows
+
+
+def _best_config_at_budget(tuned_layers, budget: int) -> AcceleratorReport:
+    """Fastest (PEs, lanes) split of a fixed total-lane budget."""
+    best: AcceleratorReport | None = None
+    for pes in PE_SWEEP:
+        lanes = budget // pes
+        if lanes < 4 or lanes > max(LANE_SWEEP):
+            continue
+        report = simulate(
+            tuned_layers, AcceleratorConfig(num_pes=pes, lanes_per_pe=lanes)
+        )
+        if best is None or report.latency_s < best.latency_s:
+            best = report
+    if best is None:
+        raise ValueError(f"no feasible split of budget {budget}")
+    return best

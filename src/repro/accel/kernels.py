@@ -1,0 +1,145 @@
+"""Per-kernel microarchitecture cost models and design-space exploration.
+
+Each HE kernel (HE_Mult's SIMD multiplier, HE_Add, and HE_Rotate's Swap /
+INTT / Decompose / NTT / SIMDMult / Compose stages, Section VIII-A) is
+modelled as a parameterised datapath: ``unroll`` parallel functional
+units at a given initiation interval, fed by banked SRAM.  Latency, power
+and area follow from unit constants in :mod:`repro.accel.tech`; sweeping
+the parameters reproduces the kernel Pareto frontiers of Figure 10, which
+the accelerator-level DSE consumes as its cost model.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+from . import tech
+
+#: Kernel identifiers (HE_Rotate decomposes into its pipeline stages).
+KERNEL_NAMES = (
+    "ntt",
+    "intt",
+    "simd_mult",
+    "simd_add",
+    "swap",
+    "decompose",
+    "compose",
+)
+
+
+@dataclass(frozen=True)
+class KernelWork:
+    """Work content of one kernel invocation on an n-word polynomial."""
+
+    primary_ops: int  # butterflies (NTT) or element ops (others)
+    sram_words: int  # working-set words buffered inside the kernel
+    sram_accesses: int  # word reads+writes per invocation
+
+
+def kernel_work(kernel: str, n: int, l_ct: int = 1) -> KernelWork:
+    """Operation census per kernel invocation (Section IV-A accounting)."""
+    log_n = max(1, n.bit_length() - 1)
+    if kernel in ("ntt", "intt"):
+        butterflies = (n // 2) * log_n
+        # Data + twiddle accesses per butterfly: 2 reads, 2 writes, 1 twiddle.
+        return KernelWork(butterflies, sram_words=2 * n, sram_accesses=5 * butterflies)
+    if kernel == "simd_mult":
+        return KernelWork(n, sram_words=0, sram_accesses=2 * n)
+    if kernel == "simd_add":
+        return KernelWork(n, sram_words=0, sram_accesses=2 * n)
+    if kernel == "swap":
+        return KernelWork(n, sram_words=n, sram_accesses=2 * n)
+    if kernel == "decompose":
+        return KernelWork(n * l_ct, sram_words=n, sram_accesses=n * (l_ct + 1))
+    if kernel == "compose":
+        return KernelWork(n * l_ct, sram_words=n, sram_accesses=n * (l_ct + 1))
+    raise ValueError(f"unknown kernel {kernel!r}")
+
+
+def _unit_costs(kernel: str) -> tuple[float, float]:
+    """(area mm^2, energy J) of one functional unit of this kernel."""
+    if kernel in ("ntt", "intt"):
+        return tech.BUTTERFLY_AREA_MM2, tech.BUTTERFLY_ENERGY_J
+    if kernel == "simd_mult":
+        return tech.MODMUL_AREA_MM2, tech.MODMUL_ENERGY_J
+    if kernel in ("simd_add", "compose"):
+        return tech.MODADD_AREA_MM2, tech.MODADD_ENERGY_J
+    if kernel in ("swap", "decompose"):
+        # Shifts, masks and routing: adder-class logic.
+        return tech.MODADD_AREA_MM2, tech.MODADD_ENERGY_J
+    raise ValueError(f"unknown kernel {kernel!r}")
+
+
+@dataclass(frozen=True)
+class KernelDesign:
+    """One microarchitectural configuration of a kernel."""
+
+    kernel: str
+    unroll: int
+    ii: int = 1  # initiation interval (cycles between issues per unit)
+    clock_mhz: float = tech.CLOCK_MHZ
+
+
+@dataclass(frozen=True)
+class KernelCost:
+    """Evaluated 40 nm cost of a kernel design for a given n."""
+
+    design: KernelDesign
+    latency_s: float
+    area_mm2: float
+    energy_j: float  # per invocation
+
+    @property
+    def power_w(self) -> float:
+        """Average power while streaming back-to-back invocations."""
+        dynamic = self.energy_j / self.latency_s
+        return dynamic + tech.LEAKAGE_W_PER_MM2 * self.area_mm2
+
+
+def evaluate_kernel(design: KernelDesign, n: int, l_ct: int = 1) -> KernelCost:
+    """Latency / power / area of one kernel design (40 nm)."""
+    work = kernel_work(design.kernel, n, l_ct)
+    unit_area, unit_energy = _unit_costs(design.kernel)
+    cycles = math.ceil(work.primary_ops / design.unroll) * design.ii
+    # Pipeline fill: one extra pass of the unit pipeline depth.
+    cycles += 8
+    latency = cycles / (design.clock_mhz * 1e6)
+    # Banked SRAM must feed `unroll` units each cycle.
+    bandwidth_words = 5 if design.kernel in ("ntt", "intt") else 2
+    banks = max(1, design.unroll * bandwidth_words)
+    sram_area = tech.sram_area_mm2(work.sram_words, banks=banks)
+    area = design.unroll * unit_area + sram_area
+    energy = (
+        work.primary_ops * unit_energy
+        + work.sram_accesses * tech.SRAM_ACCESS_ENERGY_J
+    )
+    return KernelCost(design=design, latency_s=latency, area_mm2=area, energy_j=energy)
+
+
+def kernel_design_space(
+    kernel: str, max_unroll: int = 1024, iis: tuple[int, ...] = (1, 2, 4)
+) -> list[KernelDesign]:
+    """The sweep grid: unroll in powers of two, a few initiation intervals."""
+    designs = []
+    unroll = 1
+    while unroll <= max_unroll:
+        for ii in iis:
+            designs.append(KernelDesign(kernel=kernel, unroll=unroll, ii=ii))
+        unroll *= 2
+    return designs
+
+
+def kernel_dse(kernel: str, n: int, l_ct: int = 1, max_unroll: int = 1024) -> list[KernelCost]:
+    """Evaluate the full design space of one kernel (hundreds of points)."""
+    return [
+        evaluate_kernel(design, n, l_ct)
+        for design in kernel_design_space(kernel, max_unroll)
+    ]
+
+
+def speedup_over_cpu(cost: KernelCost, n: int, cpu_seconds_per_op: float) -> float:
+    """Kernel speedup vs a software baseline (the Figure 10 y-axis)."""
+    work = kernel_work(cost.design.kernel, n)
+    cpu_seconds = work.primary_ops * cpu_seconds_per_op
+    return cpu_seconds / cost.latency_s

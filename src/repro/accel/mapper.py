@@ -1,0 +1,73 @@
+"""Mapping DNN layers onto the accelerator (Section VIII-A).
+
+"Each layer is represented as the number of input/output ciphertexts and
+partials per output ciphertext.  The simulator then maps and multiplexes
+the number of output neuron ciphertexts to available PEs and partials to
+lanes."
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+from ..core.perf_model import layer_op_counts
+from ..core.ptune import ModelParams
+from ..nn.layers import ConvLayer, FCLayer, LinearLayer
+
+
+@dataclass(frozen=True)
+class LayerMapping:
+    """Ciphertext-level workload of one layer on the accelerator."""
+
+    layer_name: str
+    in_cts: int
+    out_cts: int
+    partials_per_ct: int
+
+    @property
+    def total_partials(self) -> int:
+        return self.out_cts * self.partials_per_ct
+
+
+def map_layer(layer: LinearLayer, params: ModelParams, l_pt: int = 1) -> LayerMapping:
+    """Derive (input CTs, output CTs, partials per output CT) for a layer."""
+    n = params.n
+    ops = layer_op_counts(layer, params, l_pt)
+    if isinstance(layer, ConvLayer):
+        w2 = layer.he_w * layer.he_w
+        in_cts = max(1, math.ceil(layer.ci * w2 / n))
+        out_cts = max(1, math.ceil(layer.co * w2 / n))
+    elif isinstance(layer, FCLayer):
+        in_cts = max(1, math.ceil(layer.ni / n))
+        out_cts = max(1, math.ceil(layer.no / n))
+    else:
+        raise TypeError(f"not a linear layer: {layer!r}")
+    partials_per_ct = max(1, math.ceil(ops.he_mult / out_cts))
+    return LayerMapping(
+        layer_name=layer.name,
+        in_cts=in_cts,
+        out_cts=out_cts,
+        partials_per_ct=partials_per_ct,
+    )
+
+
+def map_network(
+    layers: list[LinearLayer], params_per_layer: list[ModelParams], l_pt: int = 1
+) -> list[LayerMapping]:
+    if len(layers) != len(params_per_layer):
+        raise ValueError("one parameter set per layer required")
+    return [
+        map_layer(layer, params, l_pt)
+        for layer, params in zip(layers, params_per_layer)
+    ]
+
+
+def mean_out_cts(mappings: list[LayerMapping]) -> float:
+    """Average output ciphertexts per layer (Table VI 'Out CT' column)."""
+    return sum(m.out_cts for m in mappings) / len(mappings)
+
+
+def mean_partials(mappings: list[LayerMapping]) -> float:
+    """Average partials per output ciphertext (Table VI 'Prt' column)."""
+    return sum(m.partials_per_ct for m in mappings) / len(mappings)

@@ -1,0 +1,37 @@
+"""Pareto-frontier extraction for design-space exploration results."""
+
+from __future__ import annotations
+
+from typing import Callable, Sequence, TypeVar
+
+T = TypeVar("T")
+
+
+def pareto_front(
+    points: Sequence[T],
+    objectives: Callable[[T], tuple[float, ...]],
+) -> list[T]:
+    """Return the subset of ``points`` not dominated on any objective.
+
+    All objectives are minimised.  A point dominates another if it is no
+    worse on every objective and strictly better on at least one.
+    """
+    evaluated = [(objectives(p), p) for p in points]
+    front = []
+    for values, point in evaluated:
+        dominated = False
+        for other_values, _ in evaluated:
+            if other_values == values:
+                continue
+            if all(o <= v for o, v in zip(other_values, values)) and any(
+                o < v for o, v in zip(other_values, values)
+            ):
+                dominated = True
+                break
+        if not dominated:
+            front.append(point)
+    return front
+
+
+def sort_by(points: list[T], key: Callable[[T], float]) -> list[T]:
+    return sorted(points, key=key)

@@ -1,0 +1,177 @@
+"""Lane and PE cost models (Figure 9 of the paper).
+
+A **Lane** is the partial-product engine: SIMD multipliers for the two
+ciphertext polynomials, then the HE_Rotate pipeline (Swap, INTT,
+Decompose, parallel NTTs, key SIMD multiplies, Compose).  Lanes within a
+PE run in lockstep sharing twiddle SRAMs; a **PE** owns a set of lanes, a
+partial-reduction network of SIMD adders, and input/weight/output
+ciphertext SRAMs, operating output-stationary.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+
+from . import tech
+from .kernels import KernelCost, KernelDesign, evaluate_kernel
+
+
+@dataclass(frozen=True)
+class LaneDesign:
+    """Microarchitecture of one partial-processing lane.
+
+    ``ntt_parallel`` instantiates that many NTT units for the
+    decomposed-digit transforms ("the NTT activation decomposition factor
+    Adcmp introduces a parameterizable degree of inter-NTT parallelism",
+    Section VII-A2).
+    """
+
+    n: int
+    l_ct: int
+    ntt_unroll: int = 4
+    simd_unroll: int = 4
+    ntt_parallel: int = 1
+
+    def kernel_designs(self) -> dict[str, KernelDesign]:
+        return {
+            "simd_mult": KernelDesign("simd_mult", self.simd_unroll),
+            "simd_add": KernelDesign("simd_add", self.simd_unroll),
+            "swap": KernelDesign("swap", self.simd_unroll),
+            "intt": KernelDesign("intt", self.ntt_unroll),
+            "ntt": KernelDesign("ntt", self.ntt_unroll),
+            "decompose": KernelDesign("decompose", self.simd_unroll),
+            "compose": KernelDesign("compose", self.simd_unroll),
+        }
+
+
+@dataclass
+class LaneCost:
+    """Evaluated per-partial cost of a lane (40 nm)."""
+
+    design: LaneDesign
+    stage_latencies: dict[str, float]
+    energy_per_partial: float
+    area_mm2: float
+    area_breakdown: dict[str, float] = field(default_factory=dict)
+
+    @property
+    def fill_latency(self) -> float:
+        """Time for one partial to traverse the whole lane."""
+        return sum(self.stage_latencies.values())
+
+    @property
+    def interval(self) -> float:
+        """Steady-state time between partial completions (bottleneck stage)."""
+        return max(self.stage_latencies.values())
+
+    def time_breakdown_per_partial(self) -> dict[str, float]:
+        return dict(self.stage_latencies)
+
+
+def evaluate_lane(design: LaneDesign) -> LaneCost:
+    """Cost one lane: stage latencies, energy per partial, silicon area."""
+    n, l_ct = design.n, design.l_ct
+    kd = design.kernel_designs()
+    costs: dict[str, KernelCost] = {
+        name: evaluate_kernel(d, n, l_ct) for name, d in kd.items()
+    }
+
+    ntt_rounds = math.ceil(l_ct / design.ntt_parallel)
+    stage_latencies = {
+        # Both ciphertext polynomials multiply the weight plaintext.
+        "weight_mult": 2 * costs["simd_mult"].latency_s,
+        "swap": costs["swap"].latency_s,
+        "intt": costs["intt"].latency_s,
+        "decompose": costs["decompose"].latency_s,
+        "ntt": ntt_rounds * costs["ntt"].latency_s,
+        # Each digit multiplies both key-switching key polynomials.
+        "key_mult": 2 * l_ct * costs["simd_mult"].latency_s / max(1, design.ntt_parallel),
+        "compose": costs["compose"].latency_s,
+        "reduce_add": costs["simd_add"].latency_s,
+    }
+
+    energy = (
+        2 * costs["simd_mult"].energy_j  # weight multiplies
+        + costs["swap"].energy_j
+        + costs["intt"].energy_j
+        + costs["decompose"].energy_j
+        + l_ct * costs["ntt"].energy_j
+        + 2 * l_ct * costs["simd_mult"].energy_j  # key multiplies
+        + costs["compose"].energy_j
+        + costs["simd_add"].energy_j
+    )
+
+    ntt_area = costs["intt"].area_mm2 + design.ntt_parallel * costs["ntt"].area_mm2
+    simd_area = (
+        costs["simd_mult"].area_mm2 * (1 + design.ntt_parallel)
+        + costs["swap"].area_mm2
+        + costs["decompose"].area_mm2
+        + costs["compose"].area_mm2
+        + costs["simd_add"].area_mm2
+    )
+    # Inter-stage streaming buffers: partial polys between the 4 SRAM-backed
+    # stage boundaries of Figure 9c.
+    buffer_area = tech.sram_area_mm2(4 * n, banks=design.simd_unroll * 2)
+    area_breakdown = {
+        "ntt": ntt_area,
+        "compute": simd_area,
+        "lane_sram": buffer_area,
+    }
+    return LaneCost(
+        design=design,
+        stage_latencies=stage_latencies,
+        energy_per_partial=energy,
+        area_mm2=ntt_area + simd_area + buffer_area,
+        area_breakdown=area_breakdown,
+    )
+
+
+@dataclass(frozen=True)
+class PeDesign:
+    """A processing engine: lanes plus local ciphertext storage."""
+
+    lane: LaneDesign
+    lanes: int
+    input_ct_words: int  # capacity to hold all input ciphertexts locally
+
+
+@dataclass
+class PeCost:
+    """Evaluated cost of one PE (40 nm)."""
+
+    design: PeDesign
+    lane_cost: LaneCost
+    area_mm2: float
+    area_breakdown: dict[str, float]
+
+    @property
+    def lanes(self) -> int:
+        return self.design.lanes
+
+
+def evaluate_pe(design: PeDesign) -> PeCost:
+    lane_cost = evaluate_lane(design.lane)
+    n = design.lane.n
+    lanes_area = design.lanes * lane_cost.area_mm2
+    # Input CT SRAM needs bandwidth for every lane; weight and output CT
+    # SRAMs are small ("a relatively small SRAM for weights").
+    input_sram = tech.sram_area_mm2(design.input_ct_words, banks=design.lanes)
+    weight_sram = tech.sram_area_mm2(n, banks=max(1, design.lanes // 4))
+    output_sram = tech.sram_area_mm2(4 * n, banks=4)
+    # Partial reduction network: one SIMD adder per lane pair.
+    reduction_area = (
+        max(1, design.lanes - 1)
+        * design.lane.simd_unroll
+        * tech.MODADD_AREA_MM2
+    )
+    breakdown = {
+        "ntt": design.lanes * lane_cost.area_breakdown["ntt"],
+        "compute": design.lanes * lane_cost.area_breakdown["compute"] + reduction_area,
+        "lane_sram": design.lanes * lane_cost.area_breakdown["lane_sram"],
+        "pe_sram": input_sram + weight_sram + output_sram,
+    }
+    total = sum(breakdown.values())
+    return PeCost(
+        design=design, lane_cost=lane_cost, area_mm2=total, area_breakdown=breakdown
+    )

@@ -1,0 +1,221 @@
+"""Whole-accelerator performance / power / area simulator (Section VIII).
+
+Takes a tuned network (per-layer HE parameters from HE-PTune), an
+accelerator configuration (PE count, lanes per PE, lane microarchitecture)
+and produces latency, power and area with the run-time and area
+breakdowns of Figure 11.  Output ciphertexts multiplex over PEs; partials
+multiplex over lanes; per-layer latencies accumulate because activations
+round-trip to the client between layers (Section VIII-A: "the overall
+performance of a full inference is modeled on a per-layer granularity").
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+
+from ..core.ptune import TunedLayer
+from . import tech
+from .mapper import LayerMapping, map_layer
+from .pe import LaneCost, LaneDesign, PeCost, PeDesign, evaluate_lane, evaluate_pe
+
+
+@dataclass(frozen=True)
+class AcceleratorConfig:
+    """One point of the PE/lane design space."""
+
+    num_pes: int
+    lanes_per_pe: int
+    ntt_unroll: int = 4
+    simd_unroll: int = 4
+    ntt_parallel: int = 1
+
+
+@dataclass
+class LayerSimResult:
+    mapping: LayerMapping
+    latency_s: float
+    energy_j: float
+    lane_utilization: float
+    pe_utilization: float
+    io_seconds: float
+    time_breakdown: dict[str, float] = field(default_factory=dict)
+
+
+@dataclass
+class AcceleratorReport:
+    """Aggregate simulation result for one accelerator configuration."""
+
+    config: AcceleratorConfig
+    latency_s: float
+    energy_j: float
+    area_mm2_40nm: float
+    area_breakdown_40nm: dict[str, float]
+    time_breakdown: dict[str, float]
+    io_seconds: float
+    layer_results: list[LayerSimResult]
+    batch: int = 1
+
+    @property
+    def throughput_per_s(self) -> float:
+        """Inferences per second (batching amortizes pipeline fills)."""
+        return self.batch / self.latency_s
+
+    @property
+    def power_w_40nm(self) -> float:
+        dynamic = self.energy_j / self.latency_s
+        leakage = tech.LEAKAGE_W_PER_MM2 * self.area_mm2_40nm
+        return dynamic + leakage
+
+    @property
+    def power_w_5nm(self) -> float:
+        return tech.scale_power_to_5nm(self.power_w_40nm)
+
+    @property
+    def area_mm2_5nm(self) -> float:
+        return tech.scale_area_to_5nm(self.area_mm2_40nm)
+
+    @property
+    def latency_ms(self) -> float:
+        return self.latency_s * 1e3
+
+    @property
+    def io_utilization(self) -> float:
+        return self.io_seconds / self.latency_s if self.latency_s else 0.0
+
+    def area_breakdown_5nm(self) -> dict[str, float]:
+        return {
+            key: tech.scale_area_to_5nm(value)
+            for key, value in self.area_breakdown_40nm.items()
+        }
+
+
+def _representative_lane(tuned_layers: list[TunedLayer], config: AcceleratorConfig) -> LaneDesign:
+    """Size the lane for the largest (n, l_ct) any layer requires.
+
+    Hardware is provisioned once; smaller layers underutilise it, which
+    is exactly the generality effect Table VI quantifies.
+    """
+    n = max(t.params.n for t in tuned_layers)
+    l_ct = max(t.params.l_ct for t in tuned_layers)
+    return LaneDesign(
+        n=n,
+        l_ct=l_ct,
+        ntt_unroll=config.ntt_unroll,
+        simd_unroll=config.simd_unroll,
+        ntt_parallel=config.ntt_parallel,
+    )
+
+
+def simulate(
+    tuned_layers: list[TunedLayer], config: AcceleratorConfig, batch: int = 1
+) -> AcceleratorReport:
+    """Simulate one accelerator configuration over a tuned network.
+
+    Silicon is provisioned for the largest (n, l_ct) any layer uses;
+    layers with smaller polynomials stream through the same datapath in
+    proportionally fewer cycles, so per-layer timing and energy use a
+    lane cost evaluated at that layer's own parameters.
+
+    ``batch > 1`` processes several inferences back to back through each
+    layer wave, amortizing the lane pipeline fill (throughput mode for
+    datacenter serving).
+    """
+    if batch < 1:
+        raise ValueError("batch must be >= 1")
+    lane_design = _representative_lane(tuned_layers, config)
+    max_in_words = max(
+        map_layer(t.layer, t.params).in_cts * 2 * t.params.n for t in tuned_layers
+    )
+    pe_cost: PeCost = evaluate_pe(
+        PeDesign(lane=lane_design, lanes=config.lanes_per_pe, input_ct_words=max_in_words)
+    )
+    # Global streaming IO buffer (small; communication only).
+    io_buffer_area = tech.sram_area_mm2(8 * lane_design.n, banks=8)
+
+    lane_cache: dict[tuple[int, int], LaneCost] = {}
+    total_latency = 0.0
+    total_energy = 0.0
+    total_io = 0.0
+    time_breakdown: dict[str, float] = {}
+    layer_results = []
+    for tuned in tuned_layers:
+        key = (tuned.params.n, tuned.params.l_ct)
+        lane_cost = lane_cache.get(key)
+        if lane_cost is None:
+            lane_cost = evaluate_lane(
+                LaneDesign(
+                    n=tuned.params.n,
+                    l_ct=tuned.params.l_ct,
+                    ntt_unroll=config.ntt_unroll,
+                    simd_unroll=config.simd_unroll,
+                    ntt_parallel=config.ntt_parallel,
+                )
+            )
+            lane_cache[key] = lane_cost
+        result = _simulate_layer(tuned, config, lane_cost, batch)
+        layer_results.append(result)
+        total_latency += result.latency_s
+        total_energy += result.energy_j
+        total_io += result.io_seconds
+        for stage, seconds in result.time_breakdown.items():
+            time_breakdown[stage] = time_breakdown.get(stage, 0.0) + seconds
+
+    area_breakdown = {
+        key: config.num_pes * value for key, value in pe_cost.area_breakdown.items()
+    }
+    area_breakdown["io"] = io_buffer_area
+    return AcceleratorReport(
+        config=config,
+        latency_s=total_latency,
+        energy_j=total_energy,
+        area_mm2_40nm=sum(area_breakdown.values()),
+        area_breakdown_40nm=area_breakdown,
+        time_breakdown=time_breakdown,
+        io_seconds=total_io,
+        layer_results=layer_results,
+        batch=batch,
+    )
+
+
+def _simulate_layer(
+    tuned: TunedLayer, config: AcceleratorConfig, lane: LaneCost, batch: int = 1
+) -> LayerSimResult:
+    mapping = map_layer(tuned.layer, tuned.params)
+    lanes = config.lanes_per_pe
+    pes = config.num_pes
+
+    waves = math.ceil(mapping.out_cts / pes)
+    chunk = batch * math.ceil(mapping.partials_per_ct / lanes)
+    # One wave: fill the lane pipeline once, then one partial per interval
+    # per lane; the reduction tree drains in log2(lanes) add steps.
+    reduction = math.ceil(math.log2(max(2, lanes))) * lane.stage_latencies["reduce_add"]
+    wave_latency = lane.fill_latency + max(0, chunk - 1) * lane.interval + reduction
+    latency = waves * wave_latency
+
+    total_partials = batch * mapping.total_partials
+    energy = total_partials * lane.energy_per_partial
+
+    # Streaming IO: input and output ciphertexts cross the PCIe-like link.
+    ct_bytes = 2 * tuned.params.n * tech.WORD_BITS / 8
+    io_seconds = (
+        batch * (mapping.in_cts + mapping.out_cts) * ct_bytes / tech.IO_BANDWIDTH_BYTES
+    )
+
+    lane_util = batch * mapping.partials_per_ct / (chunk * lanes)
+    pe_util = mapping.out_cts / (waves * pes)
+
+    share = {}
+    per_partial = lane.time_breakdown_per_partial()
+    partial_total = sum(per_partial.values())
+    for stage, seconds in per_partial.items():
+        share[stage] = latency * (seconds / partial_total)
+    return LayerSimResult(
+        mapping=mapping,
+        latency_s=latency,
+        energy_j=energy,
+        lane_utilization=lane_util,
+        pe_utilization=pe_util,
+        io_seconds=io_seconds,
+        time_breakdown=share,
+    )

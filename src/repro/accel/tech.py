@@ -1,0 +1,98 @@
+"""Technology constants and scaling (Section VIII-A).
+
+Datapath and SRAM constants are calibrated to 40 nm standard-cell
+characteristics at the paper's 400 MHz synthesis target; whole-chip
+results scale to 5 nm with the paper's own published factors (0.056x
+power, 0.038x area, combined from 40->16 nm [42,43,61,63] and
+16->5 nm [56,65]).
+
+The SRAM bit-density model captures the paper's key observation that the
+128x60-bit SRAMs required for extreme NTT bandwidth have ~2.5x worse bit
+density than 1024x60 arrays, which is what blows up area at the extreme
+low-latency Pareto points (Figure 11c).
+"""
+
+from __future__ import annotations
+
+#: Combined power scaling factor 40 nm -> 5 nm (paper Section VIII-A).
+POWER_SCALE_40_TO_5 = 0.056
+
+#: Combined area scaling factor 40 nm -> 5 nm.
+AREA_SCALE_40_TO_5 = 0.038
+
+#: Synthesis clock target (the paper's Catapult runs).
+CLOCK_MHZ = 400.0
+
+# -- 40 nm datapath unit costs (calibrated) -----------------------------------
+
+#: Area of one 60-bit Barrett modular-multiplier datapath, mm^2 (40 nm).
+MODMUL_AREA_MM2 = 0.024
+
+#: Energy per 60-bit modular multiplication, joules (40 nm).
+MODMUL_ENERGY_J = 32.0e-12
+
+#: Area of one 60-bit modular adder, mm^2 (40 nm).
+MODADD_AREA_MM2 = 0.0024
+
+#: Energy per 60-bit modular addition, joules (40 nm).
+MODADD_ENERGY_J = 2.2e-12
+
+#: A Harvey butterfly unit: 3 modular multipliers + 2 modular adders.
+BUTTERFLY_AREA_MM2 = 3 * MODMUL_AREA_MM2 + 2 * MODADD_AREA_MM2
+BUTTERFLY_ENERGY_J = 3 * MODMUL_ENERGY_J + 2 * MODADD_ENERGY_J
+
+#: Leakage power density at 40 nm, watts per mm^2.
+LEAKAGE_W_PER_MM2 = 0.015
+
+# -- 40 nm SRAM model ----------------------------------------------------------
+
+#: Bit area of a large (>= 1024-word) SRAM array, mm^2 per bit (40 nm).
+SRAM_MM2_PER_BIT_LARGE = 0.5e-6
+
+#: Density penalty of tiny, highly banked arrays (paper: ~2.5x at 128 words).
+SRAM_SMALL_ARRAY_PENALTY = 2.5
+
+#: Energy per 60-bit SRAM word access, joules (40 nm).
+SRAM_ACCESS_ENERGY_J = 11.0e-12
+
+#: Machine word width of the accelerator datapath.
+WORD_BITS = 60
+
+#: Streaming interface bandwidth (PCIe-like), bytes per second.
+IO_BANDWIDTH_BYTES = 32.0e9
+
+
+def sram_area_mm2(words: int, banks: int = 1, word_bits: int = WORD_BITS) -> float:
+    """Area of an SRAM of ``words`` words split across ``banks`` banks.
+
+    Splitting into more banks buys bandwidth but shrinks each array; the
+    density penalty interpolates from 1.0x (>=1024 words per bank) to
+    ~2.5x (<=128 words per bank), matching the paper's observation.
+    """
+    if words <= 0:
+        return 0.0
+    banks = max(1, banks)
+    words_per_bank = max(1, words // banks)
+    if words_per_bank >= 1024:
+        penalty = 1.0
+    elif words_per_bank <= 128:
+        penalty = SRAM_SMALL_ARRAY_PENALTY
+    else:
+        # Linear interpolation in log2(words per bank) between 128 and 1024.
+        span = (10 - _log2(words_per_bank)) / 3.0  # 10=log2(1024), 7=log2(128)
+        penalty = 1.0 + (SRAM_SMALL_ARRAY_PENALTY - 1.0) * span
+    return words * word_bits * SRAM_MM2_PER_BIT_LARGE * penalty
+
+
+def _log2(value: int) -> float:
+    import math
+
+    return math.log2(value)
+
+
+def scale_power_to_5nm(power_w_40nm: float) -> float:
+    return power_w_40nm * POWER_SCALE_40_TO_5
+
+
+def scale_area_to_5nm(area_mm2_40nm: float) -> float:
+    return area_mm2_40nm * AREA_SCALE_40_TO_5

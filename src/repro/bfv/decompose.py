@@ -1,0 +1,83 @@
+"""Polynomial decomposition (Section III-B2 of the paper).
+
+Two decompositions appear in Cheetah:
+
+* **Ciphertext (activation) decomposition**, base ``Adcmp``: HE_Rotate's
+  key switching splits the big-integer coefficients of a ciphertext
+  polynomial into ``l_ct = ceil(log_Adcmp q)`` small digit polynomials so
+  the keyswitch noise grows additively in ``Adcmp`` instead of ``q``.
+* **Plaintext (weight) windowing**, base ``Wdcmp``: the Gazelle baseline
+  splits weights into ``l_pt = ceil(log_Wdcmp t)`` windows (the client
+  supplies matching scaled ciphertexts) so HE_Mult noise grows with
+  ``Wdcmp`` instead of ``t``.  Sched-PA eliminates this entirely.
+"""
+
+from __future__ import annotations
+
+import math
+
+import numpy as np
+
+
+def digit_count(modulus: int, base_bits: int) -> int:
+    """Number of base-2**base_bits digits covering values below modulus."""
+    return max(1, math.ceil(modulus.bit_length() / base_bits))
+
+
+def digit_decompose(coeffs: np.ndarray, base_bits: int, num_digits: int) -> list[np.ndarray]:
+    """Split nonnegative big-integer coefficients into base-B digits.
+
+    Returns ``num_digits`` arrays with entries in [0, 2**base_bits), least
+    significant digit first, satisfying ``sum_i digits[i] << (i*base_bits)
+    == coeffs``.
+    """
+    coeffs = np.asarray(coeffs, dtype=object)
+    mask = (1 << base_bits) - 1
+    digits = []
+    remaining = coeffs.copy()
+    for _ in range(num_digits):
+        digits.append(remaining & mask)
+        remaining = remaining >> base_bits
+    if np.any(remaining != 0):
+        raise ValueError("coefficients exceed the representable digit range")
+    return digits
+
+
+def digit_compose(digits: list[np.ndarray], base_bits: int) -> np.ndarray:
+    """Inverse of :func:`digit_decompose`."""
+    total = np.zeros_like(np.asarray(digits[0], dtype=object))
+    for i, digit in enumerate(digits):
+        total = total + (np.asarray(digit, dtype=object) << (i * base_bits))
+    return total
+
+
+def window_weights(values: np.ndarray, base_bits: int, num_windows: int, modulus: int) -> list[np.ndarray]:
+    """Gazelle-style plaintext windowing of weight values mod t.
+
+    Splits each weight ``w`` into windows ``w_i < Wdcmp`` with
+    ``w = sum_i w_i * Wdcmp^i (mod t)``; the homomorphic product is then
+    reassembled as ``sum_i w_i * Enc(x * Wdcmp^i)``.
+    """
+    values = np.asarray(values, dtype=object) % modulus
+    return [digit.astype(object) for digit in
+            (np.asarray(d, dtype=object) for d in digit_decompose_windows(values, base_bits, num_windows))]
+
+
+def digit_decompose_windows(values: np.ndarray, base_bits: int, num_windows: int) -> list[np.ndarray]:
+    """Digit split that tolerates leftover high bits in the final window.
+
+    Unlike :func:`digit_decompose` this never raises: the most significant
+    window absorbs any residual bits (the residual is below Wdcmp whenever
+    ``num_windows >= digit_count(t, base_bits)``, which callers ensure).
+    """
+    values = np.asarray(values, dtype=object)
+    mask = (1 << base_bits) - 1
+    windows = []
+    remaining = values.copy()
+    for index in range(num_windows):
+        if index == num_windows - 1:
+            windows.append(remaining)
+        else:
+            windows.append(remaining & mask)
+            remaining = remaining >> base_bits
+    return windows

@@ -1,0 +1,162 @@
+"""RNS polynomial container and ring operations.
+
+An ``RnsPolynomial`` stores one residue row per coefficient-modulus prime
+(shape ``(k, n)`` int64) together with its representation domain.  Cheetah
+keeps ciphertext polynomials in the evaluation domain by default and only
+converts to the coefficient domain for decomposition (Section III-B of
+the paper); the container enforces that discipline by refusing mixed-
+domain arithmetic.
+"""
+
+from __future__ import annotations
+
+from enum import Enum
+
+import numpy as np
+
+from .ntt import NttContext
+from .rns import RnsBasis
+
+
+class Domain(Enum):
+    COEFF = "coeff"
+    EVAL = "eval"
+
+
+class RnsPolynomial:
+    """A polynomial in R_q, stored as residues across an RNS basis."""
+
+    __slots__ = ("basis", "data", "domain")
+
+    def __init__(self, basis: RnsBasis, data: np.ndarray, domain: Domain):
+        data = np.asarray(data, dtype=np.int64)
+        if data.ndim != 2 or data.shape[0] != basis.count:
+            raise ValueError(
+                f"expected residue stack of shape ({basis.count}, n), got {data.shape}"
+            )
+        self.basis = basis
+        self.data = data
+        self.domain = domain
+
+    # -- constructors -----------------------------------------------------
+
+    @classmethod
+    def zero(cls, basis: RnsBasis, n: int, domain: Domain = Domain.EVAL) -> "RnsPolynomial":
+        return cls(basis, np.zeros((basis.count, n), dtype=np.int64), domain)
+
+    @classmethod
+    def from_bigint_coeffs(cls, basis: RnsBasis, coeffs: np.ndarray) -> "RnsPolynomial":
+        """Build a coefficient-domain polynomial from big-integer coefficients."""
+        return cls(basis, basis.decompose(coeffs), Domain.COEFF)
+
+    @classmethod
+    def from_small_coeffs(cls, basis: RnsBasis, coeffs: np.ndarray) -> "RnsPolynomial":
+        """Build from signed small coefficients (e.g. error/secret samples)."""
+        coeffs = np.asarray(coeffs, dtype=np.int64)
+        rows = [coeffs % prime for prime in basis.primes]
+        return cls(basis, np.stack(rows), Domain.COEFF)
+
+    # -- domain conversion -------------------------------------------------
+
+    def to_eval(self, contexts: list[NttContext]) -> "RnsPolynomial":
+        if self.domain is Domain.EVAL:
+            return self
+        rows = [contexts[i].forward(self.data[i]) for i in range(self.basis.count)]
+        return RnsPolynomial(self.basis, np.stack(rows), Domain.EVAL)
+
+    def to_coeff(self, contexts: list[NttContext]) -> "RnsPolynomial":
+        if self.domain is Domain.COEFF:
+            return self
+        rows = [contexts[i].inverse(self.data[i]) for i in range(self.basis.count)]
+        return RnsPolynomial(self.basis, np.stack(rows), Domain.COEFF)
+
+    def bigint_coeffs(self, contexts: list[NttContext] | None = None) -> np.ndarray:
+        """CRT-composed big-integer coefficients in [0, q)."""
+        poly = self if self.domain is Domain.COEFF else self.to_coeff(contexts)
+        return poly.basis.compose(poly.data)
+
+    # -- arithmetic ---------------------------------------------------------
+
+    def _check_compatible(self, other: "RnsPolynomial") -> None:
+        if self.basis is not other.basis and self.basis.primes != other.basis.primes:
+            raise ValueError("polynomials belong to different RNS bases")
+        if self.domain is not other.domain:
+            raise ValueError(
+                f"domain mismatch: {self.domain.value} vs {other.domain.value}"
+            )
+
+    def add(self, other: "RnsPolynomial") -> "RnsPolynomial":
+        self._check_compatible(other)
+        primes = np.array(self.basis.primes, dtype=np.int64)[:, None]
+        return RnsPolynomial(self.basis, (self.data + other.data) % primes, self.domain)
+
+    def sub(self, other: "RnsPolynomial") -> "RnsPolynomial":
+        self._check_compatible(other)
+        primes = np.array(self.basis.primes, dtype=np.int64)[:, None]
+        return RnsPolynomial(self.basis, (self.data - other.data) % primes, self.domain)
+
+    def neg(self) -> "RnsPolynomial":
+        primes = np.array(self.basis.primes, dtype=np.int64)[:, None]
+        return RnsPolynomial(self.basis, (-self.data) % primes, self.domain)
+
+    def pointwise(self, other: "RnsPolynomial", contexts: list[NttContext]) -> "RnsPolynomial":
+        """Element-wise product; both operands must be in the eval domain."""
+        self._check_compatible(other)
+        if self.domain is not Domain.EVAL:
+            raise ValueError("pointwise products require the evaluation domain")
+        rows = [
+            contexts[i].pointwise(self.data[i], other.data[i])
+            for i in range(self.basis.count)
+        ]
+        return RnsPolynomial(self.basis, np.stack(rows), Domain.EVAL)
+
+    def scalar_multiply(self, scalar: int) -> "RnsPolynomial":
+        """Multiply by a big-integer scalar (reduced per prime)."""
+        rows = [
+            self.data[i] * (scalar % prime) % prime
+            for i, prime in enumerate(self.basis.primes)
+        ]
+        return RnsPolynomial(self.basis, np.stack(rows), self.domain)
+
+    def permute(self, index_map: np.ndarray) -> "RnsPolynomial":
+        """Apply a slot permutation (eval domain Galois automorphism)."""
+        if self.domain is not Domain.EVAL:
+            raise ValueError("permutation applies to the evaluation domain")
+        return RnsPolynomial(self.basis, self.data[:, index_map], Domain.EVAL)
+
+    def copy(self) -> "RnsPolynomial":
+        return RnsPolynomial(self.basis, self.data.copy(), self.domain)
+
+    def __repr__(self) -> str:
+        return (
+            f"RnsPolynomial(k={self.basis.count}, n={self.data.shape[1]}, "
+            f"domain={self.domain.value})"
+        )
+
+
+def galois_automorphism_coeffs(coeffs: np.ndarray, galois_elt: int, modulus: int) -> np.ndarray:
+    """Apply x -> x^g to big-integer coefficients mod (x^n + 1).
+
+    Coefficient i moves to exponent ``i * g mod 2n``; exponents at or above
+    n wrap with a sign flip because x^n = -1 in the negacyclic ring.
+    """
+    coeffs = np.asarray(coeffs, dtype=object)
+    n = coeffs.shape[0]
+    indices = (np.arange(n, dtype=np.int64) * galois_elt) % (2 * n)
+    result = np.zeros(n, dtype=object)
+    wrap = indices >= n
+    result[indices[~wrap]] = coeffs[~wrap]
+    result[indices[wrap] - n] = (-coeffs[wrap]) % modulus
+    return result % modulus
+
+
+def eval_domain_galois_map(n: int, galois_elt: int) -> np.ndarray:
+    """Permutation applying x -> x^g directly on natural-order evaluations.
+
+    The forward NTT places ``a(psi^(2j+1))`` at index j.  Under the
+    automorphism, the value at point psi^(2j+1) becomes the original
+    polynomial evaluated at psi^((2j+1) * g), so the new index j reads from
+    the old index ((2j+1) * g mod 2n - 1) / 2.
+    """
+    points = (2 * np.arange(n, dtype=np.int64) + 1) * galois_elt % (2 * n)
+    return (points - 1) // 2

@@ -1,0 +1,92 @@
+"""Residue Number System (RNS) basis for the ciphertext modulus q.
+
+The paper's ciphertext modulus q is up to ~180 bits; numpy int64 kernels
+require per-limb moduli below 2**30 (:mod:`repro.bfv.ntt`).  We therefore
+represent q as a product of NTT-friendly primes and store every ciphertext
+polynomial as a stack of residue polynomials, one row per prime.  CRT
+composition/decomposition converts between big-integer coefficients and
+residue stacks; it is only needed at noise-measurement and ciphertext
+decomposition boundaries, exactly where the paper's lane datapath places
+its INTT/Decompose/Compose stages (Figure 9c).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from .modmath import generate_ntt_primes, invmod
+
+
+class RnsBasis:
+    """An ordered set of coprime NTT-friendly moduli whose product is q."""
+
+    def __init__(self, primes: list[int]):
+        if not primes:
+            raise ValueError("RNS basis requires at least one prime")
+        if len(set(primes)) != len(primes):
+            raise ValueError("RNS primes must be distinct")
+        self.primes = list(primes)
+        self.modulus = 1
+        for prime in primes:
+            self.modulus *= prime
+        # CRT reconstruction constants: q_i = q / p_i, and q_i^{-1} mod p_i.
+        self._punctured = [self.modulus // p for p in primes]
+        self._punctured_inv = [
+            invmod(self._punctured[i] % p, p) for i, p in enumerate(primes)
+        ]
+
+    @classmethod
+    def for_bit_budget(cls, total_bits: int, n: int, limb_bits: int = 30) -> "RnsBasis":
+        """Build a basis whose product has roughly ``total_bits`` bits.
+
+        Limbs are drawn from ``limb_bits``-bit NTT-friendly primes; the last
+        limb shrinks to fit the remaining budget (minimum 20 bits so batch
+        encoding remains possible).
+        """
+        if total_bits < 20:
+            raise ValueError("coefficient modulus needs at least 20 bits")
+        count = max(1, -(-total_bits // limb_bits))
+        base, extra = divmod(total_bits, count)
+        sizes = [base + 1] * extra + [base] * (count - extra)
+        primes: list[int] = []
+        for size in sizes:
+            candidates = generate_ntt_primes(size, n, len(primes) + 1)
+            fresh = [p for p in candidates if p not in primes]
+            primes.append(fresh[-1])
+        return cls(primes)
+
+    @property
+    def count(self) -> int:
+        return len(self.primes)
+
+    @property
+    def bits(self) -> int:
+        return self.modulus.bit_length()
+
+    def decompose(self, coeffs: np.ndarray) -> np.ndarray:
+        """Big-integer coefficients -> residue stack of shape (k, n)."""
+        coeffs = np.asarray(coeffs, dtype=object) % self.modulus
+        rows = [
+            (coeffs % prime).astype(np.int64) for prime in self.primes
+        ]
+        return np.stack(rows)
+
+    def compose(self, residues: np.ndarray) -> np.ndarray:
+        """Residue stack (k, n) -> big-integer coefficients in [0, q)."""
+        residues = np.asarray(residues)
+        if residues.shape[0] != self.count:
+            raise ValueError(
+                f"expected {self.count} residue rows, got {residues.shape[0]}"
+            )
+        total = np.zeros(residues.shape[1:], dtype=object)
+        for i, prime in enumerate(self.primes):
+            term = (residues[i].astype(object) * self._punctured_inv[i]) % prime
+            total = total + term * self._punctured[i]
+        return total % self.modulus
+
+    def reduce_scalar(self, value: int) -> np.ndarray:
+        """Residues of a scalar across the basis, shape (k,)."""
+        return np.array([value % p for p in self.primes], dtype=np.int64)
+
+    def __repr__(self) -> str:
+        return f"RnsBasis(primes={self.primes}, bits={self.bits})"

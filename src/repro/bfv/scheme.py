@@ -1,0 +1,398 @@
+"""The BFV scheme: keygen, encryption, and the three HE operators.
+
+Implements the complete operator set the paper builds on (Section III):
+
+* ``HE_Add`` -- element-wise ciphertext addition (additive noise).
+* ``HE_Mult`` -- plaintext-ciphertext multiplication in the evaluation
+  domain (multiplicative noise), with optional Gazelle-style plaintext
+  windowing for the Sched-IA baseline.
+* ``HE_Rotate`` -- slot rotation via Galois automorphism plus key
+  switching with base-``Adcmp`` ciphertext decomposition (additive noise,
+  2*l_ct polynomial products and l_ct + 1 NTTs per invocation, exactly
+  the operation census HE-PTune's performance model assumes).
+
+Ciphertext polynomials live in the evaluation domain by default; only the
+key-switching digit decomposition round-trips through the coefficient
+domain, mirroring Cheetah's pipeline (Figure 9c: Swap -> INTT ->
+Decompose -> NTT -> SIMDmult -> Compose).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from .counters import GLOBAL_COUNTERS
+from .decompose import digit_decompose, digit_count
+from .encoder import BatchEncoder, Plaintext
+from .keys import GaloisKeys, KeySwitchKey, PublicKey, SecretKey
+from .ntt import NttContext
+from .params import BfvParameters
+from .polynomial import (
+    Domain,
+    RnsPolynomial,
+    eval_domain_galois_map,
+    galois_automorphism_coeffs,
+)
+
+
+@dataclass
+class Ciphertext:
+    """A BFV ciphertext (c0, c1), evaluation domain."""
+
+    c0: RnsPolynomial
+    c1: RnsPolynomial
+
+    def copy(self) -> "Ciphertext":
+        return Ciphertext(self.c0.copy(), self.c1.copy())
+
+
+@dataclass
+class HoistedCiphertext:
+    """A ciphertext with its key-switching decomposition precomputed.
+
+    Produced by :meth:`BfvScheme.hoist`; consumed by
+    :meth:`BfvScheme.rotate_rows_hoisted`.
+    """
+
+    c0: RnsPolynomial
+    digit_polys: list[RnsPolynomial]
+
+
+class EvalPlaintext:
+    """A plaintext pre-lifted to the evaluation domain of every q prime.
+
+    Pre-encoding weights this way is how Cheetah avoids NTTs inside
+    HE_Mult (Section III-B: "Cheetah keeps polynomials in the evaluation
+    space").
+    """
+
+    __slots__ = ("poly",)
+
+    def __init__(self, poly: RnsPolynomial):
+        self.poly = poly
+
+
+class BfvScheme:
+    """A fully usable BFV context bound to one parameter set."""
+
+    def __init__(self, params: BfvParameters, seed: int | None = None):
+        self.params = params
+        self.rng = np.random.default_rng(seed)
+        self.contexts = [
+            NttContext(params.n, prime) for prime in params.coeff_basis.primes
+        ]
+        self.encoder = BatchEncoder(params)
+        self._galois_eval_maps: dict[int, np.ndarray] = {}
+
+    # -- sampling ----------------------------------------------------------
+
+    def _sample_ternary(self) -> np.ndarray:
+        return self.rng.integers(-1, 2, self.params.n, dtype=np.int64)
+
+    def _sample_error(self) -> np.ndarray:
+        sigma = self.params.sigma
+        samples = np.rint(self.rng.normal(0.0, sigma, self.params.n)).astype(np.int64)
+        bound = int(np.ceil(6 * sigma))
+        return np.clip(samples, -bound, bound)
+
+    def _sample_uniform_eval(self) -> RnsPolynomial:
+        rows = [
+            self.rng.integers(0, prime, self.params.n, dtype=np.int64)
+            for prime in self.params.coeff_basis.primes
+        ]
+        return RnsPolynomial(self.params.coeff_basis, np.stack(rows), Domain.EVAL)
+
+    def _small_to_eval(self, coeffs: np.ndarray) -> RnsPolynomial:
+        poly = RnsPolynomial.from_small_coeffs(self.params.coeff_basis, coeffs)
+        return poly.to_eval(self.contexts)
+
+    # -- key generation ------------------------------------------------------
+
+    def keygen(self) -> tuple[SecretKey, PublicKey]:
+        s_coeffs = self._sample_ternary()
+        s_eval = self._small_to_eval(s_coeffs)
+        secret = SecretKey(coeffs=s_coeffs, eval_poly=s_eval)
+
+        a = self._sample_uniform_eval()
+        e = self._small_to_eval(self._sample_error())
+        p0 = a.pointwise(s_eval, self.contexts).add(e).neg()
+        public = PublicKey(p0=p0, p1=a)
+        return secret, public
+
+    def generate_galois_keys(self, secret: SecretKey, steps: list[int]) -> GaloisKeys:
+        """Generate rotation keys for the given row-rotation step sizes."""
+        keys = GaloisKeys()
+        for step in steps:
+            elt = self.galois_elt_for_step(step)
+            if elt not in keys.keys:
+                keys.keys[elt] = self._make_keyswitch_key(secret, elt)
+        return keys
+
+    def generate_column_key(self, secret: SecretKey) -> GaloisKeys:
+        elt = 2 * self.params.n - 1
+        keys = GaloisKeys()
+        keys.keys[elt] = self._make_keyswitch_key(secret, elt)
+        return keys
+
+    def galois_elt_for_step(self, step: int) -> int:
+        """Galois element implementing a left row-rotation by ``step``."""
+        row = self.params.n // 2
+        return pow(3, step % row, 2 * self.params.n)
+
+    def _make_keyswitch_key(self, secret: SecretKey, galois_elt: int) -> KeySwitchKey:
+        params = self.params
+        q = params.coeff_modulus
+        rotated_secret = galois_automorphism_coeffs(
+            secret.coeffs.astype(object) % q, galois_elt, q
+        )
+        rotated_poly = RnsPolynomial.from_bigint_coeffs(
+            params.coeff_basis, rotated_secret
+        ).to_eval(self.contexts)
+        pairs = []
+        base_power = 1
+        for _ in range(params.l_ct):
+            a = self._sample_uniform_eval()
+            e = self._small_to_eval(self._sample_error())
+            body = (
+                a.pointwise(secret.eval_poly, self.contexts)
+                .add(e)
+                .neg()
+                .add(rotated_poly.scalar_multiply(base_power))
+            )
+            pairs.append((body, a))
+            base_power = base_power * params.a_dcmp % q
+        return KeySwitchKey(pairs=pairs, base_bits=params.a_dcmp_bits)
+
+    # -- encryption / decryption ---------------------------------------------
+
+    def encrypt(self, plaintext: Plaintext, public: PublicKey) -> Ciphertext:
+        params = self.params
+        u = self._small_to_eval(self._sample_ternary())
+        e0 = self._sample_error()
+        e1 = self._sample_error()
+        delta_m = self._delta_times_message(plaintext)
+        c0 = (
+            public.p0.pointwise(u, self.contexts)
+            .add(self._small_to_eval(e0))
+            .add(delta_m)
+        )
+        c1 = public.p1.pointwise(u, self.contexts).add(self._small_to_eval(e1))
+        return Ciphertext(c0, c1)
+
+    def _delta_times_message(self, plaintext: Plaintext) -> RnsPolynomial:
+        params = self.params
+        coeffs = np.asarray(plaintext.coeffs, dtype=object) % params.plain_modulus
+        scaled = (coeffs * params.delta) % params.coeff_modulus
+        poly = RnsPolynomial.from_bigint_coeffs(params.coeff_basis, scaled)
+        return poly.to_eval(self.contexts)
+
+    def encrypt_windowed(
+        self, values: np.ndarray, public: PublicKey, num_windows: int
+    ) -> list[Ciphertext]:
+        """Gazelle input windowing: encryptions of x * Wdcmp**i mod t.
+
+        The Sched-IA baseline consumes these so each weight window
+        multiplication only injects ``Wdcmp``-bounded noise.
+        """
+        t = self.params.plain_modulus
+        w_base = self.params.w_dcmp
+        values = np.asarray(values, dtype=np.int64)
+        ciphertexts = []
+        scale = 1
+        for _ in range(num_windows):
+            scaled = (values.astype(object) * scale) % t
+            pt = self.encoder.encode(scaled.astype(np.int64))
+            ciphertexts.append(self.encrypt(pt, public))
+            scale = scale * w_base % t
+        return ciphertexts
+
+    def decrypt(self, ct: Ciphertext, secret: SecretKey) -> Plaintext:
+        w = self._raw_decrypt(ct, secret)
+        params = self.params
+        t, q = params.plain_modulus, params.coeff_modulus
+        message = ((w * t * 2 + q) // (2 * q)) % t
+        return Plaintext(message.astype(np.int64))
+
+    def _raw_decrypt(self, ct: Ciphertext, secret: SecretKey) -> np.ndarray:
+        """Return (c0 + c1 * s) mod q as big-integer coefficients."""
+        combined = ct.c0.add(ct.c1.pointwise(secret.eval_poly, self.contexts))
+        return combined.bigint_coeffs(self.contexts)
+
+    # -- HE operators ---------------------------------------------------------
+
+    def add(self, a: Ciphertext, b: Ciphertext) -> Ciphertext:
+        GLOBAL_COUNTERS.he_add += 1
+        return Ciphertext(a.c0.add(b.c0), a.c1.add(b.c1))
+
+    def sub(self, a: Ciphertext, b: Ciphertext) -> Ciphertext:
+        GLOBAL_COUNTERS.he_add += 1
+        return Ciphertext(a.c0.sub(b.c0), a.c1.sub(b.c1))
+
+    def add_plain(self, ct: Ciphertext, plaintext: Plaintext) -> Ciphertext:
+        GLOBAL_COUNTERS.he_add += 1
+        return Ciphertext(ct.c0.add(self._delta_times_message(plaintext)), ct.c1.copy())
+
+    def encode_for_mul(self, plaintext: Plaintext) -> EvalPlaintext:
+        """Lift a plaintext into the q-prime evaluation domain (offline)."""
+        rows = [
+            context.forward(plaintext.coeffs % context.modulus, count_ops=False)
+            for context in self.contexts
+        ]
+        poly = RnsPolynomial(
+            self.params.coeff_basis, np.stack(rows), Domain.EVAL
+        )
+        return EvalPlaintext(poly)
+
+    def mul_plain(self, ct: Ciphertext, plain: EvalPlaintext) -> Ciphertext:
+        """HE_Mult (pt-ct): element-wise products, no NTTs (Section III-B1)."""
+        GLOBAL_COUNTERS.he_mult += 1
+        c0 = ct.c0.pointwise(plain.poly, self.contexts)
+        c1 = ct.c1.pointwise(plain.poly, self.contexts)
+        return Ciphertext(c0, c1)
+
+    def encode_coeffs_for_mul(self, coeffs: np.ndarray) -> EvalPlaintext:
+        """Lift raw polynomial coefficients (mod t digits) to the eval domain."""
+        coeffs = np.asarray(coeffs, dtype=np.int64)
+        rows = [
+            context.forward(coeffs % context.modulus, count_ops=False)
+            for context in self.contexts
+        ]
+        poly = RnsPolynomial(self.params.coeff_basis, np.stack(rows), Domain.EVAL)
+        return EvalPlaintext(poly)
+
+    def mul_plain_windowed(
+        self, ct_windows: list[Ciphertext], plaintext: Plaintext
+    ) -> Ciphertext:
+        """Gazelle's windowed pt-ct multiplication (Section III-B2).
+
+        The plaintext polynomial's coefficients are digit-decomposed in
+        base Wdcmp into l_pt small-coefficient windows; window i multiplies
+        the client-supplied encryption of ``Wdcmp**i * x``.  Noise per
+        window is bounded by n * Wdcmp * v / 2 instead of n * t * v / 2
+        (Table III), at the cost of l_pt polynomial products.
+        """
+        params = self.params
+        if len(ct_windows) != params.l_pt:
+            raise ValueError(
+                f"expected {params.l_pt} windowed ciphertexts, got {len(ct_windows)}"
+            )
+        coeffs = np.asarray(plaintext.coeffs, dtype=object) % params.plain_modulus
+        digits = digit_decompose(coeffs, params.w_dcmp_bits, params.l_pt)
+        result: Ciphertext | None = None
+        for digit, window_ct in zip(digits, ct_windows):
+            plain = self.encode_coeffs_for_mul(digit.astype(np.int64))
+            term = self.mul_plain(window_ct, plain)
+            result = term if result is None else self.add(result, term)
+        return result
+
+    def rotate_rows(self, ct: Ciphertext, step: int, galois_keys: GaloisKeys) -> Ciphertext:
+        """HE_Rotate: cyclic left rotation of each slot row by ``step``."""
+        return self.apply_galois(ct, self.galois_elt_for_step(step), galois_keys)
+
+    def rotate_columns(self, ct: Ciphertext, galois_keys: GaloisKeys) -> Ciphertext:
+        return self.apply_galois(ct, 2 * self.params.n - 1, galois_keys)
+
+    def apply_galois(
+        self, ct: Ciphertext, galois_elt: int, galois_keys: GaloisKeys
+    ) -> Ciphertext:
+        GLOBAL_COUNTERS.he_rotate += 1
+        params = self.params
+        ksk = galois_keys.key_for(galois_elt)
+        eval_map = self._galois_eval_maps.get(galois_elt)
+        if eval_map is None:
+            eval_map = eval_domain_galois_map(params.n, galois_elt)
+            self._galois_eval_maps[galois_elt] = eval_map
+
+        # c0 transforms by a pure slot permutation in the evaluation domain.
+        c0_rotated = ct.c0.permute(eval_map)
+
+        # c1 requires key switching: INTT -> automorphism -> digit
+        # decomposition -> per-digit NTT -> SIMD multiply -> accumulate.
+        c1_coeffs = ct.c1.bigint_coeffs(self.contexts)
+        c1_rotated = galois_automorphism_coeffs(
+            c1_coeffs, galois_elt, params.coeff_modulus
+        )
+        digits = digit_decompose(c1_rotated, params.a_dcmp_bits, params.l_ct)
+        acc0 = RnsPolynomial.zero(params.coeff_basis, params.n)
+        acc1 = RnsPolynomial.zero(params.coeff_basis, params.n)
+        for digit, (body, a) in zip(digits, ksk.pairs):
+            digit_poly = RnsPolynomial.from_bigint_coeffs(
+                params.coeff_basis, digit
+            ).to_eval(self.contexts)
+            acc0 = acc0.add(digit_poly.pointwise(body, self.contexts))
+            acc1 = acc1.add(digit_poly.pointwise(a, self.contexts))
+        return Ciphertext(c0_rotated.add(acc0), acc1)
+
+    # -- hoisted rotations -------------------------------------------------------
+
+    def hoist(self, ct: Ciphertext) -> "HoistedCiphertext":
+        """Precompute the key-switching digit decomposition of a ciphertext.
+
+        Gazelle's hoisting optimization: when the same ciphertext is
+        rotated by many steps (every dot-product schedule does this), the
+        expensive INTT + digit decomposition + per-digit NTT pipeline can
+        run once and be shared, because the Galois automorphism is a ring
+        automorphism and therefore commutes with the base-B gadget:
+        ``sigma_g(sum_i d_i B^i) = sum_i sigma_g(d_i) B^i`` with
+        ``sigma_g(d_i)`` still B-bounded.  Each subsequent rotation is
+        then only slot permutations plus 2*l_ct SIMD multiplies.
+        """
+        params = self.params
+        c1_coeffs = ct.c1.bigint_coeffs(self.contexts)
+        digits = digit_decompose(c1_coeffs, params.a_dcmp_bits, params.l_ct)
+        digit_polys = [
+            RnsPolynomial.from_bigint_coeffs(params.coeff_basis, digit).to_eval(
+                self.contexts
+            )
+            for digit in digits
+        ]
+        return HoistedCiphertext(c0=ct.c0.copy(), digit_polys=digit_polys)
+
+    def rotate_rows_hoisted(
+        self, hoisted: "HoistedCiphertext", step: int, galois_keys: GaloisKeys
+    ) -> Ciphertext:
+        """Rotate using a precomputed decomposition (no NTTs on this path)."""
+        return self._apply_galois_hoisted(
+            hoisted, self.galois_elt_for_step(step), galois_keys
+        )
+
+    def _apply_galois_hoisted(
+        self, hoisted: "HoistedCiphertext", galois_elt: int, galois_keys: GaloisKeys
+    ) -> Ciphertext:
+        GLOBAL_COUNTERS.he_rotate += 1
+        params = self.params
+        ksk = galois_keys.key_for(galois_elt)
+        eval_map = self._galois_eval_maps.get(galois_elt)
+        if eval_map is None:
+            eval_map = eval_domain_galois_map(params.n, galois_elt)
+            self._galois_eval_maps[galois_elt] = eval_map
+        c0_rotated = hoisted.c0.permute(eval_map)
+        acc0 = RnsPolynomial.zero(params.coeff_basis, params.n)
+        acc1 = RnsPolynomial.zero(params.coeff_basis, params.n)
+        for digit_poly, (body, a) in zip(hoisted.digit_polys, ksk.pairs):
+            rotated_digit = digit_poly.permute(eval_map)
+            acc0 = acc0.add(rotated_digit.pointwise(body, self.contexts))
+            acc1 = acc1.add(rotated_digit.pointwise(a, self.contexts))
+        return Ciphertext(c0_rotated.add(acc0), acc1)
+
+    # -- convenience -----------------------------------------------------------
+
+    def encrypt_values(self, values: np.ndarray, public: PublicKey) -> Ciphertext:
+        return self.encrypt(self.encoder.encode(values), public)
+
+    def decrypt_values(
+        self, ct: Ciphertext, secret: SecretKey, signed: bool = True
+    ) -> np.ndarray:
+        return self.encoder.decode(self.decrypt(ct, secret), signed=signed)
+
+
+def required_rotation_steps(count: int) -> list[int]:
+    """The distinct positive rotation steps {1 .. count}."""
+    return list(range(1, count + 1))
+
+
+def expected_digit_count(params: BfvParameters) -> int:
+    """l_ct as derived from the live modulus (sanity cross-check)."""
+    return digit_count(params.coeff_modulus, params.a_dcmp_bits)

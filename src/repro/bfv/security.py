@@ -1,0 +1,61 @@
+"""RLWE security estimation for BFV parameter selection.
+
+HE-PTune's design-space exploration must reject parameter sets that are
+fast but insecure.  We use the homomorphic-encryption-standard table of
+maximum coefficient-modulus bits per ring dimension at fixed security
+levels (ternary secret, sigma = 3.2), the same reference SEAL and Gazelle
+provision from.  Between table entries the maximum log q scales linearly
+in n, which is the first-order behaviour of lattice-estimator output.
+"""
+
+from __future__ import annotations
+
+# HE standard (2018): max log2(q) for ternary-secret RLWE at each ring
+# dimension and classical security level.
+_MAX_LOGQ = {
+    128: {1024: 27, 2048: 54, 4096: 109, 8192: 218, 16384: 438, 32768: 881},
+    192: {1024: 19, 2048: 37, 4096: 75, 8192: 152, 16384: 305, 32768: 611},
+    256: {1024: 14, 2048: 29, 4096: 58, 8192: 118, 16384: 237, 32768: 476},
+}
+
+SUPPORTED_SECURITY_LEVELS = tuple(sorted(_MAX_LOGQ))
+
+
+def max_coeff_modulus_bits(n: int, security_level: int = 128) -> int:
+    """Maximum total log2(q) for ring dimension n at a security level."""
+    try:
+        table = _MAX_LOGQ[security_level]
+    except KeyError:
+        raise ValueError(
+            f"security level must be one of {SUPPORTED_SECURITY_LEVELS}"
+        ) from None
+    if n in table:
+        return table[n]
+    if n < min(table) or n > max(table):
+        raise ValueError(f"ring dimension {n} outside supported range")
+    # log q budget is linear in n to first order; interpolate between the
+    # bracketing powers of two.
+    lower = max(size for size in table if size < n)
+    upper = min(size for size in table if size > n)
+    fraction = (n - lower) / (upper - lower)
+    return int(table[lower] + fraction * (table[upper] - table[lower]))
+
+
+def is_secure(n: int, coeff_modulus_bits: int, security_level: int = 128) -> bool:
+    """True if (n, log q) meets the requested classical security level."""
+    return coeff_modulus_bits <= max_coeff_modulus_bits(n, security_level)
+
+
+def estimated_security_level(n: int, coeff_modulus_bits: int) -> int:
+    """Best standard security level met by (n, log q); 0 if below 128.
+
+    Dimensions outside the standard's table (e.g. toy test rings) are
+    reported as insecure rather than raising.
+    """
+    for level in sorted(_MAX_LOGQ, reverse=True):
+        try:
+            if is_secure(n, coeff_modulus_bits, level):
+                return level
+        except ValueError:
+            return 0
+    return 0

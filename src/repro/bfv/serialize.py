@@ -1,0 +1,160 @@
+"""Serialization for parameters, plaintexts and ciphertexts.
+
+The Gazelle protocol ships ciphertexts over the network every layer;
+this module provides the wire format: a small JSON header (so the peer
+can validate parameter compatibility) followed by little-endian int64
+residue data.  Sizes match :func:`repro.protocol.messages.ciphertext_bytes`
+up to the header.
+"""
+
+from __future__ import annotations
+
+import json
+import struct
+
+import numpy as np
+
+from .encoder import Plaintext
+from .params import BfvParameters
+from .polynomial import Domain, RnsPolynomial
+from .rns import RnsBasis
+from .scheme import Ciphertext
+
+_MAGIC = b"RPRO"
+
+
+def params_to_dict(params: BfvParameters) -> dict:
+    """JSON-safe description sufficient to reconstruct the parameters."""
+    return {
+        "n": params.n,
+        "plain_modulus": params.plain_modulus,
+        "coeff_primes": list(params.coeff_basis.primes),
+        "w_dcmp_bits": params.w_dcmp_bits,
+        "a_dcmp_bits": params.a_dcmp_bits,
+        "sigma": params.sigma,
+    }
+
+
+def params_from_dict(data: dict, require_security: bool = False) -> BfvParameters:
+    return BfvParameters(
+        n=int(data["n"]),
+        plain_modulus=int(data["plain_modulus"]),
+        coeff_basis=RnsBasis([int(p) for p in data["coeff_primes"]]),
+        w_dcmp_bits=int(data["w_dcmp_bits"]),
+        a_dcmp_bits=int(data["a_dcmp_bits"]),
+        sigma=float(data["sigma"]),
+        require_security=require_security,
+    )
+
+
+def _pack(header: dict, arrays: list[np.ndarray]) -> bytes:
+    header_bytes = json.dumps(header, sort_keys=True).encode()
+    chunks = [_MAGIC, struct.pack("<I", len(header_bytes)), header_bytes]
+    for array in arrays:
+        chunks.append(np.ascontiguousarray(array, dtype="<i8").tobytes())
+    return b"".join(chunks)
+
+
+def _unpack(blob: bytes) -> tuple[dict, memoryview]:
+    if blob[:4] != _MAGIC:
+        raise ValueError("not a repro-serialized object")
+    (header_len,) = struct.unpack_from("<I", blob, 4)
+    header = json.loads(blob[8 : 8 + header_len].decode())
+    return header, memoryview(blob)[8 + header_len :]
+
+
+def serialize_plaintext(plaintext: Plaintext) -> bytes:
+    header = {"kind": "plaintext", "n": int(plaintext.coeffs.shape[0])}
+    return _pack(header, [plaintext.coeffs])
+
+
+def deserialize_plaintext(blob: bytes) -> Plaintext:
+    header, body = _unpack(blob)
+    if header["kind"] != "plaintext":
+        raise ValueError(f"expected plaintext, got {header['kind']!r}")
+    coeffs = np.frombuffer(body, dtype="<i8", count=header["n"])
+    return Plaintext(coeffs.copy())
+
+
+def serialize_ciphertext(ct: Ciphertext, params: BfvParameters) -> bytes:
+    header = {
+        "kind": "ciphertext",
+        "n": params.n,
+        "limbs": params.coeff_basis.count,
+        "params": params_to_dict(params),
+    }
+    return _pack(header, [ct.c0.data, ct.c1.data])
+
+
+def deserialize_ciphertext(blob: bytes, params: BfvParameters) -> Ciphertext:
+    header, body = _unpack(blob)
+    if header["kind"] != "ciphertext":
+        raise ValueError(f"expected ciphertext, got {header['kind']!r}")
+    if header["params"]["coeff_primes"] != list(params.coeff_basis.primes):
+        raise ValueError("ciphertext was produced under different parameters")
+    limbs, n = header["limbs"], header["n"]
+    count = limbs * n
+    c0 = np.frombuffer(body, dtype="<i8", count=count).reshape(limbs, n)
+    c1 = np.frombuffer(body[count * 8 :], dtype="<i8", count=count).reshape(limbs, n)
+    return Ciphertext(
+        RnsPolynomial(params.coeff_basis, c0.copy(), Domain.EVAL),
+        RnsPolynomial(params.coeff_basis, c1.copy(), Domain.EVAL),
+    )
+
+
+def ciphertext_wire_bytes(params: BfvParameters) -> int:
+    """Exact serialized ciphertext size (data only, excluding header)."""
+    return 2 * params.coeff_basis.count * params.n * 8
+
+
+def serialize_galois_keys(keys, params: BfvParameters) -> bytes:
+    """Serialize Galois keys (the client ships these to the cloud once)."""
+    from .keys import GaloisKeys
+
+    if not isinstance(keys, GaloisKeys):
+        raise TypeError("expected GaloisKeys")
+    elements = sorted(keys.keys)
+    header = {
+        "kind": "galois_keys",
+        "n": params.n,
+        "limbs": params.coeff_basis.count,
+        "elements": elements,
+        "pairs_per_key": params.l_ct,
+        "base_bits": params.a_dcmp_bits,
+        "params": params_to_dict(params),
+    }
+    arrays = []
+    for element in elements:
+        for body, a in keys.keys[element].pairs:
+            arrays.append(body.data)
+            arrays.append(a.data)
+    return _pack(header, arrays)
+
+
+def deserialize_galois_keys(blob: bytes, params: BfvParameters):
+    from .keys import GaloisKeys, KeySwitchKey
+
+    header, body = _unpack(blob)
+    if header["kind"] != "galois_keys":
+        raise ValueError(f"expected galois keys, got {header['kind']!r}")
+    if header["params"]["coeff_primes"] != list(params.coeff_basis.primes):
+        raise ValueError("keys were produced under different parameters")
+    limbs, n = header["limbs"], header["n"]
+    count = limbs * n
+    offset = 0
+
+    def next_poly() -> RnsPolynomial:
+        nonlocal offset
+        data = np.frombuffer(body[offset * 8 :], dtype="<i8", count=count)
+        offset += count
+        return RnsPolynomial(
+            params.coeff_basis, data.reshape(limbs, n).copy(), Domain.EVAL
+        )
+
+    keys = GaloisKeys()
+    for element in header["elements"]:
+        pairs = [
+            (next_poly(), next_poly()) for _ in range(header["pairs_per_key"])
+        ]
+        keys.keys[element] = KeySwitchKey(pairs=pairs, base_bits=header["base_bits"])
+    return keys

@@ -1,0 +1,149 @@
+"""Command-line interface: ``python -m repro <command>``.
+
+Commands
+--------
+``models``
+    List the evaluation model zoo with layer counts and MACs.
+``tune MODEL``
+    Run HE-PTune + Sched-PA on a model and print per-layer parameters.
+``speedups [MODEL ...]``
+    The Figure 6 comparison (Gazelle vs HE-PTune vs Cheetah).
+``accelerate MODEL``
+    Full flow: tuning, profiling, limit study, accelerator DSE.
+``params N PLAIN_BITS COEFF_BITS``
+    Inspect a BFV parameter set (security, digits, noise capacity).
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+
+from . import CheetahFramework
+from .bfv import BfvParameters
+from .core.baselines import FleetSummary, speedup_report
+from .core.ptune import HePTune
+from .nn.models import MODEL_BUILDERS, all_models, build_model
+
+
+def _cmd_models(_args) -> int:
+    print(f"{'model':<14}{'convs':>7}{'fcs':>5}{'MACs':>14}")
+    for network in all_models():
+        print(
+            f"{network.name:<14}{len(network.conv_layers):>7}"
+            f"{len(network.fc_layers):>5}{network.total_macs:>14,}"
+        )
+    return 0
+
+
+def _cmd_tune(args) -> int:
+    network = build_model(args.model)
+    tuner = HePTune()
+    print(f"{'layer':<16}{'n':>7}{'log t':>7}{'log q':>7}{'Adcmp':>7}{'budget':>8}")
+    for tuned in tuner.tune_network(network):
+        p = tuned.params
+        print(
+            f"{tuned.layer.name:<16}{p.n:>7}{p.plain_bits:>7}{p.coeff_bits:>7}"
+            f"{f'2^{p.a_dcmp_bits}':>7}{tuned.noise.budget_bits:>7.1f}b"
+        )
+    return 0
+
+
+def _cmd_speedups(args) -> int:
+    names = args.models or list(MODEL_BUILDERS)
+    reports = []
+    print(f"{'model':<14}{'HE-PTune':>10}{'+Sched-PA':>11}{'combined':>10}")
+    for name in names:
+        report = speedup_report(build_model(name))
+        reports.append(report)
+        print(
+            f"{name:<14}{report.ptune_speedup:>9.2f}x"
+            f"{report.sched_pa_speedup:>10.2f}x{report.cheetah_speedup:>9.2f}x"
+        )
+    if len(reports) > 1:
+        summary = FleetSummary(reports)
+        print(f"harmonic mean combined: {summary.combined_harmonic_mean():.2f}x")
+    return 0
+
+
+def _cmd_accelerate(args) -> int:
+    framework = CheetahFramework(target_latency_s=args.target_ms / 1000.0)
+    result = framework.run(args.model)
+    print(result.summary())
+    selected = result.selected_design
+    print(f"  IO utilization: {selected.io_utilization * 100:.0f}%")
+    for kernel, factor in sorted(result.limit.speedups.items(), key=lambda kv: -kv[1]):
+        print(f"  {kernel} speedup needed: {factor}x")
+    return 0
+
+
+def _cmd_report(args) -> int:
+    from .reporting import write_report
+
+    payload = write_report(args.out, args.models or None)
+    print(f"wrote {args.out} with {len(payload)} experiment sections")
+    return 0
+
+
+def _cmd_params(args) -> int:
+    params = BfvParameters.create(
+        n=args.n,
+        plain_bits=args.plain_bits,
+        coeff_bits=args.coeff_bits,
+        require_security=False,
+    )
+    print(params.describe())
+    print(f"noise capacity: {params.noise_capacity_bits:.1f} bits")
+    print(f"slots: {params.slot_count} ({params.row_size} per row)")
+    if params.security_level == 0:
+        print("WARNING: below 128-bit security")
+    return 0
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro", description="Cheetah (HPCA 2021) reproduction toolkit"
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    sub.add_parser("models", help="list the evaluation model zoo")
+
+    tune = sub.add_parser("tune", help="per-layer HE-PTune parameters")
+    tune.add_argument("model", choices=sorted(MODEL_BUILDERS))
+
+    speedups = sub.add_parser("speedups", help="Figure 6 comparison")
+    speedups.add_argument("models", nargs="*")
+
+    accelerate = sub.add_parser("accelerate", help="full Cheetah flow")
+    accelerate.add_argument("model", choices=sorted(MODEL_BUILDERS))
+    accelerate.add_argument("--target-ms", type=float, default=100.0)
+
+    report = sub.add_parser("report", help="export experiment results as JSON")
+    report.add_argument("--out", default="cheetah_results.json")
+    report.add_argument("models", nargs="*")
+
+    params = sub.add_parser("params", help="inspect a BFV parameter set")
+    params.add_argument("n", type=int)
+    params.add_argument("plain_bits", type=int)
+    params.add_argument("coeff_bits", type=int)
+
+    return parser
+
+
+_COMMANDS = {
+    "models": _cmd_models,
+    "report": _cmd_report,
+    "tune": _cmd_tune,
+    "speedups": _cmd_speedups,
+    "accelerate": _cmd_accelerate,
+    "params": _cmd_params,
+}
+
+
+def main(argv: list[str] | None = None) -> int:
+    args = build_parser().parse_args(argv)
+    return _COMMANDS[args.command](args)
+
+
+if __name__ == "__main__":
+    sys.exit(main())

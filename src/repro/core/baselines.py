@@ -1,0 +1,173 @@
+"""The three system configurations compared throughout the paper.
+
+* **Gazelle** (baseline): Sched-IA dot products, one global HE parameter
+  set shared by every layer, plaintext windowing + ciphertext
+  decomposition.
+* **HE-PTune**: Sched-IA dot products, per-layer tuned parameters.
+* **HE-PTune + Sched-PA** (Cheetah): partial-aligned dot products with
+  per-layer tuned parameters and no plaintext decomposition.
+
+Speedups are ratios of total integer multiplications, the paper's
+performance currency (Figure 6).
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+from ..nn.models import MNIST_MODELS, Network
+from .noise_model import NoiseMode, Schedule
+from .ptune import HePTune, SearchSpace, TunedLayer
+
+
+@dataclass(frozen=True)
+class SystemConfig:
+    """One fully tuned system configuration for a model."""
+
+    name: str
+    network: Network
+    tuned_layers: list[TunedLayer]
+
+    @property
+    def total_int_mults(self) -> int:
+        return sum(layer.int_mults for layer in self.tuned_layers)
+
+    @property
+    def per_layer_int_mults(self) -> list[int]:
+        return [layer.int_mults for layer in self.tuned_layers]
+
+
+@dataclass(frozen=True)
+class SpeedupReport:
+    """Gazelle vs HE-PTune vs Cheetah for one model (a Figure 6 group)."""
+
+    network: Network
+    gazelle: SystemConfig
+    ptune: SystemConfig
+    cheetah: SystemConfig
+
+    @property
+    def ptune_speedup(self) -> float:
+        return self.gazelle.total_int_mults / self.ptune.total_int_mults
+
+    @property
+    def cheetah_speedup(self) -> float:
+        return self.gazelle.total_int_mults / self.cheetah.total_int_mults
+
+    @property
+    def sched_pa_speedup(self) -> float:
+        """Additional speedup from Sched-PA on top of HE-PTune."""
+        return self.ptune.total_int_mults / self.cheetah.total_int_mults
+
+    def per_layer_speedups(self) -> list[float]:
+        return [
+            g / c
+            for g, c in zip(
+                self.gazelle.per_layer_int_mults, self.cheetah.per_layer_int_mults
+            )
+        ]
+
+
+#: Gazelle's fixed plaintext windowing base (10-bit windows).
+GAZELLE_W_DCMP_BITS = 10
+
+#: Gazelle's fixed ciphertext (rotation key) decomposition base.  Chosen
+#: worst-case-safe and small; Cheetah's tuned bases come out "8 to 16 more
+#: bits" (Section V-C).
+GAZELLE_A_DCMP_BITS = 7
+
+
+def gazelle_search_space() -> SearchSpace:
+    """Gazelle's parameter freedom: n and q only, bases hard-coded."""
+    return SearchSpace(
+        a_dcmp_bits_options=(GAZELLE_A_DCMP_BITS,),
+        w_dcmp_bits_options=(GAZELLE_W_DCMP_BITS,),
+        allow_no_windowing=False,
+    )
+
+
+def gazelle_configuration(
+    network: Network, space: SearchSpace | None = None, mode: NoiseMode = NoiseMode.WORST
+) -> SystemConfig:
+    """The state-of-the-art baseline the paper measures against.
+
+    Gazelle provisions one parameter set for the whole network using
+    worst-case noise bounds ("existing solutions rely on over-provisioning
+    noise budgets", Section IV), input-aligned scheduling, and its
+    implementation's fixed decomposition bases.
+    """
+    tuner = HePTune(
+        space=space or gazelle_search_space(), schedule=Schedule.INPUT_ALIGNED, mode=mode
+    )
+    return SystemConfig("Gazelle", network, tuner.tune_network_global(network))
+
+
+def ptune_configuration(
+    network: Network, space: SearchSpace | None = None, mode: NoiseMode = NoiseMode.PRACTICAL
+) -> SystemConfig:
+    """HE-PTune alone: per-layer tuning of Gazelle's Sched-IA kernels.
+
+    The middle bar of Figure 6.  HE-PTune tunes ring dimension, moduli
+    and the plaintext window (a runtime parameter of Gazelle's windowed
+    multiplication) per layer with the practical noise model.  The
+    ciphertext decomposition base stays at Gazelle's value: it is baked
+    into the rotation-key structure, and only Sched-PA's reordering makes
+    large bases noise-feasible.
+    """
+    middle_space = space or SearchSpace(
+        a_dcmp_bits_options=(GAZELLE_A_DCMP_BITS,),
+        allow_no_windowing=False,
+    )
+    tuner = HePTune(space=middle_space, schedule=Schedule.INPUT_ALIGNED, mode=mode)
+    return SystemConfig("HE-PTune", network, tuner.tune_network(network))
+
+
+def cheetah_configuration(
+    network: Network, space: SearchSpace | None = None, mode: NoiseMode = NoiseMode.PRACTICAL
+) -> SystemConfig:
+    tuner = HePTune(space=space, schedule=Schedule.PARTIAL_ALIGNED, mode=mode)
+    return SystemConfig("HE-PTune+Sched-PA", network, tuner.tune_network(network))
+
+
+def speedup_report(network: Network, space: SearchSpace | None = None) -> SpeedupReport:
+    """Full three-way comparison for one model."""
+    return SpeedupReport(
+        network=network,
+        gazelle=gazelle_configuration(network),
+        ptune=ptune_configuration(network, space),
+        cheetah=cheetah_configuration(network, space),
+    )
+
+
+def harmonic_mean(values: list[float]) -> float:
+    if not values:
+        raise ValueError("harmonic mean of empty sequence")
+    return len(values) / sum(1.0 / v for v in values)
+
+
+@dataclass(frozen=True)
+class FleetSummary:
+    """Figure 6 summary statistics across the model zoo."""
+
+    reports: list[SpeedupReport]
+
+    def _subset(self, include_mnist: bool) -> list[SpeedupReport]:
+        if include_mnist:
+            return list(self.reports)
+        return [r for r in self.reports if r.network.name not in MNIST_MODELS]
+
+    def ptune_harmonic_mean(self, include_mnist: bool = True) -> float:
+        return harmonic_mean([r.ptune_speedup for r in self._subset(include_mnist)])
+
+    def sched_pa_harmonic_mean(self, include_mnist: bool = True) -> float:
+        return harmonic_mean([r.sched_pa_speedup for r in self._subset(include_mnist)])
+
+    def combined_harmonic_mean(self, include_mnist: bool = True) -> float:
+        return harmonic_mean([r.cheetah_speedup for r in self._subset(include_mnist)])
+
+    def max_combined_speedup(self) -> float:
+        return max(r.cheetah_speedup for r in self.reports)
+
+    def max_sched_pa_speedup(self) -> float:
+        return max(r.sched_pa_speedup for r in self.reports)

@@ -1,0 +1,44 @@
+"""Decryption-failure probability analysis (Section IV-B).
+
+The paper observes that the accumulated noise Y is an independent bounded
+discrete Gaussian, so the failure probability is bounded by
+
+    Pr(|Y| >= q / 2t) <= 2 exp(-q^2 / (4 t^2 sigma_Y^2)).
+
+Cheetah inverts this: it picks a scaling (tail) factor ``z`` on the noise
+standard deviation such that the decryption failure rate is provably
+below 1e-10 -- "negligible as it is much lower than the DNN's
+misclassification rate".
+"""
+
+from __future__ import annotations
+
+import math
+
+
+def failure_probability(q: int, t: int, sigma_y: float) -> float:
+    """Paper's bound: Pr(|Y| >= q/2t) <= 2 exp(-q^2 / (4 t^2 sigma_Y^2))."""
+    if sigma_y <= 0:
+        return 0.0
+    ratio = q / (2.0 * t * sigma_y)
+    # 2 exp(-q^2 / (4 t^2 sigma^2)) = 2 exp(-ratio^2); guard overflow.
+    exponent = -(ratio * ratio)
+    if exponent < -745.0:  # below double-precision underflow
+        return 0.0
+    return min(1.0, 2.0 * math.exp(exponent))
+
+
+def tail_factor(target_probability: float = 1e-10) -> float:
+    """Multiples of sigma_Y for which the failure bound meets the target.
+
+    Solves 2 exp(-z^2) <= p for z (the paper's scaling factor c applied to
+    the variance-based noise estimates).
+    """
+    if not 0.0 < target_probability < 1.0:
+        raise ValueError("target probability must be in (0, 1)")
+    return math.sqrt(math.log(2.0 / target_probability))
+
+
+def max_noise_std(q: int, t: int, target_probability: float = 1e-10) -> float:
+    """Largest output-noise standard deviation meeting the failure target."""
+    return q / (2.0 * t * tail_factor(target_probability))

@@ -1,0 +1,88 @@
+"""The end-to-end Cheetah framework (Figure 1).
+
+``CheetahFramework`` wires the full pipeline together: model in ->
+HE-PTune per-layer parameters (with Sched-PA) -> speedup vs the Gazelle
+baseline -> software kernel profile -> accelerator design-space
+exploration sized to a target latency.  This is the one-call entry point
+a downstream user reaches for; each stage is also usable on its own.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..accel.dse import DseResult, accelerator_dse
+from ..accel.simulator import AcceleratorReport
+from ..nn.models import Network, build_model
+from ..profiling.limit_study import LimitStudyResult, limit_study
+from ..profiling.profiler import KernelBreakdown, network_profile
+from .baselines import SpeedupReport, speedup_report
+from .ptune import TunedLayer
+
+
+@dataclass
+class CheetahResult:
+    """Everything the framework produces for one model."""
+
+    network: Network
+    speedups: SpeedupReport
+    tuned_layers: list[TunedLayer]
+    profile: KernelBreakdown
+    limit: LimitStudyResult
+    dse: DseResult
+    selected_design: AcceleratorReport
+
+    def summary(self) -> str:
+        sel = self.selected_design
+        return (
+            f"{self.network.name}: "
+            f"HE-PTune {self.speedups.ptune_speedup:.1f}x, "
+            f"+Sched-PA {self.speedups.sched_pa_speedup:.1f}x, "
+            f"combined {self.speedups.cheetah_speedup:.1f}x over Gazelle; "
+            f"accelerator {sel.config.num_pes} PEs x {sel.config.lanes_per_pe} "
+            f"lanes: {sel.latency_ms:.0f} ms, {sel.power_w_5nm:.1f} W, "
+            f"{sel.area_mm2_5nm:.0f} mm^2 (5 nm)"
+        )
+
+
+class CheetahFramework:
+    """Run the full Cheetah flow for a model (Figure 1's outer loop)."""
+
+    def __init__(
+        self,
+        target_latency_s: float = 0.1,
+        reference_cpu_seconds: float = 970.0,
+    ):
+        """
+        Parameters
+        ----------
+        target_latency_s:
+            Plaintext-equivalent latency target (the paper's 100 ms
+            ResNet50 Keras baseline).
+        reference_cpu_seconds:
+            Software HE inference run time used for the limit study (the
+            paper measured 970 s for ResNet50 on a Xeon E5-2667).
+        """
+        self.target_latency_s = target_latency_s
+        self.reference_cpu_seconds = reference_cpu_seconds
+
+    def run(self, network: Network | str) -> CheetahResult:
+        if isinstance(network, str):
+            network = build_model(network)
+        speedups = speedup_report(network)
+        tuned = speedups.cheetah.tuned_layers
+        profile = network_profile(tuned)
+        limit = limit_study(
+            profile, self.reference_cpu_seconds, self.target_latency_s
+        )
+        dse = accelerator_dse(tuned)
+        selected = dse.select_for_latency(self.target_latency_s)
+        return CheetahResult(
+            network=network,
+            speedups=speedups,
+            tuned_layers=tuned,
+            profile=profile,
+            limit=limit,
+            dse=dse,
+            selected_design=selected,
+        )

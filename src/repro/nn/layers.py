@@ -1,0 +1,98 @@
+"""Layer descriptors for the DNN workloads Cheetah evaluates.
+
+HE-PTune parameterises CNN layers as ``(w, fw, ci, co)`` -- input image
+width, filter width, input channels, output channels -- and FC layers as
+``(ni, no)`` (Section IV-A).  Strided convolutions are folded into the
+effective image width the HE schedule sees (the number of output pixels
+drives packing and rotation counts), which is how Gazelle lowers strides
+as well.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+
+@dataclass(frozen=True)
+class ConvLayer:
+    """A convolutional layer as seen by the HE scheduler."""
+
+    name: str
+    w: int  # input spatial width (square images)
+    fw: int  # filter width (square filters)
+    ci: int  # input channels
+    co: int  # output channels
+    stride: int = 1
+    padding: int = 0
+
+    @property
+    def out_w(self) -> int:
+        return (self.w + 2 * self.padding - self.fw) // self.stride + 1
+
+    @property
+    def he_w(self) -> int:
+        """Effective image width for HE packing (output pixels per channel)."""
+        return self.out_w
+
+    @property
+    def macs(self) -> int:
+        """Plaintext multiply-accumulates (for plaintext-speed comparisons)."""
+        return self.out_w * self.out_w * self.fw * self.fw * self.ci * self.co
+
+    @property
+    def output_elements(self) -> int:
+        return self.out_w * self.out_w * self.co
+
+    @property
+    def accumulation_depth(self) -> int:
+        """Values summed per output neuron; drives plaintext-bit requirements."""
+        return self.fw * self.fw * self.ci
+
+
+@dataclass(frozen=True)
+class FCLayer:
+    """A fully connected layer: ni inputs, no outputs."""
+
+    name: str
+    ni: int
+    no: int
+
+    @property
+    def macs(self) -> int:
+        return self.ni * self.no
+
+    @property
+    def output_elements(self) -> int:
+        return self.no
+
+    @property
+    def accumulation_depth(self) -> int:
+        return self.ni
+
+
+@dataclass(frozen=True)
+class ActivationLayer:
+    """A client-side nonlinearity (evaluated under garbled circuits)."""
+
+    name: str
+    kind: str  # "relu" | "maxpool" | "avgpool"
+    elements: int
+    pool_size: int = 1
+
+
+LinearLayer = ConvLayer | FCLayer
+
+
+def required_plain_bits(
+    layer: LinearLayer, weight_bits: int, activation_bits: int
+) -> int:
+    """Plaintext-modulus bits needed for a correct (overflow-free) layer.
+
+    Accumulating ``d`` products of ``weight_bits x activation_bits``
+    signed fixed-point values needs ``weight_bits + activation_bits +
+    ceil(log2 d)`` bits; profiling t this way is the "setting t requires
+    profiling the application" step of Section III-B.
+    """
+    depth_bits = max(1, math.ceil(math.log2(layer.accumulation_depth)))
+    return weight_bits + activation_bits + depth_bits

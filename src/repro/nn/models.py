@@ -1,0 +1,171 @@
+"""The five-model zoo used throughout the paper's evaluation.
+
+LeNet-300-100 and LeNet5 (MNIST), AlexNet, VGG16 and ResNet50 (ImageNet)
+-- the exact set of Figure 6.  Only layer *shapes* matter to every
+experiment (op counts, noise, accelerator mapping); weights are synthetic
+(:mod:`repro.nn.quantize`).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from .layers import ActivationLayer, ConvLayer, FCLayer, LinearLayer
+
+
+@dataclass
+class Network:
+    """An ordered stack of layers; linear layers run on the cloud in HE."""
+
+    name: str
+    layers: list = field(default_factory=list)
+
+    @property
+    def linear_layers(self) -> list[LinearLayer]:
+        return [l for l in self.layers if isinstance(l, (ConvLayer, FCLayer))]
+
+    @property
+    def conv_layers(self) -> list[ConvLayer]:
+        return [l for l in self.layers if isinstance(l, ConvLayer)]
+
+    @property
+    def fc_layers(self) -> list[FCLayer]:
+        return [l for l in self.layers if isinstance(l, FCLayer)]
+
+    @property
+    def total_macs(self) -> int:
+        return sum(l.macs for l in self.linear_layers)
+
+
+def lenet_300_100() -> Network:
+    """LeCun's MNIST MLP: 784-300-100-10."""
+    return Network(
+        "LeNet300100",
+        [
+            FCLayer("fc1", 784, 300),
+            ActivationLayer("relu1", "relu", 300),
+            FCLayer("fc2", 300, 100),
+            ActivationLayer("relu2", "relu", 100),
+            FCLayer("fc3", 100, 10),
+        ],
+    )
+
+
+def lenet5() -> Network:
+    """Classic LeNet-5 for 28x28 MNIST."""
+    return Network(
+        "LeNet5",
+        [
+            ConvLayer("conv1", w=28, fw=5, ci=1, co=6, padding=2),
+            ActivationLayer("relu1", "relu", 28 * 28 * 6),
+            ActivationLayer("pool1", "maxpool", 14 * 14 * 6, pool_size=2),
+            ConvLayer("conv2", w=14, fw=5, ci=6, co=16),
+            ActivationLayer("relu2", "relu", 10 * 10 * 16),
+            ActivationLayer("pool2", "maxpool", 5 * 5 * 16, pool_size=2),
+            FCLayer("fc1", 400, 120),
+            ActivationLayer("relu3", "relu", 120),
+            FCLayer("fc2", 120, 84),
+            ActivationLayer("relu4", "relu", 84),
+            FCLayer("fc3", 84, 10),
+        ],
+    )
+
+
+def alexnet() -> Network:
+    """AlexNet for 227x227 ImageNet (Figure 3 layers CNN_0..4, FC_5..7)."""
+    return Network(
+        "AlexNet",
+        [
+            ConvLayer("conv0", w=227, fw=11, ci=3, co=96, stride=4),
+            ActivationLayer("relu0", "relu", 55 * 55 * 96),
+            ActivationLayer("pool0", "maxpool", 27 * 27 * 96, pool_size=2),
+            ConvLayer("conv1", w=27, fw=5, ci=96, co=256, padding=2),
+            ActivationLayer("relu1", "relu", 27 * 27 * 256),
+            ActivationLayer("pool1", "maxpool", 13 * 13 * 256, pool_size=2),
+            ConvLayer("conv2", w=13, fw=3, ci=256, co=384, padding=1),
+            ActivationLayer("relu2", "relu", 13 * 13 * 384),
+            ConvLayer("conv3", w=13, fw=3, ci=384, co=384, padding=1),
+            ActivationLayer("relu3", "relu", 13 * 13 * 384),
+            ConvLayer("conv4", w=13, fw=3, ci=384, co=256, padding=1),
+            ActivationLayer("relu4", "relu", 13 * 13 * 256),
+            ActivationLayer("pool4", "maxpool", 6 * 6 * 256, pool_size=2),
+            FCLayer("fc5", 9216, 4096),
+            ActivationLayer("relu5", "relu", 4096),
+            FCLayer("fc6", 4096, 4096),
+            ActivationLayer("relu6", "relu", 4096),
+            FCLayer("fc7", 4096, 1000),
+        ],
+    )
+
+
+def vgg16() -> Network:
+    """VGG16 for 224x224 ImageNet: 13 convs + 3 FCs."""
+    cfg = [
+        (224, 64), (224, 64),
+        (112, 128), (112, 128),
+        (56, 256), (56, 256), (56, 256),
+        (28, 512), (28, 512), (28, 512),
+        (14, 512), (14, 512), (14, 512),
+    ]
+    layers: list = []
+    ci = 3
+    for index, (w, co) in enumerate(cfg):
+        layers.append(ConvLayer(f"conv{index}", w=w, fw=3, ci=ci, co=co, padding=1))
+        layers.append(ActivationLayer(f"relu{index}", "relu", w * w * co))
+        ci = co
+    for index, (ni, no) in enumerate([(25088, 4096), (4096, 4096), (4096, 1000)]):
+        layers.append(FCLayer(f"fc{index}", ni, no))
+    return Network("VGG16", layers)
+
+
+def resnet50() -> Network:
+    """ResNet50: 53 convolutions (bottleneck blocks) + the final FC."""
+    layers: list = [ConvLayer("conv1", w=224, fw=7, ci=3, co=64, stride=2, padding=3)]
+    stage_specs = [
+        # (width, mid channels, out channels, blocks)
+        (56, 64, 256, 3),
+        (28, 128, 512, 4),
+        (14, 256, 1024, 6),
+        (7, 512, 2048, 3),
+    ]
+    ci = 64
+    for stage_index, (w, mid, out, blocks) in enumerate(stage_specs, start=2):
+        for block in range(blocks):
+            prefix = f"conv{stage_index}_{block}"
+            layers.append(ConvLayer(f"{prefix}_a", w=w, fw=1, ci=ci, co=mid))
+            layers.append(ConvLayer(f"{prefix}_b", w=w, fw=3, ci=mid, co=mid, padding=1))
+            layers.append(ConvLayer(f"{prefix}_c", w=w, fw=1, ci=mid, co=out))
+            if block == 0:
+                layers.append(ConvLayer(f"{prefix}_down", w=w, fw=1, ci=ci, co=out))
+            ci = out
+            layers.append(ActivationLayer(f"{prefix}_relu", "relu", w * w * out))
+    layers.append(FCLayer("fc", 2048, 1000))
+    return Network("ResNet50", layers)
+
+
+MODEL_BUILDERS = {
+    "LeNet300100": lenet_300_100,
+    "LeNet5": lenet5,
+    "AlexNet": alexnet,
+    "VGG16": vgg16,
+    "ResNet50": resnet50,
+}
+
+#: MNIST-scale models (used for the "ignoring MNIST" harmonic means).
+MNIST_MODELS = ("LeNet300100", "LeNet5")
+
+#: ImageNet-scale models.
+IMAGENET_MODELS = ("AlexNet", "VGG16", "ResNet50")
+
+
+def build_model(name: str) -> Network:
+    try:
+        return MODEL_BUILDERS[name]()
+    except KeyError:
+        raise ValueError(
+            f"unknown model {name!r}; choose from {sorted(MODEL_BUILDERS)}"
+        ) from None
+
+
+def all_models() -> list[Network]:
+    return [builder() for builder in MODEL_BUILDERS.values()]

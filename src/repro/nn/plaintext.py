@@ -1,0 +1,109 @@
+"""Plaintext (unencrypted) reference inference in numpy.
+
+Serves two roles: (1) the correctness oracle every homomorphic layer is
+checked against, and (2) the "plaintext inference" side of the paper's
+performance comparisons (the paper's 100 ms Keras ResNet50 target).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from .layers import ActivationLayer, ConvLayer, FCLayer
+from .models import Network
+
+
+def conv2d(activations: np.ndarray, weights: np.ndarray, stride: int = 1, padding: int = 0) -> np.ndarray:
+    """Integer 2D convolution; activations (ci, w, w), weights (co, ci, fw, fw)."""
+    ci, w, _ = activations.shape
+    co, wci, fw, _ = weights.shape
+    if wci != ci:
+        raise ValueError(f"channel mismatch: activations {ci}, weights {wci}")
+    if padding:
+        activations = np.pad(
+            activations, ((0, 0), (padding, padding), (padding, padding))
+        )
+        w = w + 2 * padding
+    out_w = (w - fw) // stride + 1
+    output = np.zeros((co, out_w, out_w), dtype=np.int64)
+    for dy in range(fw):
+        for dx in range(fw):
+            patch = activations[
+                :, dy : dy + stride * out_w : stride, dx : dx + stride * out_w : stride
+            ]
+            # (co, ci) x (ci, out_w, out_w) contraction per filter tap.
+            output += np.tensordot(weights[:, :, dy, dx], patch, axes=(1, 0))
+    return output
+
+
+def fully_connected(activations: np.ndarray, weights: np.ndarray) -> np.ndarray:
+    """Integer matrix-vector product; weights (no, ni)."""
+    return weights @ np.asarray(activations, dtype=np.int64)
+
+
+def relu(values: np.ndarray) -> np.ndarray:
+    return np.maximum(values, 0)
+
+
+def maxpool2d(activations: np.ndarray, size: int = 2) -> np.ndarray:
+    ci, w, _ = activations.shape
+    out_w = w // size
+    trimmed = activations[:, : out_w * size, : out_w * size]
+    blocks = trimmed.reshape(ci, out_w, size, out_w, size)
+    return blocks.max(axis=(2, 4))
+
+
+def meanpool2d(activations: np.ndarray, size: int = 2) -> np.ndarray:
+    ci, w, _ = activations.shape
+    out_w = w // size
+    trimmed = activations[:, : out_w * size, : out_w * size]
+    blocks = trimmed.reshape(ci, out_w, size, out_w, size)
+    return blocks.sum(axis=(2, 4)) // (size * size)
+
+
+def rescale(values: np.ndarray, bits: int) -> np.ndarray:
+    """Arithmetic right-shift requantisation after a linear layer."""
+    return values >> bits
+
+
+class PlaintextRunner:
+    """Run a :class:`Network` end to end on integer inputs.
+
+    Weights are supplied as ``{layer_name: array}``; activations are
+    rescaled after each linear layer so magnitudes match what the HE
+    pipeline (and Gazelle's protocol) would carry.
+    """
+
+    def __init__(self, network: Network, weights: dict[str, np.ndarray], rescale_bits: int = 9):
+        self.network = network
+        self.weights = weights
+        self.rescale_bits = rescale_bits
+
+    def run(self, inputs: np.ndarray, record: bool = False):
+        current = np.asarray(inputs, dtype=np.int64)
+        trace = []
+        for layer in self.network.layers:
+            if isinstance(layer, ConvLayer):
+                current = conv2d(
+                    current, self.weights[layer.name], layer.stride, layer.padding
+                )
+                current = rescale(current, self.rescale_bits)
+            elif isinstance(layer, FCLayer):
+                current = fully_connected(current.reshape(-1), self.weights[layer.name])
+                current = rescale(current, self.rescale_bits)
+            elif isinstance(layer, ActivationLayer):
+                if layer.kind == "relu":
+                    current = relu(current)
+                elif layer.kind == "maxpool":
+                    current = maxpool2d(current, layer.pool_size)
+                elif layer.kind == "avgpool":
+                    current = meanpool2d(current, layer.pool_size)
+                else:
+                    raise ValueError(f"unknown activation kind {layer.kind!r}")
+            else:
+                raise TypeError(f"unsupported layer {layer!r}")
+            if record:
+                trace.append((layer.name, current.copy()))
+        if record:
+            return current, trace
+        return current

@@ -1,0 +1,43 @@
+"""Software profiling of HE inference: kernel breakdowns (Fig. 7a),
+speedup-needed limit study (Fig. 7b), and the GPU NTT model (Fig. 8)."""
+
+from .gpu_model import (
+    PAPER_BATCHES,
+    PAPER_NS,
+    PEAK_SPEEDUP,
+    GpuNttPoint,
+    gpu_ntt_speedup,
+    sweep,
+    warp_execution_efficiency,
+    warp_occupancy,
+)
+from .limit_study import LimitStudyResult, limit_study
+from .profiler import (
+    KERNELS,
+    KernelBreakdown,
+    UnitCosts,
+    estimated_cpu_seconds,
+    layer_breakdown,
+    measure_unit_costs,
+    network_profile,
+)
+
+__all__ = [
+    "PAPER_BATCHES",
+    "PAPER_NS",
+    "PEAK_SPEEDUP",
+    "GpuNttPoint",
+    "gpu_ntt_speedup",
+    "sweep",
+    "warp_execution_efficiency",
+    "warp_occupancy",
+    "LimitStudyResult",
+    "limit_study",
+    "KERNELS",
+    "KernelBreakdown",
+    "UnitCosts",
+    "estimated_cpu_seconds",
+    "layer_breakdown",
+    "measure_unit_costs",
+    "network_profile",
+]

@@ -1,0 +1,94 @@
+"""GPU NTT speedup model (Figure 8).
+
+The paper benchmarks cuHE's NTT on an NVIDIA 1080-Ti and finds speedup
+over the CPU saturating around 120x at batch sizes 512-1024, with 70%
+warp occupancy and 85% warp execution efficiency at batch 512, limited by
+(a) emulated long-integer arithmetic and (b) modular reduction branching.
+
+Without the GPU, we model the same first-order behaviour: a launch/fill
+overhead amortised with batch size, an occupancy ramp, and a hard ceiling
+from instruction expansion (each 64-bit modular multiply costs >10 GPU
+integer instructions).  Constants are calibrated to the paper's reported
+curve: ~120x at saturation, saturation onset at batch ~512.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+#: Peak speedup over the single-thread CPU NTT (paper: ~120x).
+PEAK_SPEEDUP = 120.0
+
+#: Batch size at which occupancy reaches half of peak.
+HALF_SATURATION_BATCH = 56.0
+
+#: Kernel launch + transfer overhead as an equivalent batch penalty.
+LAUNCH_OVERHEAD_BATCH = 2.0
+
+#: Reference vector length of the paper's sweep.
+REFERENCE_N = 16384
+
+
+@dataclass(frozen=True)
+class GpuNttPoint:
+    """One modelled point of the Figure 8 sweep."""
+
+    batch: int
+    n: int
+    speedup: float
+    warp_occupancy: float
+    warp_execution_efficiency: float
+
+
+def gpu_ntt_speedup(batch: int, n: int = REFERENCE_N) -> float:
+    """Modelled GPU-over-CPU speedup for a batch of n-point NTTs.
+
+    Larger transforms expose more intra-kernel parallelism, shifting the
+    occupancy ramp earlier; the ceiling is shared because the bottleneck
+    is instruction expansion, not parallelism.
+    """
+    if batch < 1:
+        raise ValueError("batch must be >= 1")
+    size_shift = math.sqrt(n / REFERENCE_N)
+    effective = batch * size_shift
+    occupancy = effective / (effective + HALF_SATURATION_BATCH)
+    amortisation = batch / (batch + LAUNCH_OVERHEAD_BATCH)
+    return PEAK_SPEEDUP * occupancy * amortisation
+
+
+def warp_occupancy(batch: int, n: int = REFERENCE_N) -> float:
+    """Modelled warp occupancy; the paper measured 70% at batch 512."""
+    size_shift = math.sqrt(n / REFERENCE_N)
+    effective = batch * size_shift
+    return min(0.75, 0.75 * effective / (effective + HALF_SATURATION_BATCH / 2))
+
+
+def warp_execution_efficiency(batch: int) -> float:
+    """Modelled warp execution efficiency; paper: 85% at batch 512.
+
+    Divergence comes from modular-reduction branches, so it is batch
+    independent to first order.
+    """
+    del batch
+    return 0.85
+
+
+def sweep(batches: list[int], ns: list[int]) -> list[GpuNttPoint]:
+    """Reproduce the Figure 8 grid."""
+    return [
+        GpuNttPoint(
+            batch=batch,
+            n=n,
+            speedup=gpu_ntt_speedup(batch, n),
+            warp_occupancy=warp_occupancy(batch, n),
+            warp_execution_efficiency=warp_execution_efficiency(batch),
+        )
+        for n in ns
+        for batch in batches
+    ]
+
+
+#: The paper's sweep axes.
+PAPER_BATCHES = [1, 2, 4, 8, 16, 32, 64, 128, 256, 512, 1024]
+PAPER_NS = [16384, 32768, 65536]

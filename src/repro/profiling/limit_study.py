@@ -1,0 +1,68 @@
+"""Speedup-needed limit study (Figure 7b).
+
+Given the per-kernel time breakdown of an HE inference and a plaintext
+latency target, determine the power-of-two speedup each kernel needs so
+the total reaches the target.  The paper applies speedups successively,
+most expensive kernel first, and reports NTT 16384x, Rotate 8192x,
+Mult 4096x, Add 4096x for ResNet50 against a 100 ms Keras baseline.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from .profiler import KernelBreakdown
+
+
+@dataclass(frozen=True)
+class LimitStudyResult:
+    """Required speedup per kernel and the resulting latency."""
+
+    speedups: dict[str, int]
+    final_seconds: float
+    trajectory: list[tuple[str, int, float]]  # (kernel, factor, total seconds)
+
+
+def limit_study(
+    breakdown: KernelBreakdown,
+    total_seconds: float,
+    target_seconds: float,
+) -> LimitStudyResult:
+    """Greedy successive doubling until the target latency is met.
+
+    Repeatedly doubles the speedup factor of whichever kernel currently
+    dominates the residual run time; this reproduces the paper's
+    "speedup applied successively" methodology and its power-of-two
+    factors.
+    """
+    if target_seconds <= 0:
+        raise ValueError("target latency must be positive")
+    fractions = breakdown.fractions()
+    # The "Other" tail (construction/destruction) scales with the kernels
+    # it wraps; fold it pro rata so the study covers the full run time.
+    kernel_share = 1.0 - fractions["other"]
+    times = {
+        kernel: fractions[kernel] / kernel_share * total_seconds
+        for kernel in ("ntt", "rotate", "mult", "add")
+    }
+    speedups = dict.fromkeys(times, 1)
+    trajectory: list[tuple[str, int, float]] = []
+
+    def current_total() -> float:
+        return sum(times[k] / speedups[k] for k in times)
+
+    # Cap iterations defensively; each doubling halves the largest term.
+    for _ in range(400):
+        total = current_total()
+        if total <= target_seconds:
+            break
+        slowest = max(times, key=lambda k: times[k] / speedups[k])
+        speedups[slowest] *= 2
+        trajectory.append((slowest, speedups[slowest], current_total()))
+    else:
+        raise RuntimeError("limit study failed to converge")
+    return LimitStudyResult(
+        speedups=speedups,
+        final_seconds=current_total(),
+        trajectory=trajectory,
+    )

@@ -1,0 +1,144 @@
+"""Kernel-level profiling of HE inference (Section VI, Figure 7a).
+
+Two complementary profiles:
+
+* :func:`measure_unit_costs` micro-benchmarks the live BFV kernels (NTT,
+  SIMD multiply, add, automorphism bookkeeping) on this machine, playing
+  the role of the paper's Xeon/SEAL software profiling.
+* :func:`network_profile` combines measured (or calibrated) per-op unit
+  costs with HE-PTune's per-layer operation census to produce the
+  fraction-of-time breakdown the paper reports: NTT 55.2%, Rotate 31.8%,
+  Mult 10.3%, Add 2.2%, Other 0.5% for ResNet50.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass
+
+import numpy as np
+
+from ..bfv.counters import BARRETT_INT_MULTS, HARVEY_INT_MULTS
+from ..bfv.ntt import NttContext
+from ..bfv.modmath import generate_ntt_primes
+from ..core.perf_model import layer_kernel_int_mults
+from ..core.ptune import TunedLayer
+
+#: The hot kernels of Figure 7, in the paper's display order.
+KERNELS = ("ntt", "rotate", "mult", "add", "other")
+
+
+@dataclass(frozen=True)
+class KernelBreakdown:
+    """Time (or op-weight) attributed to each hot kernel."""
+
+    ntt: float
+    rotate: float  # HE_Rotate excluding its NTTs (as in Figure 7)
+    mult: float
+    add: float
+    other: float
+
+    @property
+    def total(self) -> float:
+        return self.ntt + self.rotate + self.mult + self.add + self.other
+
+    def fractions(self) -> dict[str, float]:
+        total = self.total
+        return {
+            "ntt": self.ntt / total,
+            "rotate": self.rotate / total,
+            "mult": self.mult / total,
+            "add": self.add / total,
+            "other": self.other / total,
+        }
+
+    def dominant(self) -> str:
+        shares = self.fractions()
+        return max(shares, key=shares.get)
+
+
+@dataclass(frozen=True)
+class UnitCosts:
+    """Seconds per primitive operation on the host CPU."""
+
+    per_butterfly: float
+    per_modmul: float
+    per_modadd: float
+
+    @property
+    def per_int_mult_ntt(self) -> float:
+        return self.per_butterfly / HARVEY_INT_MULTS
+
+    @property
+    def per_int_mult_simd(self) -> float:
+        return self.per_modmul / BARRETT_INT_MULTS
+
+
+def measure_unit_costs(n: int = 4096, repeats: int = 20) -> UnitCosts:
+    """Micro-benchmark the live kernels to get per-op costs."""
+    prime = generate_ntt_primes(30, n, 1)[0]
+    context = NttContext(n, prime)
+    rng = np.random.default_rng(0)
+    data = rng.integers(0, prime, n, dtype=np.int64)
+    other = rng.integers(0, prime, n, dtype=np.int64)
+
+    start = time.perf_counter()
+    for _ in range(repeats):
+        context.forward(data, count_ops=False)
+    ntt_seconds = (time.perf_counter() - start) / repeats
+    butterflies = (n // 2) * (n.bit_length() - 1)
+
+    start = time.perf_counter()
+    for _ in range(repeats):
+        _ = data * other % prime
+    mul_seconds = (time.perf_counter() - start) / repeats
+
+    start = time.perf_counter()
+    for _ in range(repeats):
+        _ = (data + other) % prime
+    add_seconds = (time.perf_counter() - start) / repeats
+
+    return UnitCosts(
+        per_butterfly=ntt_seconds / butterflies,
+        per_modmul=mul_seconds / n,
+        per_modadd=add_seconds / n,
+    )
+
+
+def layer_breakdown(tuned: TunedLayer) -> KernelBreakdown:
+    """Kernel weights for one tuned layer, from the analytical census."""
+    kernel_mults = layer_kernel_int_mults(tuned.layer, tuned.params)
+    # "Other" is construction/destruction long tail: ~0.5% of total.
+    other = 0.005 * (kernel_mults.ntt + kernel_mults.rotate_other + kernel_mults.mult)
+    return KernelBreakdown(
+        ntt=float(kernel_mults.ntt),
+        rotate=float(kernel_mults.rotate_other),
+        mult=float(kernel_mults.mult),
+        add=float(kernel_mults.add),
+        other=other,
+    )
+
+
+def network_profile(tuned_layers: list[TunedLayer]) -> KernelBreakdown:
+    """Whole-network kernel breakdown (the Figure 7a pie chart)."""
+    totals = dict.fromkeys(KERNELS, 0.0)
+    for tuned in tuned_layers:
+        breakdown = layer_breakdown(tuned)
+        totals["ntt"] += breakdown.ntt
+        totals["rotate"] += breakdown.rotate
+        totals["mult"] += breakdown.mult
+        totals["add"] += breakdown.add
+        totals["other"] += breakdown.other
+    return KernelBreakdown(**totals)
+
+
+def estimated_cpu_seconds(
+    tuned_layers: list[TunedLayer], unit_costs: UnitCosts
+) -> float:
+    """Estimated single-thread CPU run time for the whole HE inference."""
+    profile = network_profile(tuned_layers)
+    simd_ints = profile.rotate + profile.mult + profile.add
+    return (
+        profile.ntt * unit_costs.per_int_mult_ntt
+        + simd_ints * unit_costs.per_int_mult_simd
+    ) * (1.0 + 0.005)

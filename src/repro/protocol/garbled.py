@@ -1,0 +1,130 @@
+"""Garbled-circuit simulation for client-side nonlinearities.
+
+In the Gazelle protocol (Section II-A), ReLU and pooling run on the
+client inside Yao garbled circuits.  GCs are cheap in compute but cost
+communication; since Cheetah "assumes the same communication overheads as
+Gazelle", we implement the nonlinearities *functionally* (operating on
+masked shares exactly as the real circuit would) and account gates and
+transfer bytes with standard half-gates costs, so protocol-level benches
+can report the communication the paper holds constant.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+#: Bits transferred per AND gate under half-gates garbling (2 labels).
+HALF_GATES_BITS_PER_AND = 2 * 128
+
+#: Label bits per circuit input wire.
+LABEL_BITS = 128
+
+
+@dataclass
+class GcCost:
+    """Gate and traffic accounting for one garbled-circuit evaluation."""
+
+    and_gates: int = 0
+    input_wires: int = 0
+
+    @property
+    def communication_bits(self) -> int:
+        return (
+            self.and_gates * HALF_GATES_BITS_PER_AND
+            + self.input_wires * LABEL_BITS
+        )
+
+    @property
+    def communication_bytes(self) -> int:
+        return (self.communication_bits + 7) // 8
+
+    def __add__(self, other: "GcCost") -> "GcCost":
+        return GcCost(
+            self.and_gates + other.and_gates,
+            self.input_wires + other.input_wires,
+        )
+
+
+def relu_circuit_cost(elements: int, bit_width: int) -> GcCost:
+    """Gate census of the masked-ReLU circuit per Section II-A.
+
+    Per element the circuit performs: subtraction of the cloud's additive
+    mask (bit_width AND gates for the ripple borrow), the sign comparison
+    (bit_width), the zero-mux (bit_width), and re-masking addition
+    (bit_width): ~4 * bit_width AND gates.
+    """
+    per_element = 4 * bit_width
+    return GcCost(
+        and_gates=elements * per_element,
+        input_wires=2 * elements * bit_width,  # masked value + mask share
+    )
+
+
+def maxpool_circuit_cost(elements: int, pool_size: int, bit_width: int) -> GcCost:
+    """Max-pool over pool_size^2 windows: comparator tree per output."""
+    comparators = pool_size * pool_size - 1
+    per_element = comparators * 3 * bit_width + 2 * bit_width  # cmps + un/re-mask
+    return GcCost(
+        and_gates=elements * per_element,
+        input_wires=elements * pool_size * pool_size * bit_width,
+    )
+
+
+class GarbledEvaluator:
+    """Functional stand-in for the client's GC evaluation.
+
+    Operates on additively masked values in Z_t exactly as the garbled
+    circuit would: unmask with the cloud's r, apply the nonlinearity over
+    the *signed* representative, re-mask with the cloud's s.
+    """
+
+    def __init__(self, plain_modulus: int, bit_width: int):
+        self.plain_modulus = plain_modulus
+        self.bit_width = bit_width
+        self.total_cost = GcCost()
+
+    def _signed(self, values: np.ndarray) -> np.ndarray:
+        t = self.plain_modulus
+        values = np.asarray(values, dtype=object) % t
+        return np.where(values > t // 2, values - t, values)
+
+    def masked_relu(
+        self, masked: np.ndarray, unmask: np.ndarray, remask: np.ndarray
+    ) -> np.ndarray:
+        """relu(masked - unmask) + remask, all mod t."""
+        t = self.plain_modulus
+        masked = np.asarray(masked, dtype=object)
+        actual = self._signed((masked - unmask) % t)
+        activated = np.where(actual > 0, actual, 0)
+        self.total_cost = self.total_cost + relu_circuit_cost(
+            int(np.asarray(masked).size), self.bit_width
+        )
+        return ((activated + remask) % t).astype(object)
+
+    def masked_maxpool(
+        self,
+        masked: np.ndarray,
+        unmask: np.ndarray,
+        remask: np.ndarray,
+        pool_size: int,
+    ) -> np.ndarray:
+        """Channel-wise max pool on masked (ci, w, w) tensors, mod t."""
+        t = self.plain_modulus
+        actual = self._signed((np.asarray(masked, dtype=object) - unmask) % t)
+        ci, w, _ = actual.shape
+        out_w = w // pool_size
+        trimmed = actual[:, : out_w * pool_size, : out_w * pool_size]
+        blocks = trimmed.reshape(ci, out_w, pool_size, out_w, pool_size)
+        pooled = np.maximum.reduce(
+            [
+                blocks[:, :, i, :, j]
+                for i in range(pool_size)
+                for j in range(pool_size)
+            ]
+        )
+        self.total_cost = self.total_cost + maxpool_circuit_cost(
+            ci * out_w * out_w, pool_size, self.bit_width
+        )
+        return (pooled + remask) % t

@@ -1,0 +1,253 @@
+"""The Gazelle HE-GC hybrid inference protocol (Section II-A).
+
+Functional two-party simulation over the live BFV substrate:
+
+1. The client encrypts its activations and sends them to the cloud.
+2. The cloud evaluates one linear layer homomorphically (Sched-PA or
+   Sched-IA), adds a uniform random mask r to every output, and returns
+   the masked ciphertexts.
+3. The client decrypts masked pre-activations; the garbled circuit
+   (functionally simulated, gates accounted) removes r, applies
+   ReLU/pooling and fixed-point truncation, and re-masks with the
+   cloud's s.
+4. The client re-encrypts the masked activations; the cloud subtracts s
+   homomorphically and proceeds with the next linear layer.
+
+Decryption at each layer boundary resets the HE noise budget, which is
+how Gazelle (and Cheetah) sidestep deep-network noise accumulation.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from ..bfv.noise import invariant_noise_budget
+from ..bfv.params import BfvParameters
+from ..bfv.scheme import BfvScheme, Ciphertext
+from ..core.noise_model import Schedule
+from ..nn.layers import ActivationLayer, ConvLayer, FCLayer
+from ..nn.models import Network
+from ..scheduling.conv2d import conv2d_he, conv_rotation_steps, _infer_width
+from ..scheduling.fc import fc_he, fc_rotation_steps, pack_fc_input
+from ..scheduling.layouts import pack_image, unpack_image, valid_output_positions
+from .garbled import GarbledEvaluator, GcCost
+from .messages import TrafficLog, ciphertext_bytes
+
+
+@dataclass
+class ProtocolResult:
+    """Output and cost accounting of one private inference."""
+
+    logits: np.ndarray
+    traffic: TrafficLog
+    gc_cost: GcCost
+    min_noise_budget: float
+
+
+class GazelleProtocol:
+    """Run private inference for a small network end to end.
+
+    Supports stride-1, padding-0 convolutions, ReLU, max pooling, and FC
+    layers -- enough to express LeNet-style models at live-HE scale.  The
+    client and cloud roles share this process but interact only through
+    ciphertexts, masked tensors, and the (simulated) garbled circuit.
+    """
+
+    def __init__(
+        self,
+        network: Network,
+        weights: dict[str, np.ndarray],
+        params: BfvParameters,
+        schedule: Schedule = Schedule.PARTIAL_ALIGNED,
+        rescale_bits: int = 6,
+        seed: int = 0,
+    ):
+        self.network = network
+        self.weights = weights
+        self.schedule = schedule
+        self.rescale_bits = rescale_bits
+        self.scheme = BfvScheme(params, seed=seed)
+        self.secret, self.public = self.scheme.keygen()
+        self.rng = np.random.default_rng(seed + 1)
+        self.galois_keys = self.scheme.generate_galois_keys(
+            self.secret, self._required_steps()
+        )
+
+    def _required_steps(self) -> list[int]:
+        steps: set[int] = set()
+        grid_w = _infer_width(self.scheme.params.row_size, 1)
+        for layer in self.network.linear_layers:
+            if isinstance(layer, ConvLayer):
+                steps.update(conv_rotation_steps(grid_w, layer.fw))
+            else:
+                steps.update(fc_rotation_steps(layer.ni))
+        return sorted(steps)
+
+    # -- protocol run -------------------------------------------------------
+
+    def run(self, image: np.ndarray) -> ProtocolResult:
+        """Private inference on a (ci, w, w) integer input tensor."""
+        t = self.scheme.params.plain_modulus
+        traffic = TrafficLog()
+        evaluator = GarbledEvaluator(t, bit_width=t.bit_length())
+        min_budget = float(self.scheme.params.noise_capacity_bits)
+
+        current = np.asarray(image, dtype=np.int64)
+        layers = list(self.network.layers)
+        index = 0
+        while index < len(layers):
+            layer = layers[index]
+            if isinstance(layer, (ConvLayer, FCLayer)):
+                # Cloud: homomorphic linear layer on freshly encrypted input.
+                masked, mask, budget = self._cloud_linear_layer(
+                    layer, current, traffic
+                )
+                min_budget = min(min_budget, budget)
+                # Client + GC: unmask, nonlinearities, truncate, re-mask.
+                index += 1
+                post_ops: list[ActivationLayer] = []
+                while index < len(layers) and isinstance(layers[index], ActivationLayer):
+                    post_ops.append(layers[index])
+                    index += 1
+                current = self._client_gc_stage(masked, mask, post_ops, evaluator)
+            else:
+                raise TypeError(
+                    f"activation layer {layer.name!r} without preceding linear layer"
+                )
+        return ProtocolResult(
+            logits=current,
+            traffic=traffic,
+            gc_cost=evaluator.total_cost,
+            min_noise_budget=min_budget,
+        )
+
+    # -- cloud side ----------------------------------------------------------
+
+    def _cloud_linear_layer(self, layer, activations, traffic):
+        scheme = self.scheme
+        params = scheme.params
+        t = params.plain_modulus
+        if isinstance(layer, ConvLayer):
+            grid_w = _infer_width(params.row_size, layer.fw)
+            ci, w, _ = activations.shape
+            grids = np.zeros((ci, grid_w, grid_w), dtype=np.int64)
+            grids[:, :w, :w] = activations
+            cts = [
+                scheme.encrypt(
+                    scheme.encoder.encode_row(pack_image(grid)), self.public
+                )
+                for grid in grids
+            ]
+            traffic.send_to_cloud(len(cts) * ciphertext_bytes(params), layer.name)
+            out_cts = conv2d_he(
+                scheme, cts, self.weights[layer.name], self.galois_keys, self.schedule
+            )
+            out_w = w - layer.fw + 1
+            mask = self.rng.integers(0, t, (len(out_cts), out_w, out_w))
+            masked_cts, budget = self._mask_outputs_conv(
+                out_cts, mask, grid_w, out_w
+            )
+            traffic.send_to_client(
+                len(masked_cts) * ciphertext_bytes(params), layer.name + "+mask"
+            )
+            traffic.end_round()
+            masked = self._client_decrypt_conv(masked_cts, grid_w, out_w)
+            return masked, mask, budget
+        # FC layer
+        flat = activations.reshape(-1)
+        packed = pack_fc_input(flat % t, params.row_size)
+        ct = scheme.encrypt(scheme.encoder.encode_row(packed), self.public)
+        traffic.send_to_cloud(ciphertext_bytes(params), layer.name)
+        out_ct = fc_he(
+            scheme, ct, self.weights[layer.name], self.galois_keys, self.schedule
+        )
+        mask = self.rng.integers(0, t, layer.no)
+        mask_slots = np.zeros(params.row_size, dtype=np.int64)
+        mask_slots[: layer.no] = mask
+        masked_ct = scheme.add_plain(out_ct, scheme.encoder.encode_row(mask_slots))
+        budget = invariant_noise_budget(scheme, masked_ct, self.secret)
+        traffic.send_to_client(ciphertext_bytes(params), layer.name + "+mask")
+        traffic.end_round()
+        slots = scheme.encoder.decode_row(
+            scheme.decrypt(masked_ct, self.secret), signed=False
+        )
+        return slots[: layer.no], mask, budget
+
+    def _mask_outputs_conv(self, out_cts, mask, grid_w, out_w):
+        scheme = self.scheme
+        budget = float("inf")
+        masked_cts = []
+        positions = valid_output_positions(grid_w, grid_w - out_w + 1)
+        for oc, ct in enumerate(out_cts):
+            mask_slots = np.zeros(scheme.params.row_size, dtype=np.int64)
+            mask_slots[positions] = mask[oc].reshape(-1)
+            masked = scheme.add_plain(ct, scheme.encoder.encode_row(mask_slots))
+            budget = min(budget, invariant_noise_budget(scheme, masked, self.secret))
+            masked_cts.append(masked)
+        return masked_cts, budget
+
+    # -- client side -----------------------------------------------------------
+
+    def _client_decrypt_conv(self, masked_cts, grid_w, out_w):
+        scheme = self.scheme
+        outputs = np.zeros((len(masked_cts), out_w, out_w), dtype=object)
+        for oc, ct in enumerate(masked_cts):
+            slots = scheme.encoder.decode_row(scheme.decrypt(ct, self.secret), signed=False)
+            grid = unpack_image(slots, grid_w)
+            outputs[oc] = grid[:out_w, :out_w].astype(object)
+        return outputs
+
+    def _client_gc_stage(self, masked, mask, post_ops, evaluator):
+        """Unmask, truncate, apply nonlinearities; return signed integers.
+
+        Runs what the garbled circuit computes (unmask -> truncate ->
+        nonlinearities) and charges its gate/traffic costs on the
+        evaluator.  The re-masking exchange is value-elided: the next
+        linear layer encrypts the recovered activations directly, which
+        is equivalent to re-encrypting masked values and removing the
+        mask homomorphically, with identical traffic (accounted in the
+        next round's send).
+        """
+        from .garbled import maxpool_circuit_cost, relu_circuit_cost
+
+        t = self.scheme.params.plain_modulus
+        actual = (
+            np.asarray(masked, dtype=object) - np.asarray(mask, dtype=object)
+        ) % t
+        signed = np.where(actual > t // 2, actual - t, actual)
+        signed = np.asarray(signed.tolist(), dtype=np.int64) >> self.rescale_bits
+        # Unmask + truncate circuit cost (same structure as masked ReLU).
+        evaluator.total_cost = evaluator.total_cost + relu_circuit_cost(
+            int(signed.size), evaluator.bit_width
+        )
+        for op in post_ops:
+            if op.kind == "relu":
+                signed = np.maximum(signed, 0)
+            elif op.kind == "maxpool":
+                signed = _maxpool(signed, op.pool_size)
+                evaluator.total_cost = evaluator.total_cost + maxpool_circuit_cost(
+                    int(signed.size), op.pool_size, evaluator.bit_width
+                )
+            elif op.kind == "avgpool":
+                signed = _avgpool(signed, op.pool_size)
+            else:
+                raise ValueError(f"unsupported activation {op.kind!r}")
+        return signed
+
+
+def _maxpool(values: np.ndarray, size: int) -> np.ndarray:
+    ci, w, _ = values.shape
+    out_w = w // size
+    trimmed = values[:, : out_w * size, : out_w * size]
+    blocks = trimmed.reshape(ci, out_w, size, out_w, size)
+    return blocks.max(axis=(2, 4))
+
+
+def _avgpool(values: np.ndarray, size: int) -> np.ndarray:
+    ci, w, _ = values.shape
+    out_w = w // size
+    trimmed = values[:, : out_w * size, : out_w * size]
+    blocks = trimmed.reshape(ci, out_w, size, out_w, size)
+    return blocks.sum(axis=(2, 4)) // (size * size)

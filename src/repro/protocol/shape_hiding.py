@@ -1,0 +1,165 @@
+"""Shape hiding: padded dimensions and null layers (Section II-B).
+
+The Gazelle protocol leaks the number and shape of layers to the client
+(it evaluates the nonlinearities).  The paper notes "it is possible to
+obscure this information (e.g., pad tensor dimensions and add null
+layers), but they are not considered here and left as future work."
+This module implements that future work:
+
+* :func:`pad_network` rounds channel/feature counts up to buckets so
+  distinct architectures become indistinguishable within a bucket class,
+  zero-padding weights so the computed function is unchanged.
+* :func:`insert_null_layers` appends identity convolutions (scaled by
+  the rescale factor so truncation cancels them) to hide depth.
+* :func:`hiding_overhead` quantifies the cost with HE-PTune's
+  performance model, so the privacy/performance trade-off is measurable.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+import numpy as np
+
+from ..core.ptune import HePTune
+from ..nn.layers import ActivationLayer, ConvLayer, FCLayer
+from ..nn.models import Network
+
+
+def _round_up(value: int, bucket: int) -> int:
+    return bucket * math.ceil(value / bucket)
+
+
+def pad_network(
+    network: Network, channel_bucket: int = 16, feature_bucket: int = 128
+) -> Network:
+    """Round every channel / feature count up to the bucket size.
+
+    The input channel count of the first layer and the final output
+    count are preserved (they are inherently public: the client supplies
+    the input and reads the output).
+    """
+    layers: list = []
+    linear = network.linear_layers
+    previous: ConvLayer | FCLayer | None = None
+    previous_padded: ConvLayer | FCLayer | None = None
+    for layer in network.layers:
+        if isinstance(layer, ConvLayer):
+            position = linear.index(layer)
+            if position == 0:
+                ci = layer.ci  # the client supplies the input; ci is public
+            else:
+                ci = _round_up(layer.ci, channel_bucket)
+            last = position == len(linear) - 1
+            co = layer.co if last else _round_up(layer.co, channel_bucket)
+            padded_layer = ConvLayer(
+                layer.name, w=layer.w, fw=layer.fw, ci=ci, co=co,
+                stride=layer.stride, padding=layer.padding,
+            )
+        elif isinstance(layer, FCLayer):
+            position = linear.index(layer)
+            if position == 0:
+                ni = layer.ni
+            elif isinstance(previous, ConvLayer):
+                # The flattened input tracks the padded upstream channels.
+                pixels = layer.ni // previous.co
+                ni = previous_padded.co * pixels
+            else:
+                ni = _round_up(layer.ni, feature_bucket)
+            last = position == len(linear) - 1
+            no = layer.no if last else _round_up(layer.no, feature_bucket)
+            padded_layer = FCLayer(layer.name, ni=ni, no=no)
+        else:
+            layers.append(layer)
+            continue
+        layers.append(padded_layer)
+        previous = layer
+        previous_padded = padded_layer
+    return Network(network.name + "+padded", layers)
+
+
+def pad_weights(
+    network: Network, padded: Network, weights: dict[str, np.ndarray]
+) -> dict[str, np.ndarray]:
+    """Zero-pad a weight dictionary to match a padded network.
+
+    Padded input channels/features multiply zeros contributed by padded
+    upstream outputs; padded output channels carry all-zero filters, so
+    the computed function restricted to the original outputs is
+    unchanged.
+    """
+    new_weights: dict[str, np.ndarray] = {}
+    for original, enlarged in zip(network.linear_layers, padded.linear_layers):
+        weight = np.asarray(weights[original.name])
+        if isinstance(original, ConvLayer):
+            block = np.zeros(
+                (enlarged.co, enlarged.ci, enlarged.fw, enlarged.fw), dtype=np.int64
+            )
+            block[: original.co, : original.ci] = weight
+        else:
+            block = np.zeros((enlarged.no, enlarged.ni), dtype=np.int64)
+            block[: original.no, : original.ni] = weight
+        new_weights[original.name] = block
+    return new_weights
+
+
+def insert_null_layers(network: Network, count: int) -> Network:
+    """Append identity convolutions that survive fixed-point truncation.
+
+    A null layer is a 1x1 convolution with weight ``2**rescale_bits`` on
+    the diagonal: after the protocol's truncation the activations pass
+    through unchanged, so depth is hidden at pure compute cost.  Null
+    layers are inserted after the last convolutional layer.
+    """
+    if count < 0:
+        raise ValueError("count must be nonnegative")
+    convs = network.conv_layers
+    if not convs:
+        raise ValueError("null layers require at least one convolution")
+    last_conv = convs[-1]
+    insertion = network.layers.index(last_conv) + 1
+    layers = list(network.layers)
+    null_layers = []
+    for index in range(count):
+        null = ConvLayer(
+            f"null{index}", w=last_conv.out_w, fw=1,
+            ci=last_conv.co, co=last_conv.co,
+        )
+        null_layers.append(null)
+    layers[insertion:insertion] = null_layers
+    return Network(network.name + f"+{count}null", layers)
+
+
+def null_layer_weights(network: Network, rescale_bits: int) -> dict[str, np.ndarray]:
+    """Identity (scaled) filters for every null layer in a network."""
+    weights = {}
+    scale = 1 << rescale_bits
+    for layer in network.conv_layers:
+        if not layer.name.startswith("null"):
+            continue
+        block = np.zeros((layer.co, layer.ci, 1, 1), dtype=np.int64)
+        for channel in range(layer.co):
+            block[channel, channel, 0, 0] = scale
+        weights[layer.name] = block
+    return weights
+
+
+@dataclass(frozen=True)
+class HidingOverhead:
+    """Cost of shape hiding in HE-PTune's integer-mult currency."""
+
+    original_int_mults: int
+    hidden_int_mults: int
+
+    @property
+    def slowdown(self) -> float:
+        return self.hidden_int_mults / self.original_int_mults
+
+
+def hiding_overhead(network: Network, hidden: Network) -> HidingOverhead:
+    """Quantify the hiding cost with per-layer Cheetah tuning."""
+    tuner = HePTune()
+    original = sum(t.int_mults for t in tuner.tune_network(network))
+    padded = sum(t.int_mults for t in tuner.tune_network(hidden))
+    return HidingOverhead(original_int_mults=original, hidden_int_mults=padded)

@@ -1,0 +1,123 @@
+"""Machine-readable experiment results (JSON export).
+
+Collects the headline numbers of every reproduced experiment into one
+JSON-serializable structure so downstream tooling (plotting, CI
+regression tracking) can consume the reproduction without parsing bench
+stdout.  Exposed on the CLI as ``python -m repro report``.
+"""
+
+from __future__ import annotations
+
+import json
+from typing import Any
+
+from .accel import accelerator_dse
+from .core.baselines import FleetSummary, speedup_report
+from .nn.models import MODEL_BUILDERS, build_model
+from .profiling import (
+    PAPER_BATCHES,
+    PAPER_NS,
+    gpu_ntt_speedup,
+    limit_study,
+    network_profile,
+)
+
+
+def figure6_results(model_names: list[str] | None = None) -> dict[str, Any]:
+    """Per-model speedups and harmonic means (Figure 6)."""
+    names = model_names or list(MODEL_BUILDERS)
+    reports = [speedup_report(build_model(name)) for name in names]
+    summary = FleetSummary(reports)
+    payload = {
+        "per_model": {
+            r.network.name: {
+                "ptune_speedup": r.ptune_speedup,
+                "sched_pa_speedup": r.sched_pa_speedup,
+                "combined_speedup": r.cheetah_speedup,
+            }
+            for r in reports
+        }
+    }
+    if len(reports) > 1:
+        payload["harmonic_means"] = {
+            "ptune": summary.ptune_harmonic_mean(),
+            "sched_pa": summary.sched_pa_harmonic_mean(),
+            "combined": summary.combined_harmonic_mean(),
+        }
+    return payload
+
+
+def figure7_results(model_name: str = "ResNet50") -> dict[str, Any]:
+    """Kernel breakdown and limit study (Figure 7)."""
+    from .core.baselines import cheetah_configuration
+
+    tuned = cheetah_configuration(build_model(model_name)).tuned_layers
+    profile = network_profile(tuned)
+    study = limit_study(profile, total_seconds=970.0, target_seconds=0.1)
+    return {
+        "kernel_fractions": profile.fractions(),
+        "speedups_needed": study.speedups,
+        "final_latency_ms": study.final_seconds * 1e3,
+    }
+
+
+def figure8_results() -> dict[str, Any]:
+    """GPU NTT speedup grid (Figure 8)."""
+    return {
+        f"n={n}": {str(batch): gpu_ntt_speedup(batch, n) for batch in PAPER_BATCHES}
+        for n in PAPER_NS
+    }
+
+
+def figure11_results(model_name: str = "ResNet50", target_s: float = 0.1) -> dict[str, Any]:
+    """Accelerator DSE Pareto and the selected design (Figure 11)."""
+    from .core.baselines import cheetah_configuration
+
+    tuned = cheetah_configuration(build_model(model_name)).tuned_layers
+    dse = accelerator_dse(tuned)
+    selected = dse.select_for_latency(target_s)
+    return {
+        "pareto": [
+            {
+                "pes": r.config.num_pes,
+                "lanes": r.config.lanes_per_pe,
+                "latency_ms": r.latency_ms,
+                "power_w_5nm": r.power_w_5nm,
+                "area_mm2_5nm": r.area_mm2_5nm,
+            }
+            for r in dse.pareto
+        ],
+        "selected": {
+            "pes": selected.config.num_pes,
+            "lanes": selected.config.lanes_per_pe,
+            "latency_ms": selected.latency_ms,
+            "power_w_5nm": selected.power_w_5nm,
+            "area_mm2_5nm": selected.area_mm2_5nm,
+            "io_utilization": selected.io_utilization,
+            "area_breakdown_5nm": selected.area_breakdown_5nm(),
+        },
+    }
+
+
+def collect_results(models: list[str] | None = None) -> dict[str, Any]:
+    """Everything, keyed by experiment id.
+
+    The profile and accelerator sections use the paper's flagship model
+    (ResNet50) unless a model list narrows the scope, in which case the
+    last listed model (the largest by convention) is profiled.
+    """
+    flagship = models[-1] if models else "ResNet50"
+    return {
+        "figure6_speedups": figure6_results(models),
+        "figure7_profile": figure7_results(flagship),
+        "figure8_gpu_ntt": figure8_results(),
+        "figure11_accelerator": figure11_results(flagship),
+    }
+
+
+def write_report(path: str, models: list[str] | None = None) -> dict[str, Any]:
+    """Collect and write the JSON report; returns the payload."""
+    payload = collect_results(models)
+    with open(path, "w") as handle:
+        json.dump(payload, handle, indent=2, sort_keys=True)
+    return payload

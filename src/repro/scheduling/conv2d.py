@@ -1,0 +1,165 @@
+"""Homomorphic 2D convolution under Sched-PA and Sched-IA (Section V-B).
+
+One ciphertext per input channel (image packed row-major into a batching
+row), one output ciphertext per output channel with valid-convolution
+results anchored at the top-left slots.  FC layers follow precisely the
+same structure (:mod:`repro.scheduling.fc`) since both are dot products.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..bfv.keys import GaloisKeys, PublicKey, SecretKey
+from ..bfv.scheme import BfvScheme, Ciphertext
+from ..core.noise_model import Schedule
+from .dot_product import (
+    accumulate,
+    input_aligned_term,
+    partial_aligned_term,
+)
+from .layouts import (
+    conv_tap_plaintext_ia,
+    conv_tap_plaintext_pa,
+    pack_image,
+    tap_offset,
+    unpack_image,
+)
+
+
+def conv_rotation_steps(w: int, fw: int) -> list[int]:
+    """All distinct rotation steps a (w, fw) convolution needs."""
+    steps = set()
+    for dy in range(fw):
+        for dx in range(fw):
+            offset = tap_offset(dy, dx, w)
+            if offset:
+                steps.add(offset)
+    return sorted(steps)
+
+
+def encrypt_channels(
+    scheme: BfvScheme, activations: np.ndarray, public: PublicKey
+) -> list[Ciphertext]:
+    """Encrypt a (ci, w, w) activation tensor, one ciphertext per channel."""
+    return [
+        scheme.encrypt(scheme.encoder.encode_row(pack_image(channel)), public)
+        for channel in activations
+    ]
+
+
+def conv2d_he(
+    scheme: BfvScheme,
+    channel_cts: list[Ciphertext],
+    weights: np.ndarray,
+    galois_keys: GaloisKeys,
+    schedule: Schedule = Schedule.PARTIAL_ALIGNED,
+) -> list[Ciphertext]:
+    """Valid (no padding, stride 1) homomorphic convolution.
+
+    Parameters
+    ----------
+    channel_cts:
+        One ciphertext per input channel; channel images are w x w,
+        inferred from the weight shape and the first usable output.
+    weights:
+        Integer filters of shape (co, ci, fw, fw).
+    """
+    weights = np.asarray(weights, dtype=np.int64)
+    co, ci, fw, _ = weights.shape
+    if len(channel_cts) != ci:
+        raise ValueError(f"expected {ci} channel ciphertexts, got {len(channel_cts)}")
+    row_size = scheme.params.row_size
+    w = _infer_width(row_size, fw)
+    outputs = []
+    for oc in range(co):
+        partials = []
+        for ic in range(ci):
+            for dy in range(fw):
+                for dx in range(fw):
+                    weight = int(weights[oc, ic, dy, dx])
+                    offset = tap_offset(dy, dx, w)
+                    if schedule is Schedule.PARTIAL_ALIGNED:
+                        tap_weights = conv_tap_plaintext_pa(
+                            weight, w, fw, dy, dx, row_size
+                        )
+                        # Rotating left by `offset` aligns slot s+offset
+                        # back onto output slot s.
+                        partials.append(
+                            partial_aligned_term(
+                                scheme, channel_cts[ic], tap_weights, offset, galois_keys
+                            )
+                        )
+                    else:
+                        tap_weights = conv_tap_plaintext_ia(
+                            weight, w, fw, dy, dx, row_size
+                        )
+                        partials.append(
+                            input_aligned_term(
+                                scheme, channel_cts[ic], tap_weights, offset, galois_keys
+                            )
+                        )
+        outputs.append(accumulate(scheme, partials))
+    return outputs
+
+
+def _infer_width(row_size: int, fw: int) -> int:
+    """Largest square image fitting one batching row.
+
+    Callers pack one w x w channel per row; the convolution addresses
+    slots up to (w - 1) * w + (w - 1) + max offset, which stays within the
+    row because offsets only reach valid outputs.
+    """
+    w = int(np.sqrt(row_size))
+    while w * w > row_size:
+        w -= 1
+    return w
+
+
+def conv2d_he_small(
+    scheme: BfvScheme,
+    activations: np.ndarray,
+    weights: np.ndarray,
+    public: PublicKey,
+    secret: SecretKey,
+    galois_keys: GaloisKeys,
+    schedule: Schedule = Schedule.PARTIAL_ALIGNED,
+    stride: int = 1,
+    padding: int = 0,
+) -> np.ndarray:
+    """Encrypt -> convolve -> decrypt helper for (ci, w, w) inputs.
+
+    Returns the (co, out_w, out_w) integer output tensor.  Padding is
+    applied client-side before packing (zeros around the image); strides
+    are lowered by computing the dense (stride-1) convolution and
+    selecting every stride-th output slot, which is how Gazelle lowers
+    strided layers onto slot-aligned kernels.
+    """
+    activations = np.asarray(activations, dtype=np.int64)
+    if stride < 1 or padding < 0:
+        raise ValueError("stride must be >= 1 and padding >= 0")
+    if padding:
+        activations = np.pad(
+            activations, ((0, 0), (padding, padding), (padding, padding))
+        )
+    ci, w, _ = activations.shape
+    co = weights.shape[0]
+    fw = weights.shape[2]
+    if w * w > scheme.params.row_size:
+        raise ValueError(
+            f"{w}x{w} image does not fit a batching row of {scheme.params.row_size}"
+        )
+    # Re-pack each channel into the row-width grid the scheduler assumes.
+    grid_w = _infer_width(scheme.params.row_size, fw)
+    channels = np.zeros((ci, grid_w, grid_w), dtype=np.int64)
+    channels[:, :w, :w] = activations
+    cts = encrypt_channels(scheme, channels, public)
+    out_cts = conv2d_he(scheme, cts, weights, galois_keys, schedule)
+    dense_w = w - fw + 1
+    out_w = (dense_w - 1) // stride + 1
+    outputs = np.zeros((co, out_w, out_w), dtype=np.int64)
+    for oc, ct in enumerate(out_cts):
+        slots = scheme.encoder.decode_row(scheme.decrypt(ct, secret))
+        grid = unpack_image(slots, grid_w)
+        outputs[oc] = grid[:dense_w:stride, :dense_w:stride]
+    return outputs

@@ -1,0 +1,65 @@
+"""The two dot-product schedules of Figure 5, on live ciphertexts.
+
+* :func:`partial_aligned_term` (Sched-PA, Cheetah): multiply the original
+  ciphertext by an aligned weight plaintext, then rotate the partial.
+  Noise grows as ``eta_M * v0 + eta_A``.
+* :func:`input_aligned_term` (Sched-IA, Gazelle/prior art): rotate the
+  input first, then multiply.  Noise grows as ``eta_M * (v0 + eta_A)``.
+
+Both produce identical plaintext results; the difference is measurable
+with :func:`repro.bfv.noise.invariant_noise_budget`, which is exactly the
+experiment :mod:`benchmarks.bench_ablation_schedule` runs.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..bfv.encoder import Plaintext
+from ..bfv.keys import GaloisKeys
+from ..bfv.scheme import BfvScheme, Ciphertext
+
+
+def encode_row_plaintext(scheme: BfvScheme, values: np.ndarray) -> Plaintext:
+    """Encode a row-sized weight vector into a full plaintext."""
+    return scheme.encoder.encode_row(values, row=0)
+
+
+def partial_aligned_term(
+    scheme: BfvScheme,
+    ct: Ciphertext,
+    weights: np.ndarray,
+    rotation: int,
+    galois_keys: GaloisKeys,
+) -> Ciphertext:
+    """One Sched-PA partial: HE_Mult first, HE_Rotate the partial after."""
+    plain = scheme.encode_for_mul(encode_row_plaintext(scheme, weights))
+    partial = scheme.mul_plain(ct, plain)
+    if rotation % scheme.params.row_size:
+        partial = scheme.rotate_rows(partial, rotation, galois_keys)
+    return partial
+
+
+def input_aligned_term(
+    scheme: BfvScheme,
+    ct: Ciphertext,
+    weights: np.ndarray,
+    rotation: int,
+    galois_keys: GaloisKeys,
+) -> Ciphertext:
+    """One Sched-IA partial: HE_Rotate the input first, then HE_Mult."""
+    rotated = ct
+    if rotation % scheme.params.row_size:
+        rotated = scheme.rotate_rows(ct, rotation, galois_keys)
+    plain = scheme.encode_for_mul(encode_row_plaintext(scheme, weights))
+    return scheme.mul_plain(rotated, plain)
+
+
+def accumulate(scheme: BfvScheme, terms: list[Ciphertext]) -> Ciphertext:
+    """Reduce partials with HE_Add."""
+    if not terms:
+        raise ValueError("nothing to accumulate")
+    total = terms[0]
+    for term in terms[1:]:
+        total = scheme.add(total, term)
+    return total

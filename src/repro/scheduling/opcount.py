@@ -1,0 +1,46 @@
+"""Measured HE-operation traces for live scheduled layers.
+
+Bridges the live schedulers and HE-PTune's analytical model: runs a layer
+on real ciphertexts while snapshotting the global counters, so tests and
+benches can validate Table IV's op-count predictions against actual
+executions.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..bfv.counters import GLOBAL_COUNTERS, OpCounters
+
+
+@dataclass(frozen=True)
+class OpTrace:
+    """HE operations observed while executing one layer."""
+
+    he_mult: int
+    he_add: int
+    he_rotate: int
+    ntt: int
+    int_mults: int
+
+
+class TraceRecorder:
+    """Context manager capturing the counter delta of a code region."""
+
+    def __enter__(self) -> "TraceRecorder":
+        self._before = GLOBAL_COUNTERS.snapshot()
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> None:
+        self._delta = GLOBAL_COUNTERS.diff(self._before)
+
+    @property
+    def trace(self) -> OpTrace:
+        delta: OpCounters = self._delta
+        return OpTrace(
+            he_mult=delta.he_mult,
+            he_add=delta.he_add,
+            he_rotate=delta.he_rotate,
+            ntt=delta.ntt,
+            int_mults=delta.int_mults,
+        )

@@ -1,0 +1,70 @@
+"""Shared fixtures: small (insecure, fast) BFV contexts for unit tests.
+
+Cryptographic unit tests use deliberately small ring dimensions with
+``require_security=False`` so the suite runs quickly; parameter-security
+itself is tested separately in ``test_params_security.py``.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.bfv import BfvParameters, BfvScheme
+
+
+@pytest.fixture(scope="session")
+def small_params() -> BfvParameters:
+    """Tiny, fast context: n=256, 18-bit t, 60-bit q."""
+    return BfvParameters.create(
+        n=256,
+        plain_bits=18,
+        coeff_bits=60,
+        w_dcmp_bits=6,
+        a_dcmp_bits=12,
+        require_security=False,
+    )
+
+
+@pytest.fixture(scope="session")
+def small_scheme(small_params) -> BfvScheme:
+    return BfvScheme(small_params, seed=42)
+
+
+@pytest.fixture(scope="session")
+def small_keys(small_scheme):
+    return small_scheme.keygen()
+
+
+@pytest.fixture(scope="session")
+def small_galois(small_scheme, small_keys):
+    secret, _ = small_keys
+    return small_scheme.generate_galois_keys(secret, list(range(1, 17)))
+
+
+@pytest.fixture(scope="session")
+def conv_params() -> BfvParameters:
+    """Context large enough for live conv/FC layers: n=2048, wide q."""
+    return BfvParameters.create(
+        n=2048,
+        plain_bits=17,
+        coeff_bits=100,
+        w_dcmp_bits=6,
+        a_dcmp_bits=16,
+        require_security=False,
+    )
+
+
+@pytest.fixture(scope="session")
+def conv_scheme(conv_params) -> BfvScheme:
+    return BfvScheme(conv_params, seed=7)
+
+
+@pytest.fixture(scope="session")
+def conv_keys(conv_scheme):
+    return conv_scheme.keygen()
+
+
+@pytest.fixture(scope="session")
+def rng() -> np.random.Generator:
+    return np.random.default_rng(1234)

@@ -1,0 +1,191 @@
+"""Tests for the accelerator model: kernels, lanes, PEs, mapping,
+simulation and DSE (Figures 9-11, Table VI)."""
+
+import pytest
+
+from repro.accel import (
+    AcceleratorConfig,
+    KernelDesign,
+    LaneDesign,
+    PeDesign,
+    evaluate_kernel,
+    evaluate_lane,
+    evaluate_pe,
+    kernel_design_space,
+    kernel_dse,
+    kernel_work,
+    map_layer,
+    pareto_front,
+    simulate,
+    tech,
+)
+from repro.core.baselines import cheetah_configuration
+from repro.core.ptune import ModelParams
+from repro.nn.layers import ConvLayer, FCLayer
+from repro.nn.models import lenet5
+
+
+@pytest.fixture(scope="module")
+def lenet_tuned():
+    return cheetah_configuration(lenet5()).tuned_layers
+
+
+def mp(n=4096, t=20, q=54, a=14):
+    return ModelParams(n=n, plain_bits=t, coeff_bits=q, w_dcmp_bits=10, a_dcmp_bits=a)
+
+
+class TestKernelWork:
+    def test_ntt_butterflies(self):
+        work = kernel_work("ntt", 4096)
+        assert work.primary_ops == 2048 * 12
+
+    def test_simd_mult(self):
+        assert kernel_work("simd_mult", 4096).primary_ops == 4096
+
+    def test_decompose_scales_with_digits(self):
+        assert kernel_work("decompose", 1024, l_ct=4).primary_ops == 4096
+
+    def test_unknown_kernel(self):
+        with pytest.raises(ValueError):
+            kernel_work("fft", 1024)
+
+
+class TestKernelCosts:
+    def test_unroll_reduces_latency(self):
+        slow = evaluate_kernel(KernelDesign("ntt", unroll=1), 4096)
+        fast = evaluate_kernel(KernelDesign("ntt", unroll=64), 4096)
+        assert fast.latency_s < slow.latency_s
+
+    def test_unroll_increases_area(self):
+        small = evaluate_kernel(KernelDesign("ntt", unroll=1), 4096)
+        big = evaluate_kernel(KernelDesign("ntt", unroll=64), 4096)
+        assert big.area_mm2 > small.area_mm2
+
+    def test_ii_scales_latency(self):
+        ii1 = evaluate_kernel(KernelDesign("simd_mult", unroll=4, ii=1), 4096)
+        ii4 = evaluate_kernel(KernelDesign("simd_mult", unroll=4, ii=4), 4096)
+        assert ii4.latency_s > ii1.latency_s
+
+    def test_power_positive(self):
+        cost = evaluate_kernel(KernelDesign("ntt", unroll=8), 4096)
+        assert cost.power_w > 0
+
+    def test_design_space_size(self):
+        designs = kernel_design_space("ntt", max_unroll=256)
+        assert len(designs) == 9 * 3  # unroll 1..256 x ii {1,2,4}
+
+    def test_dse_returns_all_points(self):
+        points = kernel_dse("simd_add", 2048, max_unroll=64)
+        assert len(points) == 7 * 3
+
+
+class TestPareto:
+    def test_dominated_points_removed(self):
+        points = [(1.0, 1.0), (2.0, 2.0), (0.5, 3.0), (3.0, 0.5)]
+        front = pareto_front(points, objectives=lambda p: p)
+        assert (2.0, 2.0) not in front
+        assert (1.0, 1.0) in front
+
+    def test_kernel_pareto_nontrivial(self):
+        points = kernel_dse("ntt", 4096, max_unroll=256)
+        front = pareto_front(points, objectives=lambda c: (c.latency_s, c.power_w))
+        assert 1 < len(front) < len(points)
+
+
+class TestSramModel:
+    def test_small_arrays_pay_density_penalty(self):
+        """The paper's 2.5x bit-density observation for 128-word arrays."""
+        large = tech.sram_area_mm2(16384, banks=1)
+        small = tech.sram_area_mm2(16384, banks=256)  # 64 words per bank
+        assert small > 2.0 * large
+
+    def test_zero_words(self):
+        assert tech.sram_area_mm2(0) == 0.0
+
+    def test_scaling_factors(self):
+        assert tech.scale_power_to_5nm(100.0) == pytest.approx(5.6)
+        assert tech.scale_area_to_5nm(1000.0) == pytest.approx(38.0)
+
+
+class TestLaneAndPe:
+    def test_lane_interval_below_fill(self):
+        lane = evaluate_lane(LaneDesign(n=4096, l_ct=4))
+        assert lane.interval <= lane.fill_latency
+
+    def test_ntt_is_lane_bottleneck(self):
+        lane = evaluate_lane(LaneDesign(n=4096, l_ct=4))
+        bottleneck = max(lane.stage_latencies, key=lane.stage_latencies.get)
+        assert bottleneck in ("ntt", "key_mult")
+
+    def test_ntt_parallelism_shrinks_ntt_stage(self):
+        serial = evaluate_lane(LaneDesign(n=4096, l_ct=4, ntt_parallel=1))
+        parallel = evaluate_lane(LaneDesign(n=4096, l_ct=4, ntt_parallel=4))
+        assert parallel.stage_latencies["ntt"] < serial.stage_latencies["ntt"]
+        assert parallel.area_mm2 > serial.area_mm2
+
+    def test_pe_area_breakdown_sums(self):
+        lane = LaneDesign(n=4096, l_ct=4)
+        pe = evaluate_pe(PeDesign(lane=lane, lanes=64, input_ct_words=8192))
+        assert sum(pe.area_breakdown.values()) == pytest.approx(pe.area_mm2)
+
+    def test_more_lanes_more_area(self):
+        lane = LaneDesign(n=4096, l_ct=4)
+        small = evaluate_pe(PeDesign(lane=lane, lanes=16, input_ct_words=8192))
+        big = evaluate_pe(PeDesign(lane=lane, lanes=128, input_ct_words=8192))
+        assert big.area_mm2 > small.area_mm2
+
+
+class TestMapper:
+    def test_conv_mapping(self):
+        layer = ConvLayer("c", w=16, fw=3, ci=4, co=8, padding=1)
+        mapping = map_layer(layer, mp(n=2048))
+        assert mapping.out_cts == 1  # 8 * 256 / 2048
+        assert mapping.partials_per_ct > 0
+
+    def test_fc_mapping(self):
+        layer = FCLayer("f", ni=2048, no=1000)
+        mapping = map_layer(layer, mp(n=4096))
+        assert mapping.out_cts == 1
+        assert mapping.in_cts == 1
+
+    def test_total_partials(self):
+        layer = ConvLayer("c", w=16, fw=3, ci=4, co=8, padding=1)
+        mapping = map_layer(layer, mp(n=2048))
+        assert mapping.total_partials == mapping.out_cts * mapping.partials_per_ct
+
+
+class TestSimulator:
+    def test_more_lanes_not_slower(self, lenet_tuned):
+        few = simulate(lenet_tuned, AcceleratorConfig(num_pes=4, lanes_per_pe=16))
+        many = simulate(lenet_tuned, AcceleratorConfig(num_pes=4, lanes_per_pe=256))
+        assert many.latency_s <= few.latency_s
+
+    def test_more_pes_not_slower(self, lenet_tuned):
+        few = simulate(lenet_tuned, AcceleratorConfig(num_pes=2, lanes_per_pe=64))
+        many = simulate(lenet_tuned, AcceleratorConfig(num_pes=32, lanes_per_pe=64))
+        assert many.latency_s <= few.latency_s
+
+    def test_energy_independent_of_lane_count(self, lenet_tuned):
+        """Work is fixed; parallelism changes time, not switched energy."""
+        a = simulate(lenet_tuned, AcceleratorConfig(num_pes=4, lanes_per_pe=16))
+        b = simulate(lenet_tuned, AcceleratorConfig(num_pes=4, lanes_per_pe=256))
+        assert a.energy_j == pytest.approx(b.energy_j)
+
+    def test_area_breakdown_sums(self, lenet_tuned):
+        report = simulate(lenet_tuned, AcceleratorConfig(num_pes=4, lanes_per_pe=32))
+        assert sum(report.area_breakdown_40nm.values()) == pytest.approx(
+            report.area_mm2_40nm
+        )
+
+    def test_5nm_scaling_applied(self, lenet_tuned):
+        report = simulate(lenet_tuned, AcceleratorConfig(num_pes=4, lanes_per_pe=32))
+        assert report.area_mm2_5nm == pytest.approx(report.area_mm2_40nm * 0.038)
+        assert report.power_w_5nm == pytest.approx(report.power_w_40nm * 0.056)
+
+    def test_io_utilization_below_one(self, lenet_tuned):
+        report = simulate(lenet_tuned, AcceleratorConfig(num_pes=8, lanes_per_pe=64))
+        assert 0.0 <= report.io_utilization < 1.0
+
+    def test_per_layer_results_cover_network(self, lenet_tuned):
+        report = simulate(lenet_tuned, AcceleratorConfig(num_pes=4, lanes_per_pe=32))
+        assert len(report.layer_results) == len(lenet_tuned)

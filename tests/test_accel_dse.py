@@ -1,0 +1,87 @@
+"""Accelerator DSE and generality tests (Figure 11, Table VI).
+
+ResNet50 tuning is cached at module scope; these are the heaviest tests
+in the suite.
+"""
+
+import pytest
+
+from repro.accel import accelerator_dse, generality_study
+from repro.core.baselines import cheetah_configuration
+from repro.nn.models import alexnet, lenet5, resnet50
+
+
+@pytest.fixture(scope="module")
+def resnet_tuned():
+    return cheetah_configuration(resnet50()).tuned_layers
+
+
+@pytest.fixture(scope="module")
+def resnet_dse(resnet_tuned):
+    return accelerator_dse(resnet_tuned)
+
+
+class TestDse:
+    def test_pareto_subset(self, resnet_dse):
+        assert 0 < len(resnet_dse.pareto) <= len(resnet_dse.reports)
+
+    def test_pareto_sorted_and_undominated(self, resnet_dse):
+        front = resnet_dse.pareto
+        latencies = [r.latency_s for r in front]
+        assert latencies == sorted(latencies)
+        powers = [r.power_w_40nm for r in front]
+        # Along the frontier, lower latency must cost more power.
+        assert powers == sorted(powers, reverse=True)
+
+    def test_select_meets_target(self, resnet_dse):
+        selected = resnet_dse.select_for_latency(0.1)
+        assert selected.latency_s <= 0.1
+
+    def test_select_falls_back_to_fastest(self, resnet_dse):
+        selected = resnet_dse.select_for_latency(1e-9)
+        assert selected.latency_s == min(r.latency_s for r in resnet_dse.pareto)
+
+
+class TestHeadlineResult:
+    """The paper's flagship number: ResNet50 at ~100 ms needs ~30 W and
+    ~545 mm^2 in 5 nm.  We assert the same order of magnitude."""
+
+    def test_latency_power_area(self, resnet_dse):
+        selected = resnet_dse.select_for_latency(0.1)
+        assert selected.latency_ms <= 100.0
+        assert 5.0 < selected.power_w_5nm < 120.0
+        assert 100.0 < selected.area_mm2_5nm < 2500.0
+
+    def test_compute_bound_not_io_bound(self, resnet_dse):
+        """Paper: even the most parallel design is compute bound (IO ~12%)."""
+        selected = resnet_dse.select_for_latency(0.1)
+        assert selected.io_utilization < 0.5
+
+    def test_ntt_dominates_time(self, resnet_dse):
+        selected = resnet_dse.select_for_latency(0.1)
+        breakdown = selected.time_breakdown
+        ntt_share = (breakdown["ntt"] + breakdown["intt"]) / sum(breakdown.values())
+        assert ntt_share > 0.35
+
+    def test_ntt_and_sram_dominate_area(self, resnet_dse):
+        selected = resnet_dse.select_for_latency(0.1)
+        area = selected.area_breakdown_40nm
+        total = sum(area.values())
+        assert (area["ntt"] + area["lane_sram"] + area["pe_sram"]) / total > 0.5
+
+
+class TestGenerality:
+    def test_table6_shape(self):
+        rows = generality_study(
+            [resnet50(), alexnet()], host_network=resnet50(), target_latency_s=0.1
+        )
+        by_model = {row.model: row for row in rows}
+        # The host model runs near its own optimum...
+        assert by_model["ResNet50"].increase_pct < 15.0
+        # ...while foreign models pay a generality penalty.
+        assert by_model["AlexNet"].increase_pct > by_model["ResNet50"].increase_pct
+
+    def test_rows_have_statistics(self):
+        rows = generality_study([lenet5()], host_network=lenet5())
+        assert rows[0].mean_partials > 0
+        assert rows[0].pes >= 2

@@ -1,0 +1,86 @@
+"""Tests for the Gazelle / HE-PTune / Cheetah comparison (Figure 6)."""
+
+import pytest
+
+from repro.core.baselines import (
+    FleetSummary,
+    GAZELLE_A_DCMP_BITS,
+    cheetah_configuration,
+    gazelle_configuration,
+    harmonic_mean,
+    ptune_configuration,
+    speedup_report,
+)
+from repro.nn.models import lenet5, lenet_300_100
+
+
+@pytest.fixture(scope="module")
+def lenet5_report():
+    return speedup_report(lenet5())
+
+
+class TestConfigurations:
+    def test_gazelle_uses_fixed_bases(self):
+        config = gazelle_configuration(lenet_300_100())
+        for tuned in config.tuned_layers:
+            assert tuned.params.a_dcmp_bits == GAZELLE_A_DCMP_BITS
+
+    def test_gazelle_single_global_config(self):
+        config = gazelle_configuration(lenet5())
+        assert len({t.params for t in config.tuned_layers}) == 1
+
+    def test_ptune_keeps_gazelle_rotation_base(self):
+        config = ptune_configuration(lenet5())
+        for tuned in config.tuned_layers:
+            assert tuned.params.a_dcmp_bits == GAZELLE_A_DCMP_BITS
+
+    def test_cheetah_tunes_rotation_base_up(self):
+        config = cheetah_configuration(lenet5())
+        assert any(
+            t.params.a_dcmp_bits > GAZELLE_A_DCMP_BITS for t in config.tuned_layers
+        )
+
+
+class TestSpeedups:
+    def test_ordering(self, lenet5_report):
+        """Gazelle slowest, Cheetah fastest; each optimization helps."""
+        r = lenet5_report
+        assert r.ptune_speedup > 1.0
+        assert r.sched_pa_speedup > 1.0
+        assert r.cheetah_speedup > r.ptune_speedup
+
+    def test_combined_is_product(self, lenet5_report):
+        r = lenet5_report
+        assert r.cheetah_speedup == pytest.approx(
+            r.ptune_speedup * r.sched_pa_speedup
+        )
+
+    def test_per_layer_speedups_positive(self, lenet5_report):
+        assert all(s > 1.0 for s in lenet5_report.per_layer_speedups())
+
+    def test_combined_magnitude_paper_range(self, lenet5_report):
+        """Combined speedup should land in the paper's order of magnitude
+        (Figure 6: roughly 4x to 80x per model)."""
+        assert 3.0 < lenet5_report.cheetah_speedup < 100.0
+
+
+class TestFleetSummary:
+    def test_harmonic_mean(self):
+        assert harmonic_mean([2.0, 2.0]) == pytest.approx(2.0)
+        assert harmonic_mean([1.0, 3.0]) == pytest.approx(1.5)
+
+    def test_harmonic_mean_empty(self):
+        with pytest.raises(ValueError):
+            harmonic_mean([])
+
+    def test_summary_excludes_mnist(self, lenet5_report):
+        summary = FleetSummary([lenet5_report])
+        assert summary.ptune_harmonic_mean(include_mnist=True) > 0
+        with pytest.raises(ValueError):
+            # Only MNIST models present -> excluding them leaves nothing.
+            summary.ptune_harmonic_mean(include_mnist=False)
+
+    def test_max_speedups(self, lenet5_report):
+        summary = FleetSummary([lenet5_report])
+        assert summary.max_combined_speedup() == lenet5_report.cheetah_speedup
+        assert summary.max_sched_pa_speedup() == lenet5_report.sched_pa_speedup

@@ -1,0 +1,76 @@
+"""Tests for the command-line interface."""
+
+import pytest
+
+from repro.cli import build_parser, main
+
+
+class TestParser:
+    def test_requires_command(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args([])
+
+    def test_unknown_command(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["frobnicate"])
+
+    def test_tune_rejects_unknown_model(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["tune", "GPT4"])
+
+
+class TestCommands:
+    def test_models(self, capsys):
+        assert main(["models"]) == 0
+        out = capsys.readouterr().out
+        assert "ResNet50" in out
+        assert "LeNet5" in out
+
+    def test_params(self, capsys):
+        assert main(["params", "4096", "20", "100"]) == 0
+        out = capsys.readouterr().out
+        assert "n=4096" in out
+        assert "noise capacity" in out
+
+    def test_params_flags_insecure(self, capsys):
+        assert main(["params", "1024", "20", "100"]) == 0
+        assert "WARNING" in capsys.readouterr().out
+
+    def test_tune(self, capsys):
+        assert main(["tune", "LeNet300100"]) == 0
+        out = capsys.readouterr().out
+        assert "fc1" in out and "Adcmp" in out
+
+    def test_speedups_single_model(self, capsys):
+        assert main(["speedups", "LeNet300100"]) == 0
+        out = capsys.readouterr().out
+        assert "LeNet300100" in out and "x" in out
+
+    def test_accelerate(self, capsys):
+        assert main(["accelerate", "LeNet300100"]) == 0
+        out = capsys.readouterr().out
+        assert "over Gazelle" in out
+        assert "speedup needed" in out
+
+
+class TestBatchMode:
+    def test_batched_throughput_beats_single(self):
+        from repro.accel import AcceleratorConfig, simulate
+        from repro.core.baselines import cheetah_configuration
+        from repro.nn.models import lenet_300_100
+
+        tuned = cheetah_configuration(lenet_300_100()).tuned_layers
+        config = AcceleratorConfig(num_pes=4, lanes_per_pe=32)
+        single = simulate(tuned, config)
+        batched = simulate(tuned, config, batch=8)
+        assert batched.throughput_per_s > single.throughput_per_s
+        assert batched.latency_s > single.latency_s  # latency traded away
+
+    def test_invalid_batch(self):
+        from repro.accel import AcceleratorConfig, simulate
+        from repro.core.baselines import cheetah_configuration
+        from repro.nn.models import lenet_300_100
+
+        tuned = cheetah_configuration(lenet_300_100()).tuned_layers
+        with pytest.raises(ValueError):
+            simulate(tuned, AcceleratorConfig(num_pes=2, lanes_per_pe=8), batch=0)

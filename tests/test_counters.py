@@ -1,0 +1,76 @@
+"""Tests for HE op accounting."""
+
+import time
+
+from repro.bfv.counters import (
+    BARRETT_INT_MULTS,
+    GLOBAL_COUNTERS,
+    HARVEY_INT_MULTS,
+    OpCounters,
+    counting,
+)
+
+
+class TestOpCounters:
+    def test_int_mults_formula(self):
+        counters = OpCounters(modmuls=10, butterflies=4)
+        assert counters.int_mults == 10 * BARRETT_INT_MULTS + 4 * HARVEY_INT_MULTS
+
+    def test_add_ntt_butterflies(self):
+        counters = OpCounters()
+        counters.add_ntt(1024, count=2)
+        assert counters.ntt == 2
+        assert counters.butterflies == 2 * 512 * 10
+
+    def test_snapshot_diff(self):
+        counters = OpCounters()
+        counters.he_mult = 3
+        snap = counters.snapshot()
+        counters.he_mult = 7
+        counters.add_modmuls(5)
+        delta = counters.diff(snap)
+        assert delta.he_mult == 4
+        assert delta.modmuls == 5
+
+    def test_snapshot_is_independent(self):
+        counters = OpCounters(he_add=1)
+        snap = counters.snapshot()
+        counters.he_add = 99
+        assert snap.he_add == 1
+
+    def test_reset(self):
+        counters = OpCounters(he_mult=5, modmuls=10)
+        counters.add_time("ntt", 1.0)
+        counters.reset()
+        assert counters.he_mult == 0
+        assert counters.modmuls == 0
+        assert counters.kernel_seconds == {}
+
+    def test_timed_context(self):
+        counters = OpCounters()
+        with counters.timed("kernel"):
+            time.sleep(0.01)
+        assert counters.kernel_seconds["kernel"] >= 0.005
+
+    def test_timer_accumulates(self):
+        counters = OpCounters()
+        with counters.timed("k"):
+            pass
+        first = counters.kernel_seconds["k"]
+        with counters.timed("k"):
+            pass
+        assert counters.kernel_seconds["k"] >= first
+
+
+class TestGlobalCounting:
+    def test_counting_context(self):
+        with counting() as delta:
+            GLOBAL_COUNTERS.he_add += 2
+        assert delta().he_add == 2
+
+    def test_time_diff(self):
+        counters = OpCounters()
+        counters.add_time("x", 1.0)
+        snap = counters.snapshot()
+        counters.add_time("x", 0.5)
+        assert abs(counters.diff(snap).kernel_seconds["x"] - 0.5) < 1e-9

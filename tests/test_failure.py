@@ -1,0 +1,63 @@
+"""Tests for the decryption-failure probability analysis."""
+
+import math
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.failure import failure_probability, max_noise_std, tail_factor
+
+
+class TestFailureProbability:
+    def test_paper_bound_form(self):
+        """Pr <= 2 exp(-q^2 / (4 t^2 sigma^2))."""
+        q, t, sigma = 1 << 54, 1 << 20, 1000.0
+        ratio = q / (2 * t * sigma)
+        expected = 2 * math.exp(-(ratio**2))
+        assert failure_probability(q, t, sigma) == pytest.approx(expected)
+
+    def test_monotone_in_sigma(self):
+        q, t = 1 << 54, 1 << 20
+        probs = [failure_probability(q, t, s) for s in (1e3, 1e6, 1e8)]
+        assert probs == sorted(probs)
+
+    def test_underflow_handled(self):
+        assert failure_probability(1 << 100, 1 << 20, 1.0) == 0.0
+
+    def test_zero_sigma(self):
+        assert failure_probability(1 << 54, 1 << 20, 0.0) == 0.0
+
+    def test_capped_at_one(self):
+        assert failure_probability(4, 2, 1e9) <= 1.0
+
+
+class TestTailFactor:
+    def test_target_1e10(self):
+        z = tail_factor(1e-10)
+        assert 2 * math.exp(-(z**2)) == pytest.approx(1e-10, rel=1e-6)
+
+    def test_stricter_target_larger_factor(self):
+        assert tail_factor(1e-12) > tail_factor(1e-6)
+
+    def test_invalid_targets(self):
+        for bad in (0.0, 1.0, -0.5, 2.0):
+            with pytest.raises(ValueError):
+                tail_factor(bad)
+
+    @given(st.floats(min_value=1e-15, max_value=0.1))
+    @settings(max_examples=30)
+    def test_inverse_property(self, target):
+        z = tail_factor(target)
+        assert 2 * math.exp(-(z**2)) <= target * 1.0001
+
+
+class TestMaxNoiseStd:
+    def test_meets_target(self):
+        q, t = 1 << 54, 1 << 20
+        sigma = max_noise_std(q, t, 1e-10)
+        assert failure_probability(q, t, sigma) <= 1e-10 * 1.001
+
+    def test_larger_q_allows_more_noise(self):
+        t = 1 << 20
+        assert max_noise_std(1 << 60, t) > max_noise_std(1 << 54, t)

@@ -1,0 +1,36 @@
+"""End-to-end framework tests (Figure 1's full pipeline)."""
+
+import pytest
+
+from repro import CheetahFramework
+
+
+@pytest.fixture(scope="module")
+def result():
+    return CheetahFramework().run("LeNet5")
+
+
+class TestFramework:
+    def test_accepts_model_name(self, result):
+        assert result.network.name == "LeNet5"
+
+    def test_speedups_present(self, result):
+        assert result.speedups.cheetah_speedup > 1.0
+
+    def test_profile_normalised(self, result):
+        assert sum(result.profile.fractions().values()) == pytest.approx(1.0)
+
+    def test_limit_study_hits_target(self, result):
+        assert result.limit.final_seconds <= 0.1
+
+    def test_design_selected(self, result):
+        assert result.selected_design.latency_s <= 0.1
+
+    def test_tuned_layers_match_network(self, result):
+        assert len(result.tuned_layers) == len(result.network.linear_layers)
+
+    def test_summary_readable(self, result):
+        text = result.summary()
+        assert "LeNet5" in text
+        assert "over Gazelle" in text
+        assert "PEs" in text

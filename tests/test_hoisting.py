@@ -1,0 +1,96 @@
+"""Tests for hoisted rotations (Gazelle's shared-decomposition trick)."""
+
+import numpy as np
+import pytest
+
+from repro.bfv import invariant_noise_budget
+from repro.bfv.counters import GLOBAL_COUNTERS
+
+
+@pytest.fixture()
+def row_ct(small_scheme, small_keys):
+    _, public = small_keys
+    values = np.arange(small_scheme.params.row_size)
+    return values, small_scheme.encrypt(
+        small_scheme.encoder.encode_row(values), public
+    )
+
+
+class TestHoistedCorrectness:
+    @pytest.mark.parametrize("step", [1, 3, 7, 16])
+    def test_matches_plain_rotation(
+        self, small_scheme, small_keys, small_galois, row_ct, step
+    ):
+        secret, _ = small_keys
+        values, ct = row_ct
+        hoisted = small_scheme.hoist(ct)
+        rotated = small_scheme.rotate_rows_hoisted(hoisted, step, small_galois)
+        decoded = small_scheme.encoder.decode_row(
+            small_scheme.decrypt(rotated, secret), signed=False
+        )
+        assert np.array_equal(decoded, np.roll(values, -step))
+
+    def test_same_result_as_unhoisted(
+        self, small_scheme, small_keys, small_galois, row_ct
+    ):
+        secret, _ = small_keys
+        values, ct = row_ct
+        hoisted = small_scheme.hoist(ct)
+        a = small_scheme.rotate_rows_hoisted(hoisted, 5, small_galois)
+        b = small_scheme.rotate_rows(ct, 5, small_galois)
+        da = small_scheme.encoder.decode_row(small_scheme.decrypt(a, secret))
+        db = small_scheme.encoder.decode_row(small_scheme.decrypt(b, secret))
+        assert np.array_equal(da, db)
+
+    def test_noise_comparable_to_plain_path(
+        self, small_scheme, small_keys, small_galois, row_ct
+    ):
+        secret, _ = small_keys
+        _, ct = row_ct
+        hoisted = small_scheme.hoist(ct)
+        rotated = small_scheme.rotate_rows_hoisted(hoisted, 2, small_galois)
+        plain = small_scheme.rotate_rows(ct, 2, small_galois)
+        hoisted_budget = invariant_noise_budget(small_scheme, rotated, secret)
+        plain_budget = invariant_noise_budget(small_scheme, plain, secret)
+        assert abs(hoisted_budget - plain_budget) < 3.0
+
+    def test_hoisted_output_composes_with_add(
+        self, small_scheme, small_keys, small_galois, row_ct
+    ):
+        secret, _ = small_keys
+        values, ct = row_ct
+        hoisted = small_scheme.hoist(ct)
+        r1 = small_scheme.rotate_rows_hoisted(hoisted, 1, small_galois)
+        r2 = small_scheme.rotate_rows_hoisted(hoisted, 2, small_galois)
+        total = small_scheme.add(r1, r2)
+        decoded = small_scheme.encoder.decode_row(
+            small_scheme.decrypt(total, secret), signed=False
+        )
+        t = small_scheme.params.plain_modulus
+        expected = (np.roll(values, -1) + np.roll(values, -2)) % t
+        assert np.array_equal(decoded, expected)
+
+
+class TestHoistedSavings:
+    def test_no_ntts_after_hoisting(
+        self, small_scheme, small_keys, small_galois, row_ct
+    ):
+        """Hoisting removes all NTTs from the per-rotation path."""
+        _, ct = row_ct
+        hoisted = small_scheme.hoist(ct)
+        before = GLOBAL_COUNTERS.snapshot()
+        for step in (1, 2, 3, 4):
+            small_scheme.rotate_rows_hoisted(hoisted, step, small_galois)
+        delta = GLOBAL_COUNTERS.diff(before)
+        assert delta.ntt == 0
+        assert delta.he_rotate == 4
+
+    def test_hoist_pays_the_ntts_once(self, small_scheme, small_keys, row_ct):
+        _, ct = row_ct
+        params = small_scheme.params
+        limbs = params.coeff_basis.count
+        before = GLOBAL_COUNTERS.snapshot()
+        small_scheme.hoist(ct)
+        delta = GLOBAL_COUNTERS.diff(before)
+        # One INTT (inside bigint_coeffs) + l_ct digit NTTs, per limb.
+        assert delta.ntt == (params.l_ct + 1) * limbs

@@ -1,0 +1,131 @@
+"""Unit tests for modular arithmetic primitives."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.bfv.modmath import (
+    BarrettReducer,
+    centered,
+    generate_ntt_primes,
+    generate_plain_modulus,
+    invmod,
+    is_prime,
+    primitive_root,
+    root_of_unity,
+)
+
+
+class TestIsPrime:
+    def test_small_primes(self):
+        for p in (2, 3, 5, 7, 11, 13, 97, 65537):
+            assert is_prime(p)
+
+    def test_small_composites(self):
+        for c in (0, 1, 4, 9, 15, 91, 561, 65536):
+            assert not is_prime(c)
+
+    def test_carmichael_numbers_rejected(self):
+        # Fermat pseudoprimes that must not fool Miller-Rabin.
+        for c in (561, 1105, 1729, 2465, 2821, 6601, 8911):
+            assert not is_prime(c)
+
+    def test_large_known_prime(self):
+        assert is_prime((1 << 61) - 1)  # Mersenne prime M61
+
+    def test_large_known_composite(self):
+        assert not is_prime((1 << 61) - 3)
+
+    @given(st.integers(min_value=2, max_value=10_000))
+    @settings(max_examples=50)
+    def test_matches_trial_division(self, value):
+        reference = value > 1 and all(
+            value % d for d in range(2, int(value**0.5) + 1)
+        )
+        assert is_prime(value) == reference
+
+
+class TestPrimeGeneration:
+    def test_congruence_and_primality(self):
+        primes = generate_ntt_primes(30, 1024, 3)
+        assert len(set(primes)) == 3
+        for p in primes:
+            assert is_prime(p)
+            assert p % 2048 == 1
+            assert p.bit_length() == 30
+
+    def test_plain_modulus(self):
+        t = generate_plain_modulus(20, 4096)
+        assert is_prime(t)
+        assert t % 8192 == 1
+
+    def test_rejects_non_power_of_two(self):
+        with pytest.raises(ValueError):
+            generate_ntt_primes(30, 1000, 1)
+
+    def test_distinct_across_sizes(self):
+        a = generate_ntt_primes(25, 256, 2)
+        assert a[0] != a[1]
+
+
+class TestRoots:
+    def test_primitive_root_order(self):
+        p = generate_ntt_primes(20, 128, 1)[0]
+        g = primitive_root(p)
+        # g must not have any proper-divisor order.
+        assert pow(g, p - 1, p) == 1
+        assert pow(g, (p - 1) // 2, p) != 1
+
+    def test_root_of_unity_order(self):
+        n = 128
+        p = generate_ntt_primes(20, n, 1)[0]
+        psi = root_of_unity(2 * n, p)
+        assert pow(psi, 2 * n, p) == 1
+        assert pow(psi, n, p) == p - 1  # psi^n = -1 (negacyclic)
+
+    def test_root_of_unity_rejects_bad_modulus(self):
+        with pytest.raises(ValueError):
+            root_of_unity(64, 97)  # 96 not divisible by 64
+
+    def test_primitive_root_rejects_composite(self):
+        with pytest.raises(ValueError):
+            primitive_root(100)
+
+
+class TestBarrett:
+    def test_matches_mod(self):
+        reducer = BarrettReducer(1_000_003)
+        for value in (0, 1, 999_999, 1_000_003, 10**12, 1_000_002**2):
+            assert reducer.reduce(value) == value % 1_000_003
+
+    @given(st.integers(min_value=2, max_value=(1 << 30)), st.data())
+    @settings(max_examples=50)
+    def test_mulmod_random(self, modulus, data):
+        a = data.draw(st.integers(min_value=0, max_value=modulus - 1))
+        b = data.draw(st.integers(min_value=0, max_value=modulus - 1))
+        reducer = BarrettReducer(modulus)
+        assert reducer.mulmod(a, b) == a * b % modulus
+
+    def test_rejects_tiny_modulus(self):
+        with pytest.raises(ValueError):
+            BarrettReducer(1)
+
+
+class TestHelpers:
+    def test_invmod(self):
+        p = 1_000_003
+        for value in (1, 2, 7, 12345):
+            assert invmod(value, p) * value % p == 1
+
+    def test_centered_range(self):
+        values = np.array([0, 1, 5, 6, 10], dtype=object)
+        result = centered(values, 11)
+        assert list(result) == [0, 1, 5, -5, -1]
+
+    @given(st.integers(min_value=3, max_value=1 << 20))
+    @settings(max_examples=30)
+    def test_centered_magnitude_bound(self, modulus):
+        values = np.arange(0, modulus, max(1, modulus // 17), dtype=object)
+        result = centered(values, modulus)
+        assert all(-modulus // 2 <= int(v) <= (modulus + 1) // 2 for v in result)

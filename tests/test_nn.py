@@ -1,0 +1,201 @@
+"""Tests for the DNN substrate: layers, model zoo, plaintext inference,
+quantization."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.nn import (
+    ActivationLayer,
+    ConvLayer,
+    FCLayer,
+    PlaintextRunner,
+    alexnet,
+    all_models,
+    build_model,
+    conv2d,
+    fully_connected,
+    lenet5,
+    lenet_300_100,
+    maxpool2d,
+    meanpool2d,
+    quantize,
+    relu,
+    required_plain_bits,
+    resnet50,
+    synthetic_conv_weights,
+    synthetic_fc_weights,
+    vgg16,
+)
+
+
+class TestLayerDescriptors:
+    def test_conv_output_width(self):
+        layer = ConvLayer("c", w=28, fw=5, ci=1, co=6, padding=2)
+        assert layer.out_w == 28
+        strided = ConvLayer("c", w=227, fw=11, ci=3, co=96, stride=4)
+        assert strided.out_w == 55
+
+    def test_conv_macs(self):
+        layer = ConvLayer("c", w=8, fw=3, ci=2, co=4)
+        assert layer.macs == 6 * 6 * 9 * 2 * 4
+
+    def test_fc_macs(self):
+        assert FCLayer("f", 784, 300).macs == 235200
+
+    def test_required_plain_bits(self):
+        layer = FCLayer("f", ni=1024, no=10)
+        assert required_plain_bits(layer, 9, 8) == 9 + 8 + 10
+
+    def test_accumulation_depth(self):
+        layer = ConvLayer("c", w=8, fw=3, ci=16, co=4)
+        assert layer.accumulation_depth == 9 * 16
+
+
+class TestModelZoo:
+    def test_all_five_models(self):
+        names = {m.name for m in all_models()}
+        assert names == {"LeNet300100", "LeNet5", "AlexNet", "VGG16", "ResNet50"}
+
+    def test_lenet300100_shapes(self):
+        net = lenet_300_100()
+        assert [l.ni for l in net.fc_layers] == [784, 300, 100]
+        assert [l.no for l in net.fc_layers] == [300, 100, 10]
+
+    def test_lenet5_structure(self):
+        net = lenet5()
+        assert len(net.conv_layers) == 2
+        assert len(net.fc_layers) == 3
+
+    def test_alexnet_structure(self):
+        net = alexnet()
+        assert len(net.conv_layers) == 5
+        assert len(net.fc_layers) == 3
+        assert net.conv_layers[0].stride == 4
+
+    def test_vgg16_structure(self):
+        net = vgg16()
+        assert len(net.conv_layers) == 13
+        assert len(net.fc_layers) == 3
+
+    def test_resnet50_structure(self):
+        net = resnet50()
+        assert len(net.conv_layers) == 53  # bottleneck count
+        assert len(net.fc_layers) == 1
+        assert net.fc_layers[0].ni == 2048
+
+    def test_channel_chaining_consistent(self):
+        """Each conv's ci must match the producing layer's co (per stage)."""
+        net = resnet50()
+        convs = net.conv_layers
+        assert convs[0].ci == 3
+        assert convs[-1].co == 2048
+
+    def test_total_macs_ordering(self):
+        macs = {m.name: m.total_macs for m in all_models()}
+        assert macs["VGG16"] > macs["ResNet50"] > macs["AlexNet"]
+        assert macs["AlexNet"] > macs["LeNet5"] > macs["LeNet300100"]
+
+    def test_unknown_model_rejected(self):
+        with pytest.raises(ValueError):
+            build_model("GPT4")
+
+
+class TestPlaintextOps:
+    def test_conv_matches_manual(self):
+        acts = np.arange(16).reshape(1, 4, 4)
+        weights = np.ones((1, 1, 2, 2), dtype=np.int64)
+        out = conv2d(acts, weights)
+        assert out[0, 0, 0] == 0 + 1 + 4 + 5
+
+    def test_conv_stride(self):
+        acts = np.arange(36).reshape(1, 6, 6)
+        out = conv2d(acts, np.ones((1, 1, 2, 2), dtype=np.int64), stride=2)
+        assert out.shape == (1, 3, 3)
+
+    def test_conv_padding(self):
+        acts = np.ones((1, 4, 4), dtype=np.int64)
+        out = conv2d(acts, np.ones((1, 1, 3, 3), dtype=np.int64), padding=1)
+        assert out.shape == (1, 4, 4)
+        assert out[0, 0, 0] == 4  # corner sees 2x2 window
+
+    def test_conv_channel_mismatch(self):
+        with pytest.raises(ValueError):
+            conv2d(np.zeros((2, 4, 4), dtype=np.int64), np.zeros((1, 3, 2, 2), dtype=np.int64))
+
+    def test_fc(self):
+        weights = np.array([[1, 2], [3, 4]])
+        assert list(fully_connected(np.array([5, 6]), weights)) == [17, 39]
+
+    def test_relu(self):
+        assert list(relu(np.array([-2, 0, 3]))) == [0, 0, 3]
+
+    def test_maxpool(self):
+        acts = np.array([[[1, 2, 5, 6], [3, 4, 7, 8], [1, 1, 1, 1], [1, 1, 2, 1]]])
+        out = maxpool2d(acts, 2)
+        assert np.array_equal(out[0], [[4, 8], [1, 2]])
+
+    def test_meanpool(self):
+        acts = np.full((1, 4, 4), 8, dtype=np.int64)
+        assert np.all(meanpool2d(acts, 2) == 8)
+
+    @given(st.integers(min_value=2, max_value=5), st.integers(min_value=1, max_value=3))
+    @settings(max_examples=20)
+    def test_conv_linearity(self, w_plus, scale):
+        """conv(a*x) == a*conv(x): convolution is linear."""
+        rng = np.random.default_rng(0)
+        w = w_plus + 2
+        acts = rng.integers(0, 10, (2, w, w))
+        weights = rng.integers(-3, 4, (3, 2, 2, 2))
+        assert np.array_equal(conv2d(acts * scale, weights), conv2d(acts, weights) * scale)
+
+
+class TestRunner:
+    def test_tiny_network_end_to_end(self):
+        from repro.nn.models import Network
+
+        net = Network(
+            "tiny",
+            [
+                ConvLayer("c1", w=6, fw=3, ci=1, co=2),
+                ActivationLayer("r1", "relu", 32),
+                FCLayer("f1", 32, 4),
+            ],
+        )
+        weights = {
+            "c1": synthetic_conv_weights(3, 1, 2, bits=4, seed=0),
+            "f1": synthetic_fc_weights(32, 4, bits=4, seed=1),
+        }
+        runner = PlaintextRunner(net, weights, rescale_bits=3)
+        rng = np.random.default_rng(2)
+        out = runner.run(rng.integers(0, 16, (1, 6, 6)))
+        assert out.shape == (4,)
+
+    def test_trace_recording(self):
+        from repro.nn.models import Network
+
+        net = Network("t", [FCLayer("f1", 4, 2)])
+        weights = {"f1": np.ones((2, 4), dtype=np.int64)}
+        runner = PlaintextRunner(net, weights, rescale_bits=0)
+        out, trace = runner.run(np.array([1, 2, 3, 4]), record=True)
+        assert trace[0][0] == "f1"
+        assert np.array_equal(out, [10, 10])
+
+
+class TestQuantize:
+    def test_bounds(self):
+        values = quantize(np.array([-1.0, 0.0, 1.0]), 8)
+        assert list(values) == [-127, 0, 127]
+
+    def test_clipping(self):
+        assert quantize(np.array([5.0]), 8)[0] == 127
+
+    def test_synthetic_weights_deterministic(self):
+        a = synthetic_conv_weights(3, 2, 4, seed=7)
+        b = synthetic_conv_weights(3, 2, 4, seed=7)
+        assert np.array_equal(a, b)
+
+    def test_synthetic_weight_range(self):
+        weights = synthetic_fc_weights(10, 10, bits=5)
+        assert weights.max() <= 15 and weights.min() >= -15

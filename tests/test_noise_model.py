@@ -1,0 +1,154 @@
+"""Tests for HE-PTune's noise model (Tables III and V), including
+validation that the model bounds measured noise on live ciphertexts."""
+
+import math
+
+import numpy as np
+import pytest
+
+from repro.bfv import invariant_noise_budget
+from repro.bfv.noise import noise_magnitude
+from repro.core.noise_model import (
+    NoiseMode,
+    Schedule,
+    conv_output_noise,
+    eta_mult,
+    eta_rotate,
+    fc_output_noise,
+    fresh_noise,
+    layer_output_noise,
+    remaining_budget_bits,
+)
+from repro.core.ptune import ModelParams
+from repro.nn.layers import ConvLayer, FCLayer
+
+
+def params(n=2048, t=20, q=54, w=10, a=9):
+    return ModelParams(n=n, plain_bits=t, coeff_bits=q, w_dcmp_bits=w, a_dcmp_bits=a)
+
+
+class TestOperatorNoise:
+    def test_worst_exceeds_practical(self):
+        p = params()
+        assert fresh_noise(p, NoiseMode.WORST) > fresh_noise(p, NoiseMode.PRACTICAL)
+        assert eta_mult(p, NoiseMode.WORST) > eta_mult(p, NoiseMode.PRACTICAL)
+        assert eta_rotate(p, NoiseMode.WORST) > eta_rotate(p, NoiseMode.PRACTICAL)
+
+    def test_fresh_noise_table3(self):
+        """Worst case is exactly 2 n B^2 with B = 6 sigma."""
+        p = params()
+        b = 6 * p.sigma
+        assert fresh_noise(p, NoiseMode.WORST) == pytest.approx(2 * p.n * b * b)
+
+    def test_eta_mult_table3(self):
+        p = params()
+        expected = p.n * p.l_pt * (p.w_dcmp / 2)
+        assert eta_mult(p, NoiseMode.WORST) == pytest.approx(expected)
+
+    def test_eta_rotate_table3(self):
+        p = params()
+        b = 6 * p.sigma
+        expected = p.l_ct * p.a_dcmp * b * p.n / 2
+        assert eta_rotate(p, NoiseMode.WORST) == pytest.approx(expected)
+
+    def test_eta_mult_weight_bits_cap(self):
+        p = params(w=20)
+        capped = eta_mult(p, NoiseMode.WORST, weight_bits=5, l_pt=1)
+        uncapped = eta_mult(p, NoiseMode.WORST, l_pt=1)
+        assert capped < uncapped
+
+    def test_eta_rotate_grows_with_base(self):
+        small = eta_rotate(params(a=4))
+        large = eta_rotate(params(a=20))
+        assert large > small
+
+
+class TestScheduleOrdering:
+    @pytest.mark.parametrize(
+        "layer",
+        [ConvLayer("c", w=16, fw=3, ci=8, co=8), FCLayer("f", ni=256, no=64)],
+    )
+    def test_pa_noise_below_ia(self, layer):
+        """eta_M v0 + eta_A < eta_M (v0 + eta_A): Sched-PA always wins."""
+        p = params()
+        for mode in NoiseMode:
+            pa = layer_output_noise(layer, p, Schedule.PARTIAL_ALIGNED, mode)
+            ia = layer_output_noise(layer, p, Schedule.INPUT_ALIGNED, mode)
+            assert pa < ia
+
+    def test_gap_widens_with_rotation_base(self):
+        layer = ConvLayer("c", w=16, fw=3, ci=8, co=8)
+        gaps = []
+        for a_bits in (4, 12, 20):
+            p = params(a=a_bits)
+            pa = layer_output_noise(layer, p, Schedule.PARTIAL_ALIGNED)
+            ia = layer_output_noise(layer, p, Schedule.INPUT_ALIGNED)
+            gaps.append(ia / pa)
+        assert gaps == sorted(gaps)
+
+
+class TestLayerNoiseStructure:
+    def test_conv_grows_with_channels(self):
+        p = params()
+        small = conv_output_noise(ConvLayer("c", w=16, fw=3, ci=4, co=4), p)
+        large = conv_output_noise(ConvLayer("c", w=16, fw=3, ci=64, co=4), p)
+        assert large > small
+
+    def test_fc_grows_with_inputs(self):
+        p = params()
+        small = fc_output_noise(FCLayer("f", ni=64, no=16), p)
+        large = fc_output_noise(FCLayer("f", ni=1024, no=16), p)
+        assert large > small
+
+    def test_budget_sign_tracks_capacity(self):
+        layer = FCLayer("f", ni=256, no=64)
+        tight = remaining_budget_bits(layer, params(q=30, t=20))
+        roomy = remaining_budget_bits(layer, params(q=54, t=20))
+        assert roomy.budget_bits > tight.budget_bits
+
+    def test_infeasible_detection(self):
+        layer = ConvLayer("c", w=32, fw=3, ci=512, co=512)
+        estimate = remaining_budget_bits(
+            layer, params(q=30, t=20), mode=NoiseMode.WORST
+        )
+        assert not estimate.decryptable
+
+    def test_rejects_non_linear_layer(self):
+        with pytest.raises(TypeError):
+            layer_output_noise(object(), params())
+
+
+class TestModelVsMeasured:
+    """Section IV-B validation: the practical model must bound live noise."""
+
+    def test_fresh_noise_bound_holds(self, conv_scheme, conv_keys):
+        secret, public = conv_keys
+        real = conv_scheme.params
+        proxy = ModelParams(
+            n=real.n,
+            plain_bits=real.plain_modulus.bit_length(),
+            coeff_bits=real.coeff_bits,
+            w_dcmp_bits=real.w_dcmp_bits,
+            a_dcmp_bits=real.a_dcmp_bits,
+        )
+        predicted = fresh_noise(proxy, NoiseMode.PRACTICAL)
+        worst = fresh_noise(proxy, NoiseMode.WORST)
+        measured = []
+        for seed in range(5):
+            rng = np.random.default_rng(seed)
+            ct = conv_scheme.encrypt_values(rng.integers(0, 50, 32), public)
+            # Invariant noise includes the r_t(q)*m term; remove headroom by
+            # comparing magnitudes / t.
+            measured.append(
+                noise_magnitude(conv_scheme, ct, secret) / real.plain_modulus
+            )
+        assert max(measured) < worst
+        # The practical estimate should be within ~6 bits of measurement.
+        assert max(measured) < predicted * 64
+
+    def test_budget_model_orders_parameter_sets(self):
+        """More aggressive Adcmp must show a smaller predicted budget."""
+        layer = FCLayer("f", ni=64, no=16)
+        lo = remaining_budget_bits(layer, params(a=4))
+        hi = remaining_budget_bits(layer, params(a=20))
+        assert hi.budget_bits < lo.budget_bits

@@ -1,0 +1,122 @@
+"""Statistical validation of the IBDG noise assumption (Section IV-B).
+
+The paper's practical noise model rests on two claims: (1) encryption
+noise behaves like an independent bounded discrete Gaussian, so sums
+accumulate in variance (sqrt growth), and (2) the worst-case bounds are
+"very rare".  These tests measure noise over repeated encryptions of the
+live scheme and check both claims empirically.
+"""
+
+import math
+
+import numpy as np
+import pytest
+
+from repro.bfv import BfvParameters, BfvScheme
+from repro.bfv.noise import noise_magnitude
+from repro.core.noise_model import NoiseMode, fresh_noise
+from repro.core.ptune import ModelParams
+
+TRIALS = 24
+
+
+@pytest.fixture(scope="module")
+def stat_scheme():
+    params = BfvParameters.create(
+        n=512, plain_bits=18, coeff_bits=60, a_dcmp_bits=12, require_security=False
+    )
+    return BfvScheme(params, seed=1000)
+
+
+@pytest.fixture(scope="module")
+def stat_keys(stat_scheme):
+    return stat_scheme.keygen()
+
+
+def _proxy(params):
+    return ModelParams(
+        n=params.n,
+        plain_bits=params.plain_modulus.bit_length(),
+        coeff_bits=params.coeff_bits,
+        w_dcmp_bits=params.w_dcmp_bits,
+        a_dcmp_bits=params.a_dcmp_bits,
+    )
+
+
+def _fresh_magnitudes(scheme, keys, trials=TRIALS):
+    """Noise of fresh encryptions of zero.
+
+    Encrypting zero isolates the random noise term: for nonzero messages
+    the invariant noise is dominated by the deterministic rounding term
+    r_t(q) * m, which is not what the IBDG claim is about.
+    """
+    secret, public = keys
+    t = scheme.params.plain_modulus
+    zero = np.zeros(16, dtype=np.int64)
+    return [
+        noise_magnitude(scheme, scheme.encrypt_values(zero, public), secret) / t
+        for _ in range(trials)
+    ]
+
+
+class TestFreshNoiseDistribution:
+    def test_worst_case_never_observed(self, stat_scheme, stat_keys):
+        """The Table III worst case (2nB^2) must be far above reality."""
+        worst = fresh_noise(_proxy(stat_scheme.params), NoiseMode.WORST)
+        observed = max(_fresh_magnitudes(stat_scheme, stat_keys))
+        assert observed < worst / 4
+
+    def test_practical_estimate_is_an_upper_quantile(self, stat_scheme, stat_keys):
+        """The z-scaled practical estimate bounds all observed samples."""
+        practical = fresh_noise(_proxy(stat_scheme.params), NoiseMode.PRACTICAL)
+        magnitudes = _fresh_magnitudes(stat_scheme, stat_keys)
+        assert max(magnitudes) < practical * 8  # within a few bits
+
+    def test_noise_concentrates(self, stat_scheme, stat_keys):
+        """IBDG concentration: the spread across trials is small
+        relative to the magnitude (no heavy tail at this sample size)."""
+        magnitudes = np.array(_fresh_magnitudes(stat_scheme, stat_keys))
+        assert magnitudes.max() / magnitudes.min() < 4.0
+
+
+class TestAdditiveAccumulation:
+    def test_sum_grows_subadditively(self, stat_scheme, stat_keys):
+        """Adding k ciphertexts grows noise ~sqrt(k), not k (variance
+        accumulation -- the core of the practical model)."""
+        secret, public = stat_keys
+        rng = np.random.default_rng(1)
+        t = stat_scheme.params.plain_modulus
+        k = 16
+        zero = np.zeros(8, dtype=np.int64)
+        cts = [stat_scheme.encrypt_values(zero, public) for _ in range(k)]
+        total = cts[0]
+        for ct in cts[1:]:
+            total = stat_scheme.add(total, ct)
+        single = np.median(_fresh_magnitudes(stat_scheme, stat_keys))
+        summed = noise_magnitude(stat_scheme, total, secret) / t
+        growth = summed / single
+        # Between sqrt(k) = 4 and the worst case k = 16; should hug the
+        # lower end with comfortable slack.
+        assert growth < k * 0.75
+        assert growth > 1.0
+
+
+class TestRotationNoiseStatistics:
+    def test_rotation_additive_increment_scales_with_base(self, stat_scheme, stat_keys):
+        """Measured keyswitch noise grows with Adcmp, as eta_A predicts."""
+        secret, public = stat_keys
+        increments = {}
+        for a_bits in (6, 18):
+            params = BfvParameters.create(
+                n=512, plain_bits=18, coeff_bits=60, a_dcmp_bits=a_bits,
+                require_security=False,
+            )
+            scheme = BfvScheme(params, seed=2000 + a_bits)
+            sk, pk = scheme.keygen()
+            galois = scheme.generate_galois_keys(sk, [1])
+            ct = scheme.encrypt_values(np.arange(16), pk)
+            t = params.plain_modulus
+            before = noise_magnitude(scheme, ct, sk) / t
+            after = noise_magnitude(scheme, scheme.rotate_rows(ct, 1, galois), sk) / t
+            increments[a_bits] = after - before
+        assert increments[18] > increments[6]

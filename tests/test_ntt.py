@@ -1,0 +1,147 @@
+"""Unit + property tests for the negacyclic NTT kernels."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.bfv.counters import GLOBAL_COUNTERS
+from repro.bfv.modmath import generate_ntt_primes
+from repro.bfv.ntt import (
+    NttContext,
+    bit_reverse_indices,
+    naive_negacyclic_multiply,
+)
+
+
+@pytest.fixture(scope="module")
+def ctx16():
+    n = 16
+    prime = generate_ntt_primes(20, n, 1)[0]
+    return NttContext(n, prime)
+
+
+class TestBitReverse:
+    def test_n8(self):
+        assert list(bit_reverse_indices(8)) == [0, 4, 2, 6, 1, 5, 3, 7]
+
+    def test_is_involution(self):
+        indices = bit_reverse_indices(64)
+        assert np.array_equal(indices[indices], np.arange(64))
+
+
+class TestRoundtrip:
+    def test_forward_inverse_identity(self, ctx16):
+        rng = np.random.default_rng(0)
+        a = rng.integers(0, ctx16.modulus, 16)
+        assert np.array_equal(ctx16.inverse(ctx16.forward(a)), a % ctx16.modulus)
+
+    def test_batched_inputs(self, ctx16):
+        rng = np.random.default_rng(1)
+        batch = rng.integers(0, ctx16.modulus, (5, 16))
+        back = ctx16.inverse(ctx16.forward(batch))
+        assert np.array_equal(back, batch % ctx16.modulus)
+
+    @given(st.lists(st.integers(min_value=0, max_value=(1 << 19)), min_size=16, max_size=16))
+    @settings(max_examples=30)
+    def test_roundtrip_property(self, coeffs):
+        n = 16
+        prime = generate_ntt_primes(20, n, 1)[0]
+        ctx = NttContext(n, prime)
+        a = np.array(coeffs, dtype=np.int64) % prime
+        assert np.array_equal(ctx.inverse(ctx.forward(a)), a)
+
+
+class TestEvaluationProperty:
+    def test_forward_gives_odd_power_evaluations(self, ctx16):
+        """Index j must hold a(psi^(2j+1)) -- the encoder relies on this."""
+        rng = np.random.default_rng(2)
+        a = rng.integers(0, ctx16.modulus, 16)
+        evals = ctx16.forward(a)
+        p = ctx16.modulus
+        for j in range(16):
+            point = pow(ctx16.psi, 2 * j + 1, p)
+            expected = sum(int(a[i]) * pow(point, i, p) for i in range(16)) % p
+            assert int(evals[j]) == expected
+
+    def test_psi_is_negacyclic(self, ctx16):
+        assert pow(ctx16.psi, 16, ctx16.modulus) == ctx16.modulus - 1
+
+
+class TestConvolution:
+    def test_matches_schoolbook(self, ctx16):
+        rng = np.random.default_rng(3)
+        a = rng.integers(0, ctx16.modulus, 16)
+        b = rng.integers(0, ctx16.modulus, 16)
+        fast = ctx16.negacyclic_multiply(a, b)
+        slow = naive_negacyclic_multiply(a, b, ctx16.modulus)
+        assert np.array_equal(fast, slow)
+
+    def test_x_times_xn_minus_1_wraps_negatively(self, ctx16):
+        """x * x^(n-1) = x^n = -1 in the negacyclic ring."""
+        n, p = 16, ctx16.modulus
+        x = np.zeros(n, dtype=np.int64)
+        x[1] = 1
+        xn1 = np.zeros(n, dtype=np.int64)
+        xn1[n - 1] = 1
+        product = ctx16.negacyclic_multiply(x, xn1)
+        expected = np.zeros(n, dtype=np.int64)
+        expected[0] = p - 1
+        assert np.array_equal(product, expected)
+
+    @given(st.data())
+    @settings(max_examples=20)
+    def test_convolution_property(self, data):
+        n = 8
+        prime = generate_ntt_primes(18, n, 1)[0]
+        ctx = NttContext(n, prime)
+        a = np.array(
+            data.draw(st.lists(st.integers(0, prime - 1), min_size=n, max_size=n))
+        )
+        b = np.array(
+            data.draw(st.lists(st.integers(0, prime - 1), min_size=n, max_size=n))
+        )
+        assert np.array_equal(
+            ctx.negacyclic_multiply(a, b), naive_negacyclic_multiply(a, b, prime)
+        )
+
+
+class TestValidation:
+    def test_rejects_wide_modulus(self):
+        wide = generate_ntt_primes(31, 16, 1)[0] if False else (1 << 30) + 1
+        with pytest.raises(ValueError):
+            NttContext(16, (1 << 35) + 1)
+
+    def test_rejects_bad_congruence(self):
+        with pytest.raises(ValueError):
+            NttContext(16, 113)  # 112 not divisible by 32
+
+    def test_rejects_non_power_of_two(self):
+        prime = generate_ntt_primes(20, 16, 1)[0]
+        with pytest.raises(ValueError):
+            NttContext(12, prime)
+
+
+class TestOpAccounting:
+    def test_forward_counts_butterflies(self, ctx16):
+        before = GLOBAL_COUNTERS.snapshot()
+        rng = np.random.default_rng(4)
+        ctx16.forward(rng.integers(0, ctx16.modulus, 16))
+        delta = GLOBAL_COUNTERS.diff(before)
+        assert delta.ntt == 1
+        assert delta.butterflies == (16 // 2) * 4  # n/2 * log2 n
+
+    def test_count_ops_false_is_silent(self, ctx16):
+        before = GLOBAL_COUNTERS.snapshot()
+        rng = np.random.default_rng(5)
+        ctx16.forward(rng.integers(0, ctx16.modulus, 16), count_ops=False)
+        delta = GLOBAL_COUNTERS.diff(before)
+        assert delta.ntt == 0
+
+    def test_pointwise_counts_modmuls(self, ctx16):
+        rng = np.random.default_rng(6)
+        a = rng.integers(0, ctx16.modulus, 16)
+        b = rng.integers(0, ctx16.modulus, 16)
+        before = GLOBAL_COUNTERS.snapshot()
+        ctx16.pointwise(a, b)
+        assert GLOBAL_COUNTERS.diff(before).modmuls == 16

@@ -1,0 +1,86 @@
+"""Tests for BFV parameter validation and RLWE security estimation."""
+
+import pytest
+
+from repro.bfv import BfvParameters
+from repro.bfv.security import (
+    estimated_security_level,
+    is_secure,
+    max_coeff_modulus_bits,
+)
+
+
+class TestSecurityTable:
+    def test_standard_entries(self):
+        assert max_coeff_modulus_bits(2048, 128) == 54
+        assert max_coeff_modulus_bits(4096, 128) == 109
+        assert max_coeff_modulus_bits(8192, 128) == 218
+
+    def test_higher_levels_are_stricter(self):
+        for n in (2048, 4096, 8192):
+            assert (
+                max_coeff_modulus_bits(n, 256)
+                < max_coeff_modulus_bits(n, 192)
+                < max_coeff_modulus_bits(n, 128)
+            )
+
+    def test_interpolation_between_powers(self):
+        mid = max_coeff_modulus_bits(3072, 128)
+        assert 54 < mid < 109
+
+    def test_is_secure(self):
+        assert is_secure(4096, 100)
+        assert not is_secure(4096, 120)
+
+    def test_estimated_level(self):
+        assert estimated_security_level(4096, 70) >= 128
+        assert estimated_security_level(4096, 50) >= 192
+        assert estimated_security_level(2048, 200) == 0
+
+    def test_invalid_level_rejected(self):
+        with pytest.raises(ValueError):
+            max_coeff_modulus_bits(4096, 100)
+
+    def test_out_of_range_dimension(self):
+        with pytest.raises(ValueError):
+            max_coeff_modulus_bits(512, 128)
+
+
+class TestParameters:
+    def test_create_derivations(self):
+        params = BfvParameters.create(
+            n=2048, plain_bits=20, coeff_bits=54, w_dcmp_bits=10, a_dcmp_bits=9
+        )
+        assert params.plain_modulus.bit_length() == 20
+        assert 52 <= params.coeff_bits <= 56
+        assert params.l_pt == 2  # ceil(20 / 10)
+        assert params.l_ct == 6  # ceil(54 / 9)
+        assert params.delta == params.coeff_modulus // params.plain_modulus
+        assert params.row_size == 1024
+
+    def test_noise_capacity(self):
+        params = BfvParameters.create(n=2048, plain_bits=20, coeff_bits=54)
+        assert 30 <= params.noise_capacity_bits <= 36
+
+    def test_security_enforced(self):
+        with pytest.raises(ValueError):
+            BfvParameters.create(n=2048, plain_bits=20, coeff_bits=100)
+
+    def test_security_bypass_flag(self):
+        params = BfvParameters.create(
+            n=256, plain_bits=18, coeff_bits=60, require_security=False
+        )
+        assert params.security_level == 0
+
+    def test_plain_modulus_congruence_enforced(self):
+        params = BfvParameters.create(n=2048, plain_bits=20, coeff_bits=54)
+        assert (params.plain_modulus - 1) % (2 * params.n) == 0
+
+    def test_rejects_non_power_of_two(self):
+        with pytest.raises(ValueError):
+            BfvParameters.create(n=2000, plain_bits=20, coeff_bits=54)
+
+    def test_describe_contains_knobs(self):
+        params = BfvParameters.create(n=2048, plain_bits=20, coeff_bits=54)
+        text = params.describe()
+        assert "n=2048" in text and "Adcmp" in text and "Wdcmp" in text

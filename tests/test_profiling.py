@@ -1,0 +1,123 @@
+"""Tests for profiling, the limit study (Fig. 7) and the GPU model (Fig. 8)."""
+
+import pytest
+
+from repro.core.baselines import cheetah_configuration
+from repro.nn.models import lenet5
+from repro.profiling import (
+    PEAK_SPEEDUP,
+    estimated_cpu_seconds,
+    gpu_ntt_speedup,
+    layer_breakdown,
+    limit_study,
+    measure_unit_costs,
+    network_profile,
+    sweep,
+    warp_execution_efficiency,
+    warp_occupancy,
+)
+
+
+@pytest.fixture(scope="module")
+def lenet_tuned():
+    return cheetah_configuration(lenet5()).tuned_layers
+
+
+@pytest.fixture(scope="module")
+def lenet_profile(lenet_tuned):
+    return network_profile(lenet_tuned)
+
+
+class TestKernelBreakdown:
+    def test_fractions_sum_to_one(self, lenet_profile):
+        assert sum(lenet_profile.fractions().values()) == pytest.approx(1.0)
+
+    def test_ntt_dominates(self, lenet_profile):
+        """Figure 7a headline: NTT is the primary bottleneck."""
+        assert lenet_profile.dominant() == "ntt"
+        assert lenet_profile.fractions()["ntt"] > 0.4
+
+    def test_add_negligible(self, lenet_profile):
+        assert lenet_profile.fractions()["add"] < 0.05
+
+    def test_rotate_second_tier(self, lenet_profile):
+        fractions = lenet_profile.fractions()
+        assert fractions["rotate"] > fractions["add"]
+
+    def test_layer_breakdown_positive(self, lenet_tuned):
+        breakdown = layer_breakdown(lenet_tuned[0])
+        assert breakdown.total > 0
+        assert breakdown.ntt > 0
+
+
+class TestUnitCosts:
+    def test_measured_costs_positive(self):
+        costs = measure_unit_costs(n=1024, repeats=3)
+        assert costs.per_butterfly > 0
+        assert costs.per_modmul > 0
+        assert costs.per_modadd > 0
+
+    def test_estimated_cpu_seconds(self, lenet_tuned):
+        costs = measure_unit_costs(n=1024, repeats=3)
+        assert estimated_cpu_seconds(lenet_tuned, costs) > 0
+
+
+class TestLimitStudy:
+    def test_converges_to_target(self, lenet_profile):
+        result = limit_study(lenet_profile, total_seconds=970.0, target_seconds=0.1)
+        assert result.final_seconds <= 0.1
+
+    def test_speedups_are_powers_of_two(self, lenet_profile):
+        result = limit_study(lenet_profile, 970.0, 0.1)
+        for factor in result.speedups.values():
+            assert factor & (factor - 1) == 0
+
+    def test_ntt_needs_most_speedup(self, lenet_profile):
+        """Figure 7b: NTT requires the largest factor."""
+        result = limit_study(lenet_profile, 970.0, 0.1)
+        assert result.speedups["ntt"] == max(result.speedups.values())
+
+    def test_magnitudes_match_paper_order(self, lenet_profile):
+        """Paper: NTT 16384x, Rotate 8192x, Mult/Add 4096x (ResNet50)."""
+        result = limit_study(lenet_profile, 970.0, 0.1)
+        assert 1024 <= result.speedups["ntt"] <= 65536
+
+    def test_trajectory_monotone(self, lenet_profile):
+        result = limit_study(lenet_profile, 970.0, 0.1)
+        totals = [t for _, _, t in result.trajectory]
+        assert totals == sorted(totals, reverse=True)
+
+    def test_invalid_target(self, lenet_profile):
+        with pytest.raises(ValueError):
+            limit_study(lenet_profile, 970.0, 0.0)
+
+
+class TestGpuModel:
+    def test_monotone_in_batch(self):
+        speedups = [gpu_ntt_speedup(b) for b in (1, 8, 64, 512, 1024)]
+        assert speedups == sorted(speedups)
+
+    def test_saturates_near_120(self):
+        """Figure 8: speedup saturates around 120x at batch 512-1024."""
+        assert 100 <= gpu_ntt_speedup(512) <= PEAK_SPEEDUP
+        assert 105 <= gpu_ntt_speedup(1024) <= PEAK_SPEEDUP
+
+    def test_small_batch_far_from_peak(self):
+        assert gpu_ntt_speedup(1) < 0.2 * PEAK_SPEEDUP
+
+    def test_larger_n_saturates_earlier(self):
+        assert gpu_ntt_speedup(64, n=65536) > gpu_ntt_speedup(64, n=16384)
+
+    def test_paper_measurements_at_512(self):
+        """nvprof at batch 512: 70% occupancy, 85% execution efficiency."""
+        assert warp_occupancy(512) == pytest.approx(0.70, abs=0.08)
+        assert warp_execution_efficiency(512) == pytest.approx(0.85)
+
+    def test_sweep_grid(self):
+        points = sweep([1, 512], [16384, 65536])
+        assert len(points) == 4
+        assert all(p.speedup > 0 for p in points)
+
+    def test_invalid_batch(self):
+        with pytest.raises(ValueError):
+            gpu_ntt_speedup(0)

@@ -1,0 +1,120 @@
+"""Tests for HE-PTune's design-space exploration (Section IV)."""
+
+import pytest
+
+from repro.core.noise_model import NoiseMode, Schedule
+from repro.core.ptune import (
+    HePTune,
+    ModelParams,
+    SearchSpace,
+    infeasible_fraction,
+)
+from repro.nn.layers import ConvLayer, FCLayer
+from repro.nn.models import lenet5
+
+
+@pytest.fixture(scope="module")
+def tuner():
+    return HePTune()
+
+
+@pytest.fixture(scope="module")
+def conv_layer():
+    return ConvLayer("c", w=14, fw=5, ci=6, co=16)
+
+
+class TestModelParams:
+    def test_derived_quantities(self):
+        p = ModelParams(n=4096, plain_bits=20, coeff_bits=60, w_dcmp_bits=10, a_dcmp_bits=15)
+        assert p.l_pt == 2
+        assert p.l_ct == 4
+        assert p.noise_capacity_bits == 39
+        assert p.w_dcmp == 1024
+
+    def test_realize_produces_usable_params(self):
+        p = ModelParams(n=2048, plain_bits=20, coeff_bits=54, w_dcmp_bits=10, a_dcmp_bits=9)
+        real = p.realize()
+        assert real.n == 2048
+        assert real.plain_modulus.bit_length() == 20
+        assert abs(real.coeff_bits - 54) <= 2
+
+    def test_describe(self):
+        p = ModelParams(n=2048, plain_bits=20, coeff_bits=54, w_dcmp_bits=10, a_dcmp_bits=9)
+        assert "n=2048" in p.describe()
+
+
+class TestSearchSpace:
+    def test_q_options_respect_security(self):
+        space = SearchSpace()
+        options = space.q_bits_options(2048)
+        assert max(options) == 54
+        assert min(options) >= space.q_bits_min
+
+    def test_ceiling_included(self):
+        space = SearchSpace(q_bits_step=50)
+        assert 109 in space.q_bits_options(4096)
+
+
+class TestTuning:
+    def test_tuned_layer_is_feasible(self, tuner, conv_layer):
+        tuned = tuner.tune_layer(conv_layer)
+        assert tuned.noise.budget_bits > 0
+        assert tuned.int_mults > 0
+
+    def test_tuned_layer_is_optimal_in_space(self, tuner, conv_layer):
+        tuned = tuner.tune_layer(conv_layer)
+        for candidate in tuner.candidates(conv_layer):
+            if candidate.noise.budget_bits > 0:
+                assert tuned.int_mults <= candidate.int_mults
+
+    def test_pa_forces_single_window(self, conv_layer):
+        tuner = HePTune(schedule=Schedule.PARTIAL_ALIGNED)
+        tuned = tuner.tune_layer(conv_layer)
+        assert tuned.op_counts.he_mult <= tuned.op_counts.he_rotate * 2  # no l_pt blowup
+
+    def test_network_tuning_counts(self, tuner):
+        net = lenet5()
+        tuned = tuner.tune_network(net)
+        assert len(tuned) == len(net.linear_layers)
+
+    def test_global_tuning_single_config(self, tuner):
+        net = lenet5()
+        tuned = tuner.tune_network_global(net)
+        params = {t.params for t in tuned}
+        assert len(params) == 1
+
+    def test_global_never_beats_per_layer(self):
+        net = lenet5()
+        tuner = HePTune()
+        per_layer = sum(t.int_mults for t in tuner.tune_network(net))
+        global_cfg = sum(t.int_mults for t in tuner.tune_network_global(net))
+        assert per_layer <= global_cfg
+
+    def test_worst_mode_needs_more_budget(self, conv_layer):
+        practical = HePTune(mode=NoiseMode.PRACTICAL).tune_layer(conv_layer)
+        worst = HePTune(mode=NoiseMode.WORST).tune_layer(conv_layer)
+        assert worst.int_mults >= practical.int_mults
+
+    def test_impossible_space_raises(self, conv_layer):
+        space = SearchSpace(n_options=(1024,), q_bits_min=24, q_bits_step=60)
+        tuner = HePTune(space=space, mode=NoiseMode.WORST)
+        with pytest.raises(RuntimeError):
+            tuner.tune_layer(conv_layer)
+
+
+class TestInfeasibleFraction:
+    def test_many_points_infeasible_for_deep_layer(self):
+        """Section IV-C: most of the raw space fails for ImageNet layers.
+
+        The paper reports >99% over an unfiltered sweep; our grid already
+        prunes insecure (n, q) pairs, so we assert the qualitative claim:
+        a substantial share of even the curated space fails, and deep
+        layers fail more often than small ones.
+        """
+        deep = ConvLayer("c", w=28, fw=3, ci=256, co=256)
+        small = FCLayer("f", ni=100, no=10)
+        tuner = HePTune(mode=NoiseMode.WORST, schedule=Schedule.INPUT_ALIGNED)
+        deep_fraction = infeasible_fraction(tuner, deep)
+        small_fraction = infeasible_fraction(tuner, small)
+        assert deep_fraction > 0.25
+        assert deep_fraction > small_fraction

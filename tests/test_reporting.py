@@ -1,0 +1,56 @@
+"""Tests for the JSON experiment export."""
+
+import json
+
+import pytest
+
+from repro.reporting import (
+    figure6_results,
+    figure7_results,
+    figure8_results,
+    figure11_results,
+    write_report,
+)
+
+
+class TestSections:
+    def test_figure6_structure(self):
+        payload = figure6_results(["LeNet300100"])
+        model = payload["per_model"]["LeNet300100"]
+        assert model["combined_speedup"] > 1.0
+        assert "harmonic_means" not in payload  # single model
+
+    def test_figure6_means_with_multiple_models(self):
+        payload = figure6_results(["LeNet300100", "LeNet5"])
+        assert payload["harmonic_means"]["combined"] > 1.0
+
+    def test_figure7_structure(self):
+        payload = figure7_results("LeNet5")
+        assert abs(sum(payload["kernel_fractions"].values()) - 1.0) < 1e-9
+        assert payload["final_latency_ms"] <= 100.0
+
+    def test_figure8_grid(self):
+        payload = figure8_results()
+        assert payload["n=16384"]["1024"] > payload["n=16384"]["1"]
+
+    def test_figure11_selected_design(self):
+        payload = figure11_results("LeNet5")
+        assert payload["selected"]["latency_ms"] > 0
+        assert len(payload["pareto"]) >= 1
+
+
+class TestWriteReport:
+    def test_writes_valid_json(self, tmp_path):
+        path = tmp_path / "results.json"
+        payload = write_report(str(path), ["LeNet300100"])
+        on_disk = json.loads(path.read_text())
+        assert set(on_disk) == set(payload)
+        assert "figure6_speedups" in on_disk
+
+    def test_cli_report_command(self, tmp_path, capsys):
+        from repro.cli import main
+
+        out = tmp_path / "r.json"
+        assert main(["report", "--out", str(out), "LeNet300100"]) == 0
+        assert out.exists()
+        assert "wrote" in capsys.readouterr().out

@@ -1,0 +1,84 @@
+"""Unit + property tests for the RNS basis."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.bfv.rns import RnsBasis
+
+
+@pytest.fixture(scope="module")
+def basis():
+    return RnsBasis.for_bit_budget(60, 256)
+
+
+class TestConstruction:
+    def test_bit_budget_met(self, basis):
+        assert 58 <= basis.bits <= 62
+
+    def test_limbs_stay_under_int64_safe_width(self, basis):
+        for prime in basis.primes:
+            assert prime.bit_length() <= 30
+
+    def test_ntt_friendly(self, basis):
+        for prime in basis.primes:
+            assert prime % 512 == 1  # 2n = 512
+
+    def test_large_budget_partitions(self):
+        basis = RnsBasis.for_bit_budget(100, 1024)
+        assert 98 <= basis.bits <= 102
+        assert basis.count == 4
+
+    def test_rejects_duplicates(self):
+        with pytest.raises(ValueError):
+            RnsBasis([257, 257])
+
+    def test_rejects_empty(self):
+        with pytest.raises(ValueError):
+            RnsBasis([])
+
+    def test_rejects_tiny_budget(self):
+        with pytest.raises(ValueError):
+            RnsBasis.for_bit_budget(10, 256)
+
+
+class TestComposeDecompose:
+    def test_roundtrip(self, basis):
+        rng = np.random.default_rng(0)
+        coeffs = np.array(
+            [int(rng.integers(0, 1 << 57)) for _ in range(16)], dtype=object
+        )
+        assert np.array_equal(basis.compose(basis.decompose(coeffs)), coeffs)
+
+    def test_values_reduced_mod_q(self, basis):
+        q = basis.modulus
+        coeffs = np.array([q + 5, 2 * q + 7], dtype=object)
+        composed = basis.compose(basis.decompose(coeffs))
+        assert list(composed) == [5, 7]
+
+    def test_compose_validates_shape(self, basis):
+        with pytest.raises(ValueError):
+            basis.compose(np.zeros((basis.count + 1, 4), dtype=np.int64))
+
+    @given(st.lists(st.integers(min_value=0, max_value=(1 << 59)), min_size=1, max_size=8))
+    @settings(max_examples=30)
+    def test_roundtrip_property(self, values):
+        basis = RnsBasis.for_bit_budget(60, 256)
+        coeffs = np.array(values, dtype=object) % basis.modulus
+        assert np.array_equal(basis.compose(basis.decompose(coeffs)), coeffs)
+
+    def test_additive_homomorphism(self, basis):
+        rng = np.random.default_rng(1)
+        a = np.array([int(rng.integers(0, 1 << 50)) for _ in range(8)], dtype=object)
+        b = np.array([int(rng.integers(0, 1 << 50)) for _ in range(8)], dtype=object)
+        primes = np.array(basis.primes, dtype=np.int64)[:, None]
+        summed = (basis.decompose(a) + basis.decompose(b)) % primes
+        assert np.array_equal(basis.compose(summed), (a + b) % basis.modulus)
+
+
+class TestScalar:
+    def test_reduce_scalar(self, basis):
+        residues = basis.reduce_scalar(12345678901234567)
+        for residue, prime in zip(residues, basis.primes):
+            assert residue == 12345678901234567 % prime

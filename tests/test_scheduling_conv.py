@@ -1,0 +1,126 @@
+"""Live homomorphic convolution: correctness against the plaintext oracle."""
+
+import numpy as np
+import pytest
+
+from repro.core.noise_model import Schedule
+from repro.nn.plaintext import conv2d
+from repro.scheduling import (
+    conv2d_he_small,
+    conv_rotation_steps,
+    conv_tap_plaintext_ia,
+    conv_tap_plaintext_pa,
+    pack_image,
+    tap_offset,
+    unpack_image,
+    valid_output_positions,
+)
+
+
+@pytest.fixture(scope="module")
+def conv_galois(conv_scheme, conv_keys):
+    secret, _ = conv_keys
+    grid_w = int(np.sqrt(conv_scheme.params.row_size))
+    steps = sorted(
+        set(conv_rotation_steps(grid_w, 3)) | set(conv_rotation_steps(grid_w, 2))
+    )
+    return conv_scheme.generate_galois_keys(secret, steps)
+
+
+class TestLayouts:
+    def test_pack_unpack_roundtrip(self):
+        image = np.arange(36).reshape(6, 6)
+        assert np.array_equal(unpack_image(pack_image(image), 6), image)
+
+    def test_pack_rejects_non_square(self):
+        with pytest.raises(ValueError):
+            pack_image(np.zeros((3, 4), dtype=np.int64))
+
+    def test_tap_offset(self):
+        assert tap_offset(0, 0, 10) == 0
+        assert tap_offset(2, 3, 10) == 23
+
+    def test_valid_positions_count(self):
+        positions = valid_output_positions(8, 3)
+        assert positions.shape[0] == 36  # (8-3+1)^2
+
+    def test_pa_plaintext_zero_boundary(self):
+        """Zeros must appear exactly outside shifted valid positions."""
+        tap = conv_tap_plaintext_pa(5, 8, 3, 1, 1, 64)
+        expected_nonzero = valid_output_positions(8, 3) + tap_offset(1, 1, 8)
+        nonzero = np.nonzero(tap)[0]
+        assert np.array_equal(np.sort(expected_nonzero), nonzero)
+
+    def test_ia_plaintext_sits_at_outputs(self):
+        tap = conv_tap_plaintext_ia(5, 8, 3, 2, 2, 64)
+        assert np.array_equal(np.nonzero(tap)[0], np.sort(valid_output_positions(8, 3)))
+
+
+class TestConvCorrectness:
+    @pytest.mark.parametrize("schedule", list(Schedule))
+    def test_single_channel(self, conv_scheme, conv_keys, conv_galois, schedule, rng):
+        secret, public = conv_keys
+        acts = rng.integers(0, 16, (1, 6, 6))
+        weights = rng.integers(-4, 5, (1, 1, 3, 3))
+        out = conv2d_he_small(
+            conv_scheme, acts, weights, public, secret, conv_galois, schedule
+        )
+        assert np.array_equal(out, conv2d(acts, weights))
+
+    @pytest.mark.parametrize("schedule", list(Schedule))
+    def test_multi_channel(self, conv_scheme, conv_keys, conv_galois, schedule, rng):
+        secret, public = conv_keys
+        acts = rng.integers(0, 8, (3, 6, 6))
+        weights = rng.integers(-4, 5, (2, 3, 3, 3))
+        out = conv2d_he_small(
+            conv_scheme, acts, weights, public, secret, conv_galois, schedule
+        )
+        assert np.array_equal(out, conv2d(acts, weights))
+
+    def test_2x2_filter(self, conv_scheme, conv_keys, conv_galois, rng):
+        secret, public = conv_keys
+        acts = rng.integers(0, 10, (1, 5, 5))
+        weights = rng.integers(-3, 4, (1, 1, 2, 2))
+        out = conv2d_he_small(
+            conv_scheme, acts, weights, public, secret, conv_galois
+        )
+        assert np.array_equal(out, conv2d(acts, weights))
+
+    def test_negative_activations(self, conv_scheme, conv_keys, conv_galois, rng):
+        secret, public = conv_keys
+        acts = rng.integers(-8, 8, (1, 6, 6))
+        weights = rng.integers(-4, 5, (1, 1, 3, 3))
+        out = conv2d_he_small(
+            conv_scheme, acts, weights, public, secret, conv_galois
+        )
+        assert np.array_equal(out, conv2d(acts, weights))
+
+    def test_identity_filter(self, conv_scheme, conv_keys, conv_galois, rng):
+        secret, public = conv_keys
+        acts = rng.integers(0, 16, (1, 6, 6))
+        weights = np.zeros((1, 1, 3, 3), dtype=np.int64)
+        weights[0, 0, 0, 0] = 1
+        out = conv2d_he_small(
+            conv_scheme, acts, weights, public, secret, conv_galois
+        )
+        assert np.array_equal(out, acts[:, :4, :4])
+
+    def test_oversized_image_rejected(self, conv_scheme, conv_keys, conv_galois):
+        secret, public = conv_keys
+        w = int(np.sqrt(conv_scheme.params.row_size)) + 1
+        acts = np.zeros((1, w, w), dtype=np.int64)
+        weights = np.zeros((1, 1, 3, 3), dtype=np.int64)
+        with pytest.raises(ValueError):
+            conv2d_he_small(conv_scheme, acts, weights, public, secret, conv_galois)
+
+    def test_channel_count_mismatch_rejected(self, conv_scheme, conv_keys, conv_galois):
+        from repro.scheduling.conv2d import conv2d_he, encrypt_channels
+
+        secret, public = conv_keys
+        grid_w = int(np.sqrt(conv_scheme.params.row_size))
+        cts = encrypt_channels(
+            conv_scheme, np.zeros((1, grid_w, grid_w), dtype=np.int64), public
+        )
+        weights = np.zeros((1, 2, 3, 3), dtype=np.int64)  # wants 2 channels
+        with pytest.raises(ValueError):
+            conv2d_he(conv_scheme, cts, weights, conv_galois)

@@ -1,0 +1,108 @@
+"""Live homomorphic FC layers: diagonal method under both schedules."""
+
+import numpy as np
+import pytest
+
+from repro.core.noise_model import Schedule
+from repro.scheduling import (
+    fc_diagonal,
+    fc_he_small,
+    fc_rotation_steps,
+    pack_fc_input,
+    pad_fc_weights,
+)
+
+
+@pytest.fixture(scope="module")
+def fc_galois(conv_scheme, conv_keys):
+    secret, _ = conv_keys
+    return conv_scheme.generate_galois_keys(secret, fc_rotation_steps(24))
+
+
+class TestDiagonals:
+    def test_ia_diagonal_definition(self):
+        weights = np.arange(16).reshape(4, 4)
+        diag = fc_diagonal(weights, 1, schedule_pa=False)
+        expected = [weights[j, (j + 1) % 4] for j in range(4)]
+        assert list(diag) == expected
+
+    def test_pa_diagonal_definition(self):
+        weights = np.arange(16).reshape(4, 4)
+        diag = fc_diagonal(weights, 1, schedule_pa=True)
+        expected = [weights[(j - 1) % 4, j] for j in range(4)]
+        assert list(diag) == expected
+
+    def test_pad_weights(self):
+        weights = np.ones((2, 5), dtype=np.int64)
+        padded = pad_fc_weights(weights)
+        assert padded.shape == (5, 5)
+        assert padded[2:].sum() == 0
+
+    def test_pad_rejects_wide_output(self):
+        with pytest.raises(ValueError):
+            pad_fc_weights(np.ones((6, 5), dtype=np.int64))
+
+    def test_diagonal_requires_square(self):
+        with pytest.raises(ValueError):
+            fc_diagonal(np.ones((2, 5), dtype=np.int64), 0, True)
+
+
+class TestPacking:
+    def test_duplicated_packing(self):
+        packed = pack_fc_input(np.array([1, 2, 3]), 16)
+        assert list(packed[:6]) == [1, 2, 3, 1, 2, 3]
+        assert not packed[6:].any()
+
+    def test_rejects_overflow(self):
+        with pytest.raises(ValueError):
+            pack_fc_input(np.arange(9), 16)
+
+
+class TestFcCorrectness:
+    @pytest.mark.parametrize("schedule", list(Schedule))
+    def test_square_matrix(self, conv_scheme, conv_keys, fc_galois, schedule, rng):
+        secret, public = conv_keys
+        x = rng.integers(-8, 8, 12)
+        weights = rng.integers(-4, 5, (12, 12))
+        out = fc_he_small(conv_scheme, x, weights, public, secret, fc_galois, schedule)
+        assert np.array_equal(out, weights @ x)
+
+    @pytest.mark.parametrize("schedule", list(Schedule))
+    def test_rectangular(self, conv_scheme, conv_keys, fc_galois, schedule, rng):
+        secret, public = conv_keys
+        x = rng.integers(0, 16, 24)
+        weights = rng.integers(-4, 5, (7, 24))
+        out = fc_he_small(conv_scheme, x, weights, public, secret, fc_galois, schedule)
+        assert np.array_equal(out, weights @ x)
+
+    def test_single_output(self, conv_scheme, conv_keys, fc_galois, rng):
+        secret, public = conv_keys
+        x = rng.integers(0, 8, 8)
+        weights = rng.integers(-4, 5, (1, 8))
+        out = fc_he_small(conv_scheme, x, weights, public, secret, fc_galois)
+        assert np.array_equal(out, weights @ x)
+
+    def test_zero_weights(self, conv_scheme, conv_keys, fc_galois, rng):
+        secret, public = conv_keys
+        x = rng.integers(0, 8, 8)
+        weights = np.zeros((3, 8), dtype=np.int64)
+        out = fc_he_small(conv_scheme, x, weights, public, secret, fc_galois)
+        assert not out.any()
+
+    def test_identity_matrix(self, conv_scheme, conv_keys, fc_galois, rng):
+        secret, public = conv_keys
+        x = rng.integers(0, 16, 10)
+        out = fc_he_small(conv_scheme, x, np.eye(10, dtype=np.int64), public, secret, fc_galois)
+        assert np.array_equal(out, x)
+
+    def test_input_size_validation(self, conv_scheme, conv_keys, fc_galois):
+        secret, public = conv_keys
+        with pytest.raises(ValueError):
+            fc_he_small(
+                conv_scheme,
+                np.zeros(4, dtype=np.int64),
+                np.zeros((2, 8), dtype=np.int64),
+                public,
+                secret,
+                fc_galois,
+            )

@@ -1,0 +1,121 @@
+"""Property-based tests: the scheme is homomorphic over Z_t slot vectors.
+
+Hypothesis drives random vectors and operation sequences through the
+live scheme and checks the decrypted result against plain integer
+arithmetic mod t.
+"""
+
+import numpy as np
+import pytest
+from hypothesis import HealthCheck, given, settings
+from hypothesis import strategies as st
+
+from repro.bfv import BfvParameters, BfvScheme
+
+# A single shared toy context: hypothesis re-runs bodies many times, so
+# construction cost must be paid once.
+_PARAMS = BfvParameters.create(
+    n=64, plain_bits=18, coeff_bits=54, a_dcmp_bits=10, require_security=False
+)
+_SCHEME = BfvScheme(_PARAMS, seed=77)
+_SECRET, _PUBLIC = _SCHEME.keygen()
+_GALOIS = _SCHEME.generate_galois_keys(_SECRET, list(range(1, 8)))
+_T = _PARAMS.plain_modulus
+
+vectors = st.lists(
+    st.integers(min_value=0, max_value=1000), min_size=1, max_size=_PARAMS.n
+)
+
+
+@settings(max_examples=25, suppress_health_check=[HealthCheck.too_slow])
+@given(vectors, vectors)
+def test_addition_is_slotwise(a, b):
+    size = min(len(a), len(b))
+    va = np.array(a[:size], dtype=np.int64)
+    vb = np.array(b[:size], dtype=np.int64)
+    ct = _SCHEME.add(
+        _SCHEME.encrypt_values(va, _PUBLIC), _SCHEME.encrypt_values(vb, _PUBLIC)
+    )
+    decoded = _SCHEME.decrypt_values(ct, _SECRET, signed=False)
+    assert np.array_equal(decoded[:size], (va + vb) % _T)
+
+
+@settings(max_examples=25, suppress_health_check=[HealthCheck.too_slow])
+@given(vectors, st.integers(min_value=-100, max_value=100))
+def test_plain_multiplication_is_slotwise(a, scalar):
+    va = np.array(a, dtype=np.int64)
+    plain = _SCHEME.encode_for_mul(
+        _SCHEME.encoder.encode(np.full(_PARAMS.n, scalar))
+    )
+    ct = _SCHEME.mul_plain(_SCHEME.encrypt_values(va, _PUBLIC), plain)
+    decoded = _SCHEME.decrypt_values(ct, _SECRET, signed=False)
+    assert np.array_equal(decoded[: len(a)], (va * scalar) % _T)
+
+
+@settings(max_examples=25, suppress_health_check=[HealthCheck.too_slow])
+@given(st.integers(min_value=1, max_value=7))
+def test_rotation_is_cyclic_shift(step):
+    row = _PARAMS.row_size
+    values = np.arange(row)
+    ct = _SCHEME.encrypt(_SCHEME.encoder.encode_row(values), _PUBLIC)
+    rotated = _SCHEME.rotate_rows(ct, step, _GALOIS)
+    decoded = _SCHEME.encoder.decode_row(
+        _SCHEME.decrypt(rotated, _SECRET), signed=False
+    )
+    assert np.array_equal(decoded, np.roll(values, -step))
+
+
+@settings(max_examples=15, suppress_health_check=[HealthCheck.too_slow])
+@given(
+    st.lists(
+        st.sampled_from(["add_self", "rotate1", "triple"]), min_size=1, max_size=5
+    )
+)
+def test_random_operation_sequences(ops):
+    """Any interleaving of the three operators tracks plain arithmetic."""
+    row = _PARAMS.row_size
+    reference = np.arange(row) % 50
+    ct = _SCHEME.encrypt(_SCHEME.encoder.encode_row(reference), _PUBLIC)
+    triple = _SCHEME.encode_for_mul(_SCHEME.encoder.encode(np.full(_PARAMS.n, 3)))
+    for op in ops:
+        if op == "add_self":
+            ct = _SCHEME.add(ct, ct)
+            reference = (reference * 2) % _T
+        elif op == "rotate1":
+            ct = _SCHEME.rotate_rows(ct, 1, _GALOIS)
+            reference = np.roll(reference, -1)
+        else:
+            ct = _SCHEME.mul_plain(ct, triple)
+            reference = (reference * 3) % _T
+    decoded = _SCHEME.encoder.decode_row(_SCHEME.decrypt(ct, _SECRET), signed=False)
+    assert np.array_equal(decoded, reference)
+
+
+@settings(max_examples=20, suppress_health_check=[HealthCheck.too_slow])
+@given(vectors)
+def test_encrypt_decrypt_identity(a):
+    va = np.array(a, dtype=np.int64)
+    ct = _SCHEME.encrypt_values(va, _PUBLIC)
+    assert np.array_equal(
+        _SCHEME.decrypt_values(ct, _SECRET, signed=False)[: len(a)], va % _T
+    )
+
+
+@settings(max_examples=15, suppress_health_check=[HealthCheck.too_slow])
+@given(vectors, vectors)
+def test_add_commutes_with_rotation(a, b):
+    """rot(x) + rot(y) == rot(x + y): rotation is linear."""
+    row = _PARAMS.row_size
+    va = np.zeros(row, dtype=np.int64)
+    vb = np.zeros(row, dtype=np.int64)
+    va[: min(len(a), row)] = a[: min(len(a), row)]
+    vb[: min(len(b), row)] = b[: min(len(b), row)]
+    ct_a = _SCHEME.encrypt(_SCHEME.encoder.encode_row(va), _PUBLIC)
+    ct_b = _SCHEME.encrypt(_SCHEME.encoder.encode_row(vb), _PUBLIC)
+    left = _SCHEME.add(
+        _SCHEME.rotate_rows(ct_a, 2, _GALOIS), _SCHEME.rotate_rows(ct_b, 2, _GALOIS)
+    )
+    right = _SCHEME.rotate_rows(_SCHEME.add(ct_a, ct_b), 2, _GALOIS)
+    dl = _SCHEME.encoder.decode_row(_SCHEME.decrypt(left, _SECRET), signed=False)
+    dr = _SCHEME.encoder.decode_row(_SCHEME.decrypt(right, _SECRET), signed=False)
+    assert np.array_equal(dl, dr)

@@ -1,0 +1,121 @@
+"""Tests for the wire format (parameters, plaintexts, ciphertexts)."""
+
+import numpy as np
+import pytest
+
+from repro.bfv.serialize import (
+    ciphertext_wire_bytes,
+    deserialize_ciphertext,
+    deserialize_plaintext,
+    params_from_dict,
+    params_to_dict,
+    serialize_ciphertext,
+    serialize_plaintext,
+)
+
+
+class TestParams:
+    def test_roundtrip(self, small_params):
+        data = params_to_dict(small_params)
+        restored = params_from_dict(data)
+        assert restored.n == small_params.n
+        assert restored.plain_modulus == small_params.plain_modulus
+        assert restored.coeff_basis.primes == small_params.coeff_basis.primes
+        assert restored.l_ct == small_params.l_ct
+
+    def test_json_safe(self, small_params):
+        import json
+
+        json.dumps(params_to_dict(small_params))
+
+
+class TestPlaintext:
+    def test_roundtrip(self, small_scheme):
+        pt = small_scheme.encoder.encode(np.arange(30))
+        restored = deserialize_plaintext(serialize_plaintext(pt))
+        assert np.array_equal(restored.coeffs, pt.coeffs)
+
+    def test_rejects_garbage(self):
+        with pytest.raises(ValueError):
+            deserialize_plaintext(b"not a plaintext blob")
+
+
+class TestCiphertext:
+    def test_roundtrip_decrypts(self, small_scheme, small_keys):
+        secret, public = small_keys
+        values = np.arange(20)
+        ct = small_scheme.encrypt_values(values, public)
+        blob = serialize_ciphertext(ct, small_scheme.params)
+        restored = deserialize_ciphertext(blob, small_scheme.params)
+        decoded = small_scheme.decrypt_values(restored, secret, signed=False)
+        assert np.array_equal(decoded[:20], values)
+
+    def test_restored_ciphertext_still_computes(
+        self, small_scheme, small_keys, small_galois
+    ):
+        secret, public = small_keys
+        values = np.arange(small_scheme.params.row_size)
+        ct = small_scheme.encrypt(small_scheme.encoder.encode_row(values), public)
+        blob = serialize_ciphertext(ct, small_scheme.params)
+        restored = deserialize_ciphertext(blob, small_scheme.params)
+        rotated = small_scheme.rotate_rows(restored, 1, small_galois)
+        decoded = small_scheme.encoder.decode_row(
+            small_scheme.decrypt(rotated, secret), signed=False
+        )
+        assert np.array_equal(decoded, np.roll(values, -1))
+
+    def test_wire_size(self, small_scheme, small_keys):
+        _, public = small_keys
+        ct = small_scheme.encrypt_values(np.arange(4), public)
+        blob = serialize_ciphertext(ct, small_scheme.params)
+        data_bytes = ciphertext_wire_bytes(small_scheme.params)
+        assert len(blob) > data_bytes  # header on top of payload
+        assert len(blob) < data_bytes + 2048
+
+    def test_parameter_mismatch_detected(self, small_scheme, small_keys):
+        from repro.bfv import BfvParameters
+
+        _, public = small_keys
+        ct = small_scheme.encrypt_values(np.arange(4), public)
+        blob = serialize_ciphertext(ct, small_scheme.params)
+        other = BfvParameters.create(
+            n=small_scheme.params.n,
+            plain_bits=18,
+            coeff_bits=40,
+            require_security=False,
+        )
+        with pytest.raises(ValueError):
+            deserialize_ciphertext(blob, other)
+
+
+class TestGaloisKeys:
+    def test_roundtrip_rotates_correctly(self, small_scheme, small_keys):
+        from repro.bfv.serialize import (
+            deserialize_galois_keys,
+            serialize_galois_keys,
+        )
+
+        secret, public = small_keys
+        keys = small_scheme.generate_galois_keys(secret, [1, 3])
+        blob = serialize_galois_keys(keys, small_scheme.params)
+        restored = deserialize_galois_keys(blob, small_scheme.params)
+        values = np.arange(small_scheme.params.row_size)
+        ct = small_scheme.encrypt(small_scheme.encoder.encode_row(values), public)
+        rotated = small_scheme.rotate_rows(ct, 3, restored)
+        decoded = small_scheme.encoder.decode_row(
+            small_scheme.decrypt(rotated, secret), signed=False
+        )
+        assert np.array_equal(decoded, np.roll(values, -3))
+
+    def test_type_validation(self, small_scheme):
+        from repro.bfv.serialize import serialize_galois_keys
+
+        with pytest.raises(TypeError):
+            serialize_galois_keys("not keys", small_scheme.params)
+
+    def test_kind_mismatch(self, small_scheme, small_keys):
+        from repro.bfv.serialize import deserialize_galois_keys, serialize_plaintext
+
+        pt = small_scheme.encoder.encode(np.arange(4))
+        with pytest.raises(ValueError):
+            deserialize_galois_keys(serialize_plaintext(pt), small_scheme.params)

@@ -1,0 +1,78 @@
+"""Strided and padded homomorphic convolutions (AlexNet/ResNet50 lowering)."""
+
+import numpy as np
+import pytest
+
+from repro.core.noise_model import Schedule
+from repro.nn.plaintext import conv2d
+from repro.scheduling import conv2d_he_small, conv_rotation_steps
+
+
+@pytest.fixture(scope="module")
+def wide_galois(conv_scheme, conv_keys):
+    secret, _ = conv_keys
+    grid_w = int(np.sqrt(conv_scheme.params.row_size))
+    return conv_scheme.generate_galois_keys(secret, conv_rotation_steps(grid_w, 3))
+
+
+class TestPaddedConv:
+    def test_padding_matches_plaintext(self, conv_scheme, conv_keys, wide_galois, rng):
+        secret, public = conv_keys
+        acts = rng.integers(0, 8, (1, 6, 6))
+        weights = rng.integers(-4, 5, (1, 1, 3, 3))
+        out = conv2d_he_small(
+            conv_scheme, acts, weights, public, secret, wide_galois, padding=1
+        )
+        assert np.array_equal(out, conv2d(acts, weights, padding=1))
+
+    def test_same_padding_preserves_size(self, conv_scheme, conv_keys, wide_galois, rng):
+        secret, public = conv_keys
+        acts = rng.integers(0, 8, (1, 7, 7))
+        weights = rng.integers(-4, 5, (1, 1, 3, 3))
+        out = conv2d_he_small(
+            conv_scheme, acts, weights, public, secret, wide_galois, padding=1
+        )
+        assert out.shape == (1, 7, 7)
+
+
+class TestStridedConv:
+    def test_stride2_matches_plaintext(self, conv_scheme, conv_keys, wide_galois, rng):
+        secret, public = conv_keys
+        acts = rng.integers(0, 8, (1, 8, 8))
+        weights = rng.integers(-4, 5, (1, 1, 3, 3))
+        out = conv2d_he_small(
+            conv_scheme, acts, weights, public, secret, wide_galois, stride=2
+        )
+        assert np.array_equal(out, conv2d(acts, weights, stride=2))
+
+    def test_stride_and_padding_together(self, conv_scheme, conv_keys, wide_galois, rng):
+        secret, public = conv_keys
+        acts = rng.integers(0, 8, (2, 7, 7))
+        weights = rng.integers(-4, 5, (2, 2, 3, 3))
+        out = conv2d_he_small(
+            conv_scheme, acts, weights, public, secret, wide_galois,
+            stride=2, padding=1,
+        )
+        assert np.array_equal(out, conv2d(acts, weights, stride=2, padding=1))
+
+    def test_stride3(self, conv_scheme, conv_keys, wide_galois, rng):
+        secret, public = conv_keys
+        acts = rng.integers(0, 8, (1, 10, 10))
+        weights = rng.integers(-4, 5, (1, 1, 2, 2))
+        galois = conv_scheme.generate_galois_keys(
+            conv_keys[0],
+            conv_rotation_steps(int(np.sqrt(conv_scheme.params.row_size)), 2),
+        )
+        out = conv2d_he_small(
+            conv_scheme, acts, weights, public, secret, galois, stride=3
+        )
+        assert np.array_equal(out, conv2d(acts, weights, stride=3))
+
+    def test_invalid_stride_rejected(self, conv_scheme, conv_keys, wide_galois):
+        secret, public = conv_keys
+        acts = np.zeros((1, 6, 6), dtype=np.int64)
+        weights = np.zeros((1, 1, 3, 3), dtype=np.int64)
+        with pytest.raises(ValueError):
+            conv2d_he_small(
+                conv_scheme, acts, weights, public, secret, wide_galois, stride=0
+            )
