@@ -12,6 +12,7 @@ from .keys import GaloisKeys, KeySwitchKey, PublicKey, SecretKey
 from .modmath import generate_ntt_primes, generate_plain_modulus, is_prime
 from .noise import decryption_correct, invariant_noise_budget, noise_bits
 from .ntt import NttContext
+from .ntt_batch import RnsNttEngine, get_context, get_engine
 from .params import BfvParameters, DEFAULT_SIGMA, noise_bound
 from .polynomial import Domain, RnsPolynomial
 from .rns import RnsBasis
@@ -35,6 +36,9 @@ __all__ = [
     "invariant_noise_budget",
     "noise_bits",
     "NttContext",
+    "RnsNttEngine",
+    "get_context",
+    "get_engine",
     "BfvParameters",
     "DEFAULT_SIGMA",
     "noise_bound",

@@ -1,0 +1,120 @@
+/* Batched negacyclic NTT kernel: radix-2 DIT with 64-bit Shoup lazy reduction.
+ *
+ * Compiled on demand by repro.bfv.native (plain `cc -O3 -shared -fPIC`);
+ * the engine in repro.bfv.ntt_batch falls back to its vectorised numpy
+ * kernels whenever no C compiler is available.  Both paths compute
+ * bit-identical results: values are kept lazily in [0, 4p) between
+ * butterfly stages (Harvey's bound) and fully reduced into [0, p) once at
+ * the end, so the final residues match the reference NttContext exactly.
+ */
+#include <stdint.h>
+#include <string.h>
+
+typedef unsigned __int128 u128;
+
+static inline uint64_t mulhi64(uint64_t a, uint64_t b) {
+    return (uint64_t)(((u128)a * b) >> 64);
+}
+
+/* Shoup lazy product: x*w mod p in [0, 2p), with wsh = floor(w * 2^64 / p). */
+static inline uint64_t shoup_mul(uint64_t x, uint64_t w, uint64_t wsh, uint64_t p) {
+    uint64_t q = mulhi64(x, wsh);
+    return x * w - q * p;
+}
+
+/* Forward transform of a (k, B, n) residue stack, in place.
+ *
+ * perm:        bit-reversal permutation, length n
+ * psi/psi_sh:  (k, n) psi-power premultiply tables, stored in perm order
+ * tw/tw_sh:    (k, n-1) stage twiddles, stage s at offset 2^s - 1
+ * p_arr:       (k) moduli (< 2^30 so the lazy bound 4p stays far from 2^64)
+ * scratch:     (n) workspace shared across rows
+ */
+void ntt_forward(uint64_t *data, const int64_t *perm,
+                 const uint64_t *psi, const uint64_t *psi_sh,
+                 const uint64_t *tw, const uint64_t *tw_sh,
+                 const uint64_t *p_arr, long k, long B, long n,
+                 uint64_t *scratch) {
+    for (long i = 0; i < k; ++i) {
+        const uint64_t p = p_arr[i];
+        const uint64_t twop = 2 * p;
+        const uint64_t *psi_i = psi + i * n;
+        const uint64_t *psi_sh_i = psi_sh + i * n;
+        const uint64_t *tw_i = tw + i * (n - 1);
+        const uint64_t *tw_sh_i = tw_sh + i * (n - 1);
+        for (long b = 0; b < B; ++b) {
+            uint64_t *row = data + (i * B + b) * n;
+            memcpy(scratch, row, n * sizeof(uint64_t));
+            /* bit-reverse gather fused with the psi premultiply -> [0, 2p) */
+            for (long j = 0; j < n; ++j)
+                row[j] = shoup_mul(scratch[perm[j]], psi_i[j], psi_sh_i[j], p);
+            /* DIT stages, Harvey lazy: values stay in [0, 4p) */
+            for (long half = 1; half < n; half <<= 1) {
+                const uint64_t *w = tw_i + (half - 1);
+                const uint64_t *wsh = tw_sh_i + (half - 1);
+                for (long block = 0; block < n; block += 2 * half) {
+                    uint64_t *even = row + block;
+                    uint64_t *odd = even + half;
+                    for (long j = 0; j < half; ++j) {
+                        uint64_t x = even[j];
+                        if (x >= twop) x -= twop;
+                        uint64_t t = shoup_mul(odd[j], w[j], wsh[j], p);
+                        even[j] = x + t;
+                        odd[j] = x + twop - t;
+                    }
+                }
+            }
+            /* single deferred reduction into [0, p) */
+            for (long j = 0; j < n; ++j) {
+                uint64_t x = row[j];
+                if (x >= twop) x -= twop;
+                if (x >= p) x -= p;
+                row[j] = x;
+            }
+        }
+    }
+}
+
+/* Inverse transform: DIT stages with inverse twiddles, then one fused
+ * multiply by n^-1 * psi^-j (iscale tables), natural order output. */
+void ntt_inverse(uint64_t *data, const int64_t *perm,
+                 const uint64_t *iscale, const uint64_t *iscale_sh,
+                 const uint64_t *tw, const uint64_t *tw_sh,
+                 const uint64_t *p_arr, long k, long B, long n,
+                 uint64_t *scratch) {
+    for (long i = 0; i < k; ++i) {
+        const uint64_t p = p_arr[i];
+        const uint64_t twop = 2 * p;
+        const uint64_t *sc_i = iscale + i * n;
+        const uint64_t *sc_sh_i = iscale_sh + i * n;
+        const uint64_t *tw_i = tw + i * (n - 1);
+        const uint64_t *tw_sh_i = tw_sh + i * (n - 1);
+        for (long b = 0; b < B; ++b) {
+            uint64_t *row = data + (i * B + b) * n;
+            memcpy(scratch, row, n * sizeof(uint64_t));
+            for (long j = 0; j < n; ++j)
+                row[j] = scratch[perm[j]];
+            for (long half = 1; half < n; half <<= 1) {
+                const uint64_t *w = tw_i + (half - 1);
+                const uint64_t *wsh = tw_sh_i + (half - 1);
+                for (long block = 0; block < n; block += 2 * half) {
+                    uint64_t *even = row + block;
+                    uint64_t *odd = even + half;
+                    for (long j = 0; j < half; ++j) {
+                        uint64_t x = even[j];
+                        if (x >= twop) x -= twop;
+                        uint64_t t = shoup_mul(odd[j], w[j], wsh[j], p);
+                        even[j] = x + t;
+                        odd[j] = x + twop - t;
+                    }
+                }
+            }
+            for (long j = 0; j < n; ++j) {
+                uint64_t x = shoup_mul(row[j] >= twop ? row[j] - twop : row[j],
+                                       sc_i[j], sc_sh_i[j], p);
+                if (x >= p) x -= p;
+                row[j] = x;
+            }
+        }
+    }
+}

@@ -13,7 +13,7 @@ from __future__ import annotations
 import numpy as np
 
 from .modmath import centered
-from .ntt import NttContext
+from .ntt_batch import get_engine
 from .params import BfvParameters
 
 
@@ -34,7 +34,10 @@ class BatchEncoder:
 
     def __init__(self, params: BfvParameters):
         self.params = params
-        self.context = NttContext(params.n, params.plain_modulus)
+        # Single-limb engine over the plaintext modulus (memoized, so all
+        # encoders for one parameter set share twiddle tables).
+        self.engine = get_engine(params.n, (params.plain_modulus,))
+        self.context = self.engine.contexts[0]
         self._slot_to_eval = self._build_index_map(params.n)
         self._eval_to_slot = np.argsort(self._slot_to_eval)
 
@@ -73,12 +76,12 @@ class BatchEncoder:
         slots[: values.shape[0]] = values % t
         evals = np.zeros(self.slot_count, dtype=np.int64)
         evals[self._slot_to_eval] = slots
-        coeffs = self.context.inverse(evals, count_ops=False)
+        coeffs = self.engine.inverse(evals[None, :], count_ops=False)[0]
         return Plaintext(coeffs)
 
     def decode(self, plaintext: Plaintext, signed: bool = True) -> np.ndarray:
         """Decode a plaintext back to its n slot values."""
-        evals = self.context.forward(plaintext.coeffs, count_ops=False)
+        evals = self.engine.forward(plaintext.coeffs[None, :], count_ops=False)[0]
         slots = evals[self._slot_to_eval]
         if signed:
             return centered(slots, self.params.plain_modulus).astype(np.int64)

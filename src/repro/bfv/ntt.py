@@ -12,6 +12,11 @@ below 2**30 so that products fit in 63 bits without overflow.  Butterfly
 counts are recorded on the global counters using the paper's accounting
 (n/2 * log2 n butterflies per transform, 3 integer multiplications per
 Harvey butterfly).
+
+:class:`NttContext` is the single-limb *reference* implementation: the
+hot path now runs through the batched, lazily-reduced
+:class:`~repro.bfv.ntt_batch.RnsNttEngine`, which is cross-checked
+bit-exactly against this module in ``tests/test_ntt_batch.py``.
 """
 
 from __future__ import annotations
@@ -28,11 +33,12 @@ MAX_NTT_MODULUS_BITS = 30
 def bit_reverse_indices(n: int) -> np.ndarray:
     """Return the bit-reversal permutation of range(n); n a power of two."""
     bits = n.bit_length() - 1
+    if bits == 0:
+        return np.zeros(n, dtype=np.int64)
     indices = np.arange(n, dtype=np.int64)
-    reversed_indices = np.zeros(n, dtype=np.int64)
-    for bit in range(bits):
-        reversed_indices |= ((indices >> bit) & 1) << (bits - 1 - bit)
-    return reversed_indices
+    shifts = np.arange(bits, dtype=np.int64)
+    table = ((indices[:, None] >> shifts) & 1) << (bits - 1 - shifts)
+    return table.sum(axis=1)
 
 
 class NttContext:

@@ -6,6 +6,12 @@ keeps ciphertext polynomials in the evaluation domain by default and only
 converts to the coefficient domain for decomposition (Section III-B of
 the paper); the container enforces that discipline by refusing mixed-
 domain arithmetic.
+
+Domain conversions and pointwise products route through a batched
+:class:`~repro.bfv.ntt_batch.RnsNttEngine`, which transforms the whole
+``(k, n)`` residue stack in one pass instead of looping limbs in Python
+(the per-limb :class:`~repro.bfv.ntt.NttContext` remains as the reference
+implementation the engine is cross-checked against).
 """
 
 from __future__ import annotations
@@ -14,7 +20,7 @@ from enum import Enum
 
 import numpy as np
 
-from .ntt import NttContext
+from .ntt_batch import RnsNttEngine
 from .rns import RnsBasis
 
 
@@ -53,26 +59,28 @@ class RnsPolynomial:
     def from_small_coeffs(cls, basis: RnsBasis, coeffs: np.ndarray) -> "RnsPolynomial":
         """Build from signed small coefficients (e.g. error/secret samples)."""
         coeffs = np.asarray(coeffs, dtype=np.int64)
-        rows = [coeffs % prime for prime in basis.primes]
-        return cls(basis, np.stack(rows), Domain.COEFF)
+        return cls(basis, coeffs[None, :] % basis.primes_column, Domain.COEFF)
 
     # -- domain conversion -------------------------------------------------
 
-    def to_eval(self, contexts: list[NttContext]) -> "RnsPolynomial":
+    def to_eval(self, engine: RnsNttEngine) -> "RnsPolynomial":
         if self.domain is Domain.EVAL:
             return self
-        rows = [contexts[i].forward(self.data[i]) for i in range(self.basis.count)]
-        return RnsPolynomial(self.basis, np.stack(rows), Domain.EVAL)
+        return RnsPolynomial(self.basis, engine.forward(self.data), Domain.EVAL)
 
-    def to_coeff(self, contexts: list[NttContext]) -> "RnsPolynomial":
+    def to_coeff(self, engine: RnsNttEngine) -> "RnsPolynomial":
         if self.domain is Domain.COEFF:
             return self
-        rows = [contexts[i].inverse(self.data[i]) for i in range(self.basis.count)]
-        return RnsPolynomial(self.basis, np.stack(rows), Domain.COEFF)
+        return RnsPolynomial(self.basis, engine.inverse(self.data), Domain.COEFF)
 
-    def bigint_coeffs(self, contexts: list[NttContext] | None = None) -> np.ndarray:
+    def bigint_coeffs(self, engine: RnsNttEngine | None = None) -> np.ndarray:
         """CRT-composed big-integer coefficients in [0, q)."""
-        poly = self if self.domain is Domain.COEFF else self.to_coeff(contexts)
+        if self.domain is Domain.COEFF:
+            poly = self
+        elif engine is None:
+            raise ValueError("eval-domain polynomial needs an engine to invert")
+        else:
+            poly = self.to_coeff(engine)
         return poly.basis.compose(poly.data)
 
     # -- arithmetic ---------------------------------------------------------
@@ -87,36 +95,32 @@ class RnsPolynomial:
 
     def add(self, other: "RnsPolynomial") -> "RnsPolynomial":
         self._check_compatible(other)
-        primes = np.array(self.basis.primes, dtype=np.int64)[:, None]
+        primes = self.basis.primes_column
         return RnsPolynomial(self.basis, (self.data + other.data) % primes, self.domain)
 
     def sub(self, other: "RnsPolynomial") -> "RnsPolynomial":
         self._check_compatible(other)
-        primes = np.array(self.basis.primes, dtype=np.int64)[:, None]
+        primes = self.basis.primes_column
         return RnsPolynomial(self.basis, (self.data - other.data) % primes, self.domain)
 
     def neg(self) -> "RnsPolynomial":
-        primes = np.array(self.basis.primes, dtype=np.int64)[:, None]
+        primes = self.basis.primes_column
         return RnsPolynomial(self.basis, (-self.data) % primes, self.domain)
 
-    def pointwise(self, other: "RnsPolynomial", contexts: list[NttContext]) -> "RnsPolynomial":
+    def pointwise(self, other: "RnsPolynomial", engine: RnsNttEngine) -> "RnsPolynomial":
         """Element-wise product; both operands must be in the eval domain."""
         self._check_compatible(other)
         if self.domain is not Domain.EVAL:
             raise ValueError("pointwise products require the evaluation domain")
-        rows = [
-            contexts[i].pointwise(self.data[i], other.data[i])
-            for i in range(self.basis.count)
-        ]
-        return RnsPolynomial(self.basis, np.stack(rows), Domain.EVAL)
+        return RnsPolynomial(
+            self.basis, engine.pointwise(self.data, other.data), Domain.EVAL
+        )
 
     def scalar_multiply(self, scalar: int) -> "RnsPolynomial":
         """Multiply by a big-integer scalar (reduced per prime)."""
-        rows = [
-            self.data[i] * (scalar % prime) % prime
-            for i, prime in enumerate(self.basis.primes)
-        ]
-        return RnsPolynomial(self.basis, np.stack(rows), self.domain)
+        primes = self.basis.primes_column
+        residues = self.basis.reduce_scalar(scalar)[:, None]
+        return RnsPolynomial(self.basis, self.data * residues % primes, self.domain)
 
     def permute(self, index_map: np.ndarray) -> "RnsPolynomial":
         """Apply a slot permutation (eval domain Galois automorphism)."""

@@ -29,11 +29,17 @@ class RnsBasis:
         self.modulus = 1
         for prime in primes:
             self.modulus *= prime
-        # CRT reconstruction constants: q_i = q / p_i, and q_i^{-1} mod p_i.
+        #: Cached (k, 1) int64 column for broadcasting residue arithmetic.
+        self.primes_column = np.array(self.primes, dtype=np.int64)[:, None]
+        # CRT reconstruction constants: q_i = q / p_i, and q_i^{-1} mod p_i,
+        # hoisted into object-dtype columns so compose() is one broadcast.
         self._punctured = [self.modulus // p for p in primes]
         self._punctured_inv = [
             invmod(self._punctured[i] % p, p) for i, p in enumerate(primes)
         ]
+        self._punctured_col = np.array(self._punctured, dtype=object)[:, None]
+        self._punctured_inv_col = np.array(self._punctured_inv, dtype=object)[:, None]
+        self._primes_obj_col = np.array(self.primes, dtype=object)[:, None]
 
     @classmethod
     def for_bit_budget(cls, total_bits: int, n: int, limb_bits: int = 30) -> "RnsBasis":
@@ -78,11 +84,22 @@ class RnsBasis:
             raise ValueError(
                 f"expected {self.count} residue rows, got {residues.shape[0]}"
             )
-        total = np.zeros(residues.shape[1:], dtype=object)
-        for i, prime in enumerate(self.primes):
-            term = (residues[i].astype(object) * self._punctured_inv[i]) % prime
-            total = total + term * self._punctured[i]
-        return total % self.modulus
+        tail_shape = residues.shape[1:]
+        flat = residues.reshape(self.count, -1).astype(object)
+        terms = (flat * self._punctured_inv_col) % self._primes_obj_col
+        total = (terms * self._punctured_col).sum(axis=0) % self.modulus
+        return total.reshape(tail_shape)
+
+    def decompose_stack(self, coeff_arrays) -> np.ndarray:
+        """Big-integer coefficient arrays -> residue stack of shape (k, B, n).
+
+        Batched companion to :meth:`decompose`: all B polynomials are
+        reduced against each prime in one vectorised pass, ready for a
+        single batched NTT (the key-switching digit pipeline).
+        """
+        stacked = np.stack([np.asarray(c, dtype=object) for c in coeff_arrays])
+        rows = [(stacked % prime).astype(np.int64) for prime in self.primes]
+        return np.stack(rows)
 
     def reduce_scalar(self, value: int) -> np.ndarray:
         """Residues of a scalar across the basis, shape (k,)."""

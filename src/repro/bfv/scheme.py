@@ -27,7 +27,7 @@ from .counters import GLOBAL_COUNTERS
 from .decompose import digit_decompose, digit_count
 from .encoder import BatchEncoder, Plaintext
 from .keys import GaloisKeys, KeySwitchKey, PublicKey, SecretKey
-from .ntt import NttContext
+from .ntt_batch import get_engine
 from .params import BfvParameters
 from .polynomial import (
     Domain,
@@ -80,9 +80,11 @@ class BfvScheme:
     def __init__(self, params: BfvParameters, seed: int | None = None):
         self.params = params
         self.rng = np.random.default_rng(seed)
-        self.contexts = [
-            NttContext(params.n, prime) for prime in params.coeff_basis.primes
-        ]
+        #: Batched RNS-NTT engine shared (memoized) across schemes with the
+        #: same parameters; transforms all limbs of a polynomial in one pass.
+        self.engine = get_engine(params.n, params.coeff_basis.primes)
+        #: Per-limb reference contexts (kept for cross-checks and tooling).
+        self.contexts = self.engine.contexts
         self.encoder = BatchEncoder(params)
         self._galois_eval_maps: dict[int, np.ndarray] = {}
 
@@ -106,7 +108,7 @@ class BfvScheme:
 
     def _small_to_eval(self, coeffs: np.ndarray) -> RnsPolynomial:
         poly = RnsPolynomial.from_small_coeffs(self.params.coeff_basis, coeffs)
-        return poly.to_eval(self.contexts)
+        return poly.to_eval(self.engine)
 
     # -- key generation ------------------------------------------------------
 
@@ -117,7 +119,7 @@ class BfvScheme:
 
         a = self._sample_uniform_eval()
         e = self._small_to_eval(self._sample_error())
-        p0 = a.pointwise(s_eval, self.contexts).add(e).neg()
+        p0 = a.pointwise(s_eval, self.engine).add(e).neg()
         public = PublicKey(p0=p0, p1=a)
         return secret, public
 
@@ -149,14 +151,14 @@ class BfvScheme:
         )
         rotated_poly = RnsPolynomial.from_bigint_coeffs(
             params.coeff_basis, rotated_secret
-        ).to_eval(self.contexts)
+        ).to_eval(self.engine)
         pairs = []
         base_power = 1
         for _ in range(params.l_ct):
             a = self._sample_uniform_eval()
             e = self._small_to_eval(self._sample_error())
             body = (
-                a.pointwise(secret.eval_poly, self.contexts)
+                a.pointwise(secret.eval_poly, self.engine)
                 .add(e)
                 .neg()
                 .add(rotated_poly.scalar_multiply(base_power))
@@ -174,11 +176,11 @@ class BfvScheme:
         e1 = self._sample_error()
         delta_m = self._delta_times_message(plaintext)
         c0 = (
-            public.p0.pointwise(u, self.contexts)
+            public.p0.pointwise(u, self.engine)
             .add(self._small_to_eval(e0))
             .add(delta_m)
         )
-        c1 = public.p1.pointwise(u, self.contexts).add(self._small_to_eval(e1))
+        c1 = public.p1.pointwise(u, self.engine).add(self._small_to_eval(e1))
         return Ciphertext(c0, c1)
 
     def _delta_times_message(self, plaintext: Plaintext) -> RnsPolynomial:
@@ -186,7 +188,7 @@ class BfvScheme:
         coeffs = np.asarray(plaintext.coeffs, dtype=object) % params.plain_modulus
         scaled = (coeffs * params.delta) % params.coeff_modulus
         poly = RnsPolynomial.from_bigint_coeffs(params.coeff_basis, scaled)
-        return poly.to_eval(self.contexts)
+        return poly.to_eval(self.engine)
 
     def encrypt_windowed(
         self, values: np.ndarray, public: PublicKey, num_windows: int
@@ -217,8 +219,8 @@ class BfvScheme:
 
     def _raw_decrypt(self, ct: Ciphertext, secret: SecretKey) -> np.ndarray:
         """Return (c0 + c1 * s) mod q as big-integer coefficients."""
-        combined = ct.c0.add(ct.c1.pointwise(secret.eval_poly, self.contexts))
-        return combined.bigint_coeffs(self.contexts)
+        combined = ct.c0.add(ct.c1.pointwise(secret.eval_poly, self.engine))
+        return combined.bigint_coeffs(self.engine)
 
     # -- HE operators ---------------------------------------------------------
 
@@ -236,30 +238,23 @@ class BfvScheme:
 
     def encode_for_mul(self, plaintext: Plaintext) -> EvalPlaintext:
         """Lift a plaintext into the q-prime evaluation domain (offline)."""
-        rows = [
-            context.forward(plaintext.coeffs % context.modulus, count_ops=False)
-            for context in self.contexts
-        ]
-        poly = RnsPolynomial(
-            self.params.coeff_basis, np.stack(rows), Domain.EVAL
-        )
-        return EvalPlaintext(poly)
+        return self.encode_coeffs_for_mul(plaintext.coeffs)
 
     def mul_plain(self, ct: Ciphertext, plain: EvalPlaintext) -> Ciphertext:
         """HE_Mult (pt-ct): element-wise products, no NTTs (Section III-B1)."""
         GLOBAL_COUNTERS.he_mult += 1
-        c0 = ct.c0.pointwise(plain.poly, self.contexts)
-        c1 = ct.c1.pointwise(plain.poly, self.contexts)
+        c0 = ct.c0.pointwise(plain.poly, self.engine)
+        c1 = ct.c1.pointwise(plain.poly, self.engine)
         return Ciphertext(c0, c1)
 
     def encode_coeffs_for_mul(self, coeffs: np.ndarray) -> EvalPlaintext:
         """Lift raw polynomial coefficients (mod t digits) to the eval domain."""
         coeffs = np.asarray(coeffs, dtype=np.int64)
-        rows = [
-            context.forward(coeffs % context.modulus, count_ops=False)
-            for context in self.contexts
-        ]
-        poly = RnsPolynomial(self.params.coeff_basis, np.stack(rows), Domain.EVAL)
+        basis = self.params.coeff_basis
+        stack = coeffs[None, :] % basis.primes_column
+        poly = RnsPolynomial(
+            basis, self.engine.forward(stack, count_ops=False), Domain.EVAL
+        )
         return EvalPlaintext(poly)
 
     def mul_plain_windowed(
@@ -309,21 +304,34 @@ class BfvScheme:
         c0_rotated = ct.c0.permute(eval_map)
 
         # c1 requires key switching: INTT -> automorphism -> digit
-        # decomposition -> per-digit NTT -> SIMD multiply -> accumulate.
-        c1_coeffs = ct.c1.bigint_coeffs(self.contexts)
+        # decomposition -> one batched NTT over all digits -> fused SIMD
+        # multiply-accumulate against the key-switch key pairs.
+        c1_coeffs = ct.c1.bigint_coeffs(self.engine)
         c1_rotated = galois_automorphism_coeffs(
             c1_coeffs, galois_elt, params.coeff_modulus
         )
         digits = digit_decompose(c1_rotated, params.a_dcmp_bits, params.l_ct)
-        acc0 = RnsPolynomial.zero(params.coeff_basis, params.n)
-        acc1 = RnsPolynomial.zero(params.coeff_basis, params.n)
-        for digit, (body, a) in zip(digits, ksk.pairs):
-            digit_poly = RnsPolynomial.from_bigint_coeffs(
-                params.coeff_basis, digit
-            ).to_eval(self.contexts)
-            acc0 = acc0.add(digit_poly.pointwise(body, self.contexts))
-            acc1 = acc1.add(digit_poly.pointwise(a, self.contexts))
+        digit_evals = self.engine.forward(
+            params.coeff_basis.decompose_stack(digits)
+        )
+        acc0, acc1 = self._keyswitch_accumulate(digit_evals, ksk.pairs)
         return Ciphertext(c0_rotated.add(acc0), acc1)
+
+    def _keyswitch_accumulate(
+        self, digit_evals: np.ndarray, pairs
+    ) -> tuple[RnsPolynomial, RnsPolynomial]:
+        """Fused sum over digits of digit * (body, a), shape (k, B, n) -> (k, n)."""
+        basis = self.params.coeff_basis
+        depth = min(digit_evals.shape[1], len(pairs))
+        digit_evals = digit_evals[:, :depth]
+        body_stack = np.stack([body.data for body, _ in pairs[:depth]], axis=1)
+        a_stack = np.stack([a.data for _, a in pairs[:depth]], axis=1)
+        acc0 = self.engine.pointwise_accumulate(digit_evals, body_stack)
+        acc1 = self.engine.pointwise_accumulate(digit_evals, a_stack)
+        return (
+            RnsPolynomial(basis, acc0, Domain.EVAL),
+            RnsPolynomial(basis, acc1, Domain.EVAL),
+        )
 
     # -- hoisted rotations -------------------------------------------------------
 
@@ -340,13 +348,14 @@ class BfvScheme:
         then only slot permutations plus 2*l_ct SIMD multiplies.
         """
         params = self.params
-        c1_coeffs = ct.c1.bigint_coeffs(self.contexts)
+        c1_coeffs = ct.c1.bigint_coeffs(self.engine)
         digits = digit_decompose(c1_coeffs, params.a_dcmp_bits, params.l_ct)
+        digit_evals = self.engine.forward(
+            params.coeff_basis.decompose_stack(digits)
+        )
         digit_polys = [
-            RnsPolynomial.from_bigint_coeffs(params.coeff_basis, digit).to_eval(
-                self.contexts
-            )
-            for digit in digits
+            RnsPolynomial(params.coeff_basis, digit_evals[:, b], Domain.EVAL)
+            for b in range(digit_evals.shape[1])
         ]
         return HoistedCiphertext(c0=ct.c0.copy(), digit_polys=digit_polys)
 
@@ -369,12 +378,10 @@ class BfvScheme:
             eval_map = eval_domain_galois_map(params.n, galois_elt)
             self._galois_eval_maps[galois_elt] = eval_map
         c0_rotated = hoisted.c0.permute(eval_map)
-        acc0 = RnsPolynomial.zero(params.coeff_basis, params.n)
-        acc1 = RnsPolynomial.zero(params.coeff_basis, params.n)
-        for digit_poly, (body, a) in zip(hoisted.digit_polys, ksk.pairs):
-            rotated_digit = digit_poly.permute(eval_map)
-            acc0 = acc0.add(rotated_digit.pointwise(body, self.contexts))
-            acc1 = acc1.add(rotated_digit.pointwise(a, self.contexts))
+        digit_evals = np.stack(
+            [poly.data for poly in hoisted.digit_polys], axis=1
+        )[:, :, eval_map]
+        acc0, acc1 = self._keyswitch_accumulate(digit_evals, ksk.pairs)
         return Ciphertext(c0_rotated.add(acc0), acc1)
 
     # -- convenience -----------------------------------------------------------

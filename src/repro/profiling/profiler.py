@@ -19,7 +19,7 @@ from dataclasses import dataclass
 import numpy as np
 
 from ..bfv.counters import BARRETT_INT_MULTS, HARVEY_INT_MULTS
-from ..bfv.ntt import NttContext
+from ..bfv.ntt_batch import get_engine
 from ..bfv.modmath import generate_ntt_primes
 from ..core.perf_model import layer_kernel_int_mults
 from ..core.ptune import TunedLayer
@@ -77,14 +77,16 @@ class UnitCosts:
 def measure_unit_costs(n: int = 4096, repeats: int = 20) -> UnitCosts:
     """Micro-benchmark the live kernels to get per-op costs."""
     prime = generate_ntt_primes(30, n, 1)[0]
-    context = NttContext(n, prime)
+    engine = get_engine(n, (prime,))
     rng = np.random.default_rng(0)
     data = rng.integers(0, prime, n, dtype=np.int64)
     other = rng.integers(0, prime, n, dtype=np.int64)
+    stack = data[None, :]
 
+    engine.forward(stack, count_ops=False)  # warm tables and scratch
     start = time.perf_counter()
     for _ in range(repeats):
-        context.forward(data, count_ops=False)
+        engine.forward(stack, count_ops=False)
     ntt_seconds = (time.perf_counter() - start) / repeats
     butterflies = (n // 2) * (n.bit_length() - 1)
 

@@ -6,7 +6,7 @@ from hypothesis import given, settings
 from hypothesis import strategies as st
 
 from repro.bfv.modmath import generate_ntt_primes
-from repro.bfv.ntt import NttContext
+from repro.bfv.ntt_batch import get_engine
 from repro.bfv.polynomial import (
     Domain,
     RnsPolynomial,
@@ -24,8 +24,8 @@ def basis():
 
 
 @pytest.fixture(scope="module")
-def contexts(basis):
-    return [NttContext(N, p) for p in basis.primes]
+def engine(basis):
+    return get_engine(N, basis.primes)
 
 
 def random_poly(basis, seed):
@@ -35,55 +35,55 @@ def random_poly(basis, seed):
 
 
 class TestArithmetic:
-    def test_add_matches_bigint(self, basis, contexts):
+    def test_add_matches_bigint(self, basis, engine):
         a, ca = random_poly(basis, 0)
         b, cb = random_poly(basis, 1)
-        result = a.add(b).bigint_coeffs(contexts)
+        result = a.add(b).bigint_coeffs(engine)
         assert np.array_equal(result, (ca + cb) % basis.modulus)
 
-    def test_sub_matches_bigint(self, basis, contexts):
+    def test_sub_matches_bigint(self, basis, engine):
         a, ca = random_poly(basis, 2)
         b, cb = random_poly(basis, 3)
-        result = a.sub(b).bigint_coeffs(contexts)
+        result = a.sub(b).bigint_coeffs(engine)
         assert np.array_equal(result, (ca - cb) % basis.modulus)
 
-    def test_neg(self, basis, contexts):
+    def test_neg(self, basis, engine):
         a, ca = random_poly(basis, 4)
-        assert np.array_equal(a.neg().bigint_coeffs(contexts), (-ca) % basis.modulus)
+        assert np.array_equal(a.neg().bigint_coeffs(engine), (-ca) % basis.modulus)
 
-    def test_scalar_multiply_bigint_scalar(self, basis, contexts):
+    def test_scalar_multiply_bigint_scalar(self, basis, engine):
         a, ca = random_poly(basis, 5)
         scalar = basis.modulus // 3
-        result = a.scalar_multiply(scalar).bigint_coeffs(contexts)
+        result = a.scalar_multiply(scalar).bigint_coeffs(engine)
         assert np.array_equal(result, ca * scalar % basis.modulus)
 
-    def test_pointwise_requires_eval_domain(self, basis, contexts):
+    def test_pointwise_requires_eval_domain(self, basis, engine):
         a, _ = random_poly(basis, 6)
         b, _ = random_poly(basis, 7)
         with pytest.raises(ValueError):
-            a.pointwise(b, contexts)
+            a.pointwise(b, engine)
 
-    def test_domain_mismatch_rejected(self, basis, contexts):
+    def test_domain_mismatch_rejected(self, basis, engine):
         a, _ = random_poly(basis, 8)
         b, _ = random_poly(basis, 9)
         with pytest.raises(ValueError):
-            a.add(b.to_eval(contexts))
+            a.add(b.to_eval(engine))
 
 
 class TestDomainConversion:
-    def test_eval_roundtrip(self, basis, contexts):
+    def test_eval_roundtrip(self, basis, engine):
         a, ca = random_poly(basis, 10)
-        back = a.to_eval(contexts).to_coeff(contexts)
-        assert np.array_equal(back.bigint_coeffs(contexts), ca)
+        back = a.to_eval(engine).to_coeff(engine)
+        assert np.array_equal(back.bigint_coeffs(engine), ca)
 
-    def test_pointwise_is_negacyclic_product(self, basis, contexts):
+    def test_pointwise_is_negacyclic_product(self, basis, engine):
         a, ca = random_poly(basis, 11)
         b, cb = random_poly(basis, 12)
         prod = (
-            a.to_eval(contexts)
-            .pointwise(b.to_eval(contexts), contexts)
-            .to_coeff(contexts)
-            .bigint_coeffs(contexts)
+            a.to_eval(engine)
+            .pointwise(b.to_eval(engine), engine)
+            .to_coeff(engine)
+            .bigint_coeffs(engine)
         )
         # Schoolbook negacyclic product over the big modulus.
         expected = np.zeros(N, dtype=object)
@@ -120,16 +120,16 @@ class TestGaloisAutomorphism:
         mapping = eval_domain_galois_map(N, 3)
         assert sorted(mapping) == list(range(N))
 
-    def test_eval_map_matches_coeff_automorphism(self, basis, contexts):
+    def test_eval_map_matches_coeff_automorphism(self, basis, engine):
         """Permuting evaluations must equal transforming the automorphed poly."""
         a, ca = random_poly(basis, 14)
         galois_elt = 3
         rotated_coeffs = galois_automorphism_coeffs(ca, galois_elt, basis.modulus)
-        direct = RnsPolynomial.from_bigint_coeffs(basis, rotated_coeffs).to_eval(contexts)
-        permuted = a.to_eval(contexts).permute(eval_domain_galois_map(N, galois_elt))
+        direct = RnsPolynomial.from_bigint_coeffs(basis, rotated_coeffs).to_eval(engine)
+        permuted = a.to_eval(engine).permute(eval_domain_galois_map(N, galois_elt))
         assert np.array_equal(direct.data, permuted.data)
 
-    def test_identity_element(self, basis, contexts):
+    def test_identity_element(self, basis, engine):
         a, ca = random_poly(basis, 15)
         result = galois_automorphism_coeffs(ca, 1, basis.modulus)
         assert np.array_equal(result, ca)
