@@ -11,7 +11,7 @@ import pytest
 
 from repro.bfv import BfvParameters, BfvScheme, invariant_noise_budget
 from repro.core.noise_model import Schedule
-from repro.scheduling import fc_he, fc_rotation_steps, pack_fc_input
+from repro.scheduling import fc_he_naive, fc_rotation_steps, pack_fc_input
 
 
 def _budget_gap(a_dcmp_bits: int) -> tuple[float, float]:
@@ -33,7 +33,7 @@ def _budget_gap(a_dcmp_bits: int) -> tuple[float, float]:
     ct = scheme.encrypt(scheme.encoder.encode_row(packed), public)
     budgets = {}
     for schedule in Schedule:
-        out = fc_he(scheme, ct, weights, galois, schedule)
+        out = fc_he_naive(scheme, ct, weights, galois, schedule)
         budgets[schedule] = invariant_noise_budget(scheme, out, secret)
     return budgets[Schedule.PARTIAL_ALIGNED], budgets[Schedule.INPUT_ALIGNED]
 

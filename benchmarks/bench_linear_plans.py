@@ -1,0 +1,239 @@
+"""Compiled linear-layer plans vs the naive Figure 5 loop nests.
+
+Times a LeNet-style layer sweep at n=2048 under both dot-product
+schedules, executing each layer through the naive per-tap loop
+(:func:`conv2d_he_naive` / :func:`fc_he_naive`) and through a compiled
+:class:`~repro.scheduling.plan.ConvPlan` / ``FcPlan``, cross-checking
+bit-identical decrypted outputs and recording wall-clock plus HE-op
+counters (``GLOBAL_COUNTERS``) for both paths.  Results land in
+``BENCH_linear.json`` in the repository root as the perf record for the
+trajectory; the acceptance gate is a >= 3x aggregate end-to-end speedup
+with rotation counts matching the analytic ``fw^2`` (Sched-PA) /
+``ci * fw^2`` (Sched-IA) reduction.
+
+Run with::
+
+    PYTHONPATH=src python -m pytest benchmarks/bench_linear_plans.py -s
+"""
+
+from __future__ import annotations
+
+import json
+import platform
+import time
+from pathlib import Path
+
+import numpy as np
+
+from repro.bfv import BfvParameters, BfvScheme
+from repro.bfv.counters import GLOBAL_COUNTERS
+from repro.core.noise_model import Schedule
+from repro.scheduling import (
+    ConvPlan,
+    FcPlan,
+    conv2d_he_naive,
+    conv_rotation_steps,
+    encrypt_channels,
+    fc_he_naive,
+    fc_rotation_steps,
+    pack_fc_input,
+)
+from repro.scheduling.conv2d import _infer_width
+
+RECORD_PATH = Path(__file__).resolve().parents[1] / "BENCH_linear.json"
+
+#: Aggregate end-to-end gate over the sweep, per schedule.
+GATE_SPEEDUP = 3.0
+
+CONV_LAYERS = [
+    # (name, ci, co, fw, image w) -- LeNet-style mid-network shapes.
+    ("conv-c4f3", 4, 8, 3, 8),
+    ("conv-c4f5", 4, 4, 5, 12),
+]
+FC_LAYERS = [
+    # (name, ni, no)
+    ("fc-128x32", 128, 32),
+    ("fc-100x32", 100, 32),
+]
+
+
+def _time_best(fn, rounds: int = 3) -> float:
+    best = float("inf")
+    for _ in range(rounds):
+        start = time.perf_counter()
+        fn()
+        best = min(best, time.perf_counter() - start)
+    return best
+
+
+def _ops(fn):
+    before = GLOBAL_COUNTERS.snapshot()
+    result = fn()
+    delta = GLOBAL_COUNTERS.diff(before)
+    return result, {
+        "he_mult": delta.he_mult,
+        "he_add": delta.he_add,
+        "he_rotate": delta.he_rotate,
+        "ntt": delta.ntt,
+    }
+
+
+def _decode_all(scheme, secret, cts):
+    if not isinstance(cts, list):
+        cts = [cts]
+    return np.stack(
+        [scheme.encoder.decode_row(scheme.decrypt(ct, secret)) for ct in cts]
+    )
+
+
+def _bench_conv(scheme, secret, public, name, ci, co, fw, w, schedule, rng):
+    grid_w = _infer_width(scheme.params.row_size)
+    galois = scheme.generate_galois_keys(secret, conv_rotation_steps(grid_w, fw))
+    acts = rng.integers(0, 8, (ci, w, w))
+    weights = rng.integers(-8, 9, (co, ci, fw, fw))
+    grids = np.zeros((ci, grid_w, grid_w), dtype=np.int64)
+    grids[:, :w, :w] = acts
+    cts = encrypt_channels(scheme, grids, public)
+
+    compile_start = time.perf_counter()
+    plan = ConvPlan.compile(scheme, weights, schedule)
+    compile_s = time.perf_counter() - compile_start
+
+    plan_out, plan_ops = _ops(lambda: plan.execute(cts, galois))
+    naive_out, naive_ops = _ops(
+        lambda: conv2d_he_naive(scheme, cts, weights, galois, schedule)
+    )
+    assert np.array_equal(
+        _decode_all(scheme, secret, plan_out), _decode_all(scheme, secret, naive_out)
+    ), f"{name}/{schedule.value}: plan output diverged from naive reference"
+    # Analytic rotation census of the compiled schedule.
+    expected_rotations = (
+        co * (fw * fw - 1)
+        if schedule is Schedule.PARTIAL_ALIGNED
+        else ci * (fw * fw - 1)
+    )
+    assert plan_ops["he_rotate"] == expected_rotations, (name, schedule, plan_ops)
+    assert naive_ops["he_rotate"] == co * ci * (fw * fw - 1)
+
+    naive_s = _time_best(
+        lambda: conv2d_he_naive(scheme, cts, weights, galois, schedule), rounds=2
+    )
+    plan_s = _time_best(lambda: plan.execute(cts, galois), rounds=3)
+    return {
+        "layer": name,
+        "kind": "conv",
+        "shape": {"ci": ci, "co": co, "fw": fw, "w": w},
+        "schedule": schedule.value,
+        "naive_seconds": naive_s,
+        "plan_seconds": plan_s,
+        "plan_compile_seconds": compile_s,
+        "speedup": naive_s / plan_s,
+        "naive_ops": naive_ops,
+        "plan_ops": plan_ops,
+    }
+
+
+def _bench_fc(scheme, secret, public, name, ni, no, schedule, rng):
+    galois = scheme.generate_galois_keys(secret, fc_rotation_steps(ni))
+    x = rng.integers(0, 16, ni)
+    weights = rng.integers(-8, 9, (no, ni))
+    packed = pack_fc_input(x, scheme.params.row_size)
+    ct = scheme.encrypt(scheme.encoder.encode_row(packed), public)
+
+    compile_start = time.perf_counter()
+    plan = FcPlan.compile(scheme, weights, schedule)
+    compile_s = time.perf_counter() - compile_start
+
+    plan_out, plan_ops = _ops(lambda: plan.execute(ct, galois))
+    naive_out, naive_ops = _ops(
+        lambda: fc_he_naive(scheme, ct, weights, galois, schedule)
+    )
+    plan_slots = _decode_all(scheme, secret, plan_out)[0, :no]
+    naive_slots = _decode_all(scheme, secret, naive_out)[0, :no]
+    assert np.array_equal(plan_slots, naive_slots)
+    assert np.array_equal(plan_slots, weights @ x)
+    assert plan_ops["he_rotate"] == plan.no_eff - 1 + len(plan.fold_steps)
+    assert naive_ops["he_rotate"] == ni - 1
+
+    naive_s = _time_best(
+        lambda: fc_he_naive(scheme, ct, weights, galois, schedule), rounds=2
+    )
+    plan_s = _time_best(lambda: plan.execute(ct, galois), rounds=3)
+    return {
+        "layer": name,
+        "kind": "fc",
+        "shape": {"ni": ni, "no": no, "no_eff": plan.no_eff},
+        "schedule": schedule.value,
+        "naive_seconds": naive_s,
+        "plan_seconds": plan_s,
+        "plan_compile_seconds": compile_s,
+        "speedup": naive_s / plan_s,
+        "naive_ops": naive_ops,
+        "plan_ops": plan_ops,
+    }
+
+
+def test_linear_plan_speedup():
+    params = BfvParameters.create(
+        n=2048,
+        plain_bits=17,
+        coeff_bits=100,
+        w_dcmp_bits=6,
+        a_dcmp_bits=16,
+        require_security=False,
+    )
+    scheme = BfvScheme(params, seed=2026)
+    secret, public = scheme.keygen()
+    rng = np.random.default_rng(9)
+
+    records = []
+    for schedule in Schedule:
+        for name, ci, co, fw, w in CONV_LAYERS:
+            records.append(
+                _bench_conv(scheme, secret, public, name, ci, co, fw, w, schedule, rng)
+            )
+        for name, ni, no in FC_LAYERS:
+            records.append(
+                _bench_fc(scheme, secret, public, name, ni, no, schedule, rng)
+            )
+
+    print("\nLinear-layer plans vs naive loops (n=2048, seconds per layer)")
+    print(
+        f"{'layer':>12}{'sched':>10}{'naive':>9}{'plan':>9}{'speedup':>9}"
+        f"{'rot naive':>10}{'rot plan':>9}"
+    )
+    aggregates = {}
+    for r in records:
+        print(
+            f"{r['layer']:>12}{r['schedule']:>10}{r['naive_seconds']:>9.3f}"
+            f"{r['plan_seconds']:>9.3f}{r['speedup']:>8.1f}x"
+            f"{r['naive_ops']['he_rotate']:>10}{r['plan_ops']['he_rotate']:>9}"
+        )
+        agg = aggregates.setdefault(r["schedule"], [0.0, 0.0])
+        agg[0] += r["naive_seconds"]
+        agg[1] += r["plan_seconds"]
+
+    summary = {
+        sched: {"naive_seconds": n, "plan_seconds": p, "speedup": n / p}
+        for sched, (n, p) in aggregates.items()
+    }
+    for sched, agg in summary.items():
+        print(f"aggregate {sched}: {agg['speedup']:.1f}x")
+
+    payload = {
+        "benchmark": "linear_plans",
+        "unit": "seconds_per_layer",
+        "n": params.n,
+        "platform": platform.platform(),
+        "gate_speedup": GATE_SPEEDUP,
+        "aggregate": summary,
+        "records": records,
+    }
+    RECORD_PATH.write_text(json.dumps(payload, indent=2) + "\n")
+    print(f"wrote {RECORD_PATH}")
+
+    for sched, agg in summary.items():
+        assert agg["speedup"] >= GATE_SPEEDUP, (
+            f"{sched}: aggregate plan speedup {agg['speedup']:.2f}x "
+            f"below the {GATE_SPEEDUP}x gate"
+        )

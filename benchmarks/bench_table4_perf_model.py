@@ -12,7 +12,7 @@ from repro.core.perf_model import layer_op_counts
 from repro.core.ptune import ModelParams
 from repro.nn.layers import ConvLayer, FCLayer
 from repro.scheduling import TraceRecorder, conv_rotation_steps
-from repro.scheduling.conv2d import _infer_width, conv2d_he, encrypt_channels
+from repro.scheduling.conv2d import _infer_width, conv2d_he_naive, encrypt_channels
 
 CASES = [
     ("CNN n>=w^2", ConvLayer("conv", w=16, fw=3, ci=4, co=8, padding=1), 2048),
@@ -52,7 +52,7 @@ def test_table4_model_matches_live_trace(
     """The analytical census must match an actual scheduled execution."""
     secret, public = live_keys
     fw, ci, co = 3, 2, 2
-    grid_w = _infer_width(live_scheme.params.row_size, fw)
+    grid_w = _infer_width(live_scheme.params.row_size)
     galois = live_scheme.generate_galois_keys(secret, conv_rotation_steps(grid_w, fw))
     channels = bench_rng.integers(0, 8, (ci, grid_w, grid_w))
     weights = bench_rng.integers(-4, 5, (co, ci, fw, fw))
@@ -60,7 +60,7 @@ def test_table4_model_matches_live_trace(
 
     def run():
         with TraceRecorder() as rec:
-            conv2d_he(live_scheme, cts, weights, galois, Schedule.PARTIAL_ALIGNED)
+            conv2d_he_naive(live_scheme, cts, weights, galois, Schedule.PARTIAL_ALIGNED)
         return rec.trace
 
     trace = benchmark.pedantic(run, rounds=1, iterations=1)

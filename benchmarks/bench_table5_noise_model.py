@@ -15,8 +15,8 @@ from repro.bfv.noise import noise_magnitude
 from repro.core.noise_model import NoiseMode, Schedule, layer_output_noise
 from repro.core.ptune import ModelParams
 from repro.nn.layers import ConvLayer, FCLayer
-from repro.scheduling import fc_he, fc_rotation_steps, pack_fc_input
-from repro.scheduling.conv2d import _infer_width, conv2d_he, conv_rotation_steps, encrypt_channels
+from repro.scheduling import fc_he_naive, fc_rotation_steps, pack_fc_input
+from repro.scheduling.conv2d import _infer_width, conv2d_he_naive, conv_rotation_steps, encrypt_channels
 
 
 def _proxy(params):
@@ -41,14 +41,14 @@ def _measured_bits(scheme, ct, secret):
 def test_table5_conv_noise_model(benchmark, live_scheme, live_keys, bench_rng):
     secret, public = live_keys
     fw, ci = 3, 2
-    grid_w = _infer_width(live_scheme.params.row_size, fw)
+    grid_w = _infer_width(live_scheme.params.row_size)
     galois = live_scheme.generate_galois_keys(secret, conv_rotation_steps(grid_w, fw))
     channels = bench_rng.integers(0, 8, (ci, grid_w, grid_w))
     weights = bench_rng.integers(-4, 5, (1, ci, fw, fw))
     cts = encrypt_channels(live_scheme, channels, public)
 
     def run():
-        out = conv2d_he(live_scheme, cts, weights, galois, Schedule.PARTIAL_ALIGNED)[0]
+        out = conv2d_he_naive(live_scheme, cts, weights, galois, Schedule.PARTIAL_ALIGNED)[0]
         return _measured_bits(live_scheme, out, secret)
 
     measured = benchmark.pedantic(run, rounds=1, iterations=1)
@@ -83,7 +83,7 @@ def test_table5_fc_noise_model(benchmark, live_scheme, live_keys, bench_rng):
     ct = live_scheme.encrypt(live_scheme.encoder.encode_row(packed), public)
 
     def run():
-        out = fc_he(live_scheme, ct, weights, galois, Schedule.PARTIAL_ALIGNED)
+        out = fc_he_naive(live_scheme, ct, weights, galois, Schedule.PARTIAL_ALIGNED)
         return _measured_bits(live_scheme, out, secret)
 
     measured = benchmark.pedantic(run, rounds=1, iterations=1)

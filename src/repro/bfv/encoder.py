@@ -96,6 +96,26 @@ class BatchEncoder:
         slots[row * self.row_size : row * self.row_size + values.shape[0]] = values
         return self.encode(slots)
 
+    def encode_rows(self, rows: np.ndarray, row: int = 0) -> np.ndarray:
+        """Batch :meth:`encode_row`: (T, <=row_size) values -> (T, n) coefficients.
+
+        One inverse NTT over the whole batch; row i of the result is
+        bit-identical to ``encode_row(rows[i], row).coeffs``.  Used by the
+        offline weight-encoding pass of :mod:`repro.scheduling.plan`, so
+        ops are not counted.
+        """
+        rows = np.asarray(rows, dtype=np.int64)
+        if rows.ndim != 2 or rows.shape[1] > self.row_size:
+            raise ValueError(
+                f"expected (T, <={self.row_size}) row values, got {rows.shape}"
+            )
+        t = self.params.plain_modulus
+        slots = np.zeros((rows.shape[0], self.slot_count), dtype=np.int64)
+        slots[:, row * self.row_size : row * self.row_size + rows.shape[1]] = rows % t
+        evals = np.zeros_like(slots)
+        evals[:, self._slot_to_eval] = slots
+        return self.engine.inverse(evals[None, :, :], count_ops=False)[0]
+
     def decode_row(self, plaintext: Plaintext, row: int = 0, signed: bool = True) -> np.ndarray:
         return self.decode(plaintext, signed=signed)[
             row * self.row_size : (row + 1) * self.row_size

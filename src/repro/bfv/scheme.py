@@ -257,6 +257,60 @@ class BfvScheme:
         )
         return EvalPlaintext(poly)
 
+    def encode_coeffs_stack_for_mul(self, coeffs: np.ndarray) -> np.ndarray:
+        """Batch :meth:`encode_coeffs_for_mul`: (T, n) coeffs -> (k, T, n) evals.
+
+        One forward NTT over the whole stack; slice ``[:, i]`` is
+        bit-identical to ``encode_coeffs_for_mul(coeffs[i]).poly.data``.
+        Offline (weight-compilation) path, so ops are not counted.
+        """
+        coeffs = np.asarray(coeffs, dtype=np.int64)
+        basis = self.params.coeff_basis
+        stack = coeffs[None, :, :] % basis.primes_column[:, :, None]
+        return self.engine.forward(stack, count_ops=False)
+
+    def mul_plain_accumulate(
+        self, cts: list[Ciphertext], plain_stack: np.ndarray
+    ) -> Ciphertext:
+        """Fused ``sum_i cts[i] * plain_i`` over a stacked eval-domain weight array.
+
+        ``plain_stack`` has shape ``(k, T, n)`` with ``T == len(cts)``: one
+        pre-lifted plaintext per ciphertext (the offline-encoded weight
+        stacks that :mod:`repro.scheduling.plan` compiles).  Semantically
+        identical to T calls of :meth:`mul_plain` folded with
+        :meth:`add` -- and accounted as such -- but executed as two
+        :meth:`~repro.bfv.ntt_batch.RnsNttEngine.pointwise_accumulate`
+        calls over the whole stack.
+        """
+        c0_stack = np.stack([ct.c0.data for ct in cts], axis=1)
+        c1_stack = np.stack([ct.c1.data for ct in cts], axis=1)
+        return self.mul_plain_accumulate_stacked(c0_stack, c1_stack, plain_stack)
+
+    def mul_plain_accumulate_stacked(
+        self, c0_stack: np.ndarray, c1_stack: np.ndarray, plain_stack: np.ndarray
+    ) -> Ciphertext:
+        """:meth:`mul_plain_accumulate` on pre-stacked ``(k, T, n)`` arrays.
+
+        Compiled plans keep their ciphertext components stacked across
+        terms, so the per-call re-stacking of the list API would be pure
+        overhead on the hot path.
+        """
+        terms = c0_stack.shape[1]
+        if plain_stack.shape != c0_stack.shape or c1_stack.shape != c0_stack.shape:
+            raise ValueError(
+                f"stack shapes differ: c0 {c0_stack.shape}, c1 {c1_stack.shape}, "
+                f"weights {plain_stack.shape}"
+            )
+        GLOBAL_COUNTERS.he_mult += terms
+        GLOBAL_COUNTERS.he_add += max(0, terms - 1)
+        basis = self.params.coeff_basis
+        acc0 = self.engine.pointwise_accumulate(c0_stack, plain_stack)
+        acc1 = self.engine.pointwise_accumulate(c1_stack, plain_stack)
+        return Ciphertext(
+            RnsPolynomial(basis, acc0, Domain.EVAL),
+            RnsPolynomial(basis, acc1, Domain.EVAL),
+        )
+
     def mul_plain_windowed(
         self, ct_windows: list[Ciphertext], plaintext: Plaintext
     ) -> Ciphertext:
@@ -283,7 +337,14 @@ class BfvScheme:
         return result
 
     def rotate_rows(self, ct: Ciphertext, step: int, galois_keys: GaloisKeys) -> Ciphertext:
-        """HE_Rotate: cyclic left rotation of each slot row by ``step``."""
+        """HE_Rotate: cyclic left rotation of each slot row by ``step``.
+
+        A step that is a multiple of the row size is the identity Galois
+        element 1; it short-circuits to a copy without key switching and
+        without counting an HE_Rotate.
+        """
+        if step % self.params.row_size == 0:
+            return ct.copy()
         return self.apply_galois(ct, self.galois_elt_for_step(step), galois_keys)
 
     def rotate_columns(self, ct: Ciphertext, galois_keys: GaloisKeys) -> Ciphertext:
@@ -393,11 +454,6 @@ class BfvScheme:
         self, ct: Ciphertext, secret: SecretKey, signed: bool = True
     ) -> np.ndarray:
         return self.encoder.decode(self.decrypt(ct, secret), signed=signed)
-
-
-def required_rotation_steps(count: int) -> list[int]:
-    """The distinct positive rotation steps {1 .. count}."""
-    return list(range(1, count + 1))
 
 
 def expected_digit_count(params: BfvParameters) -> int:

@@ -25,13 +25,13 @@ import numpy as np
 
 from ..bfv.noise import invariant_noise_budget
 from ..bfv.params import BfvParameters
-from ..bfv.scheme import BfvScheme, Ciphertext
+from ..bfv.scheme import BfvScheme
 from ..core.noise_model import Schedule
 from ..nn.layers import ActivationLayer, ConvLayer, FCLayer
 from ..nn.models import Network
-from ..scheduling.conv2d import conv2d_he, conv_rotation_steps, _infer_width
-from ..scheduling.fc import fc_he, fc_rotation_steps, pack_fc_input
-from ..scheduling.layouts import pack_image, unpack_image, valid_output_positions
+from ..scheduling.fc import pack_fc_input
+from ..scheduling.layouts import pack_image, unpack_image
+from ..scheduling.plan import compile_linear_plan
 from .garbled import GarbledEvaluator, GcCost
 from .messages import TrafficLog, ciphertext_bytes
 
@@ -49,10 +49,18 @@ class ProtocolResult:
 class GazelleProtocol:
     """Run private inference for a small network end to end.
 
-    Supports stride-1, padding-0 convolutions, ReLU, max pooling, and FC
-    layers -- enough to express LeNet-style models at live-HE scale.  The
-    client and cloud roles share this process but interact only through
-    ciphertexts, masked tensors, and the (simulated) garbled circuit.
+    Supports strided and padded convolutions (padding is applied
+    client-side before packing, strides are lowered by subsampling the
+    dense output), ReLU, max/avg pooling, and FC layers -- enough to
+    express LeNet-style models at live-HE scale.  The client and cloud
+    roles share this process but interact only through ciphertexts,
+    masked tensors, and the (simulated) garbled circuit.
+
+    Every linear layer is compiled once at construction into a
+    :class:`~repro.scheduling.plan.ConvPlan` / ``FcPlan`` (offline weight
+    encoding, hoisted/grouped rotations), so repeated ``run`` calls reuse
+    the encoded weights and the Galois key set is exactly the union of
+    the plans' rotation steps.
     """
 
     def __init__(
@@ -71,19 +79,18 @@ class GazelleProtocol:
         self.scheme = BfvScheme(params, seed=seed)
         self.secret, self.public = self.scheme.keygen()
         self.rng = np.random.default_rng(seed + 1)
-        self.galois_keys = self.scheme.generate_galois_keys(
-            self.secret, self._required_steps()
-        )
-
-    def _required_steps(self) -> list[int]:
+        self.plans = {
+            layer.name: compile_linear_plan(
+                self.scheme, layer, weights[layer.name], schedule
+            )
+            for layer in network.linear_layers
+        }
         steps: set[int] = set()
-        grid_w = _infer_width(self.scheme.params.row_size, 1)
-        for layer in self.network.linear_layers:
-            if isinstance(layer, ConvLayer):
-                steps.update(conv_rotation_steps(grid_w, layer.fw))
-            else:
-                steps.update(fc_rotation_steps(layer.ni))
-        return sorted(steps)
+        for plan in self.plans.values():
+            steps.update(plan.rotation_steps)
+        self.galois_keys = self.scheme.generate_galois_keys(
+            self.secret, sorted(steps)
+        )
 
     # -- protocol run -------------------------------------------------------
 
@@ -130,8 +137,23 @@ class GazelleProtocol:
         params = scheme.params
         t = params.plain_modulus
         if isinstance(layer, ConvLayer):
-            grid_w = _infer_width(params.row_size, layer.fw)
+            plan = self.plans[layer.name]
+            grid_w = plan.grid_w
+            # Client-side padding before packing, exactly as conv2d_he_small:
+            # the HE schedule always computes the dense valid convolution of
+            # the (padded) image; strides are lowered by masking/subsampling
+            # only every stride-th output slot below.
+            if layer.padding:
+                pad = layer.padding
+                activations = np.pad(
+                    activations, ((0, 0), (pad, pad), (pad, pad))
+                )
             ci, w, _ = activations.shape
+            if w > grid_w:
+                raise ValueError(
+                    f"{layer.name}: padded {w}x{w} image exceeds the "
+                    f"{grid_w}x{grid_w} packing grid"
+                )
             grids = np.zeros((ci, grid_w, grid_w), dtype=np.int64)
             grids[:, :w, :w] = activations
             cts = [
@@ -141,33 +163,34 @@ class GazelleProtocol:
                 for grid in grids
             ]
             traffic.send_to_cloud(len(cts) * ciphertext_bytes(params), layer.name)
-            out_cts = conv2d_he(
-                scheme, cts, self.weights[layer.name], self.galois_keys, self.schedule
-            )
-            out_w = w - layer.fw + 1
-            mask = self.rng.integers(0, t, (len(out_cts), out_w, out_w))
-            masked_cts, budget = self._mask_outputs_conv(
-                out_cts, mask, grid_w, out_w
+            out_cts = plan.execute(cts, self.galois_keys)
+            # Blind the whole slot row before anything leaves the cloud:
+            # the schedule computes valid outputs across the entire packing
+            # grid (not just the image's dense block), and a stride > 1
+            # discards positions after decryption -- any slot left unmasked
+            # would hand the client a clean linear equation in the model
+            # weights.  The client then reads the dense block and
+            # subsamples it by the stride.
+            dense_w = w - layer.fw + 1
+            masked_cts, mask, budget = self._mask_outputs_conv(
+                out_cts, grid_w, dense_w
             )
             traffic.send_to_client(
                 len(masked_cts) * ciphertext_bytes(params), layer.name + "+mask"
             )
             traffic.end_round()
-            masked = self._client_decrypt_conv(masked_cts, grid_w, out_w)
+            masked = self._client_decrypt_conv(masked_cts, grid_w, dense_w)
+            if layer.stride > 1:
+                masked = masked[:, :: layer.stride, :: layer.stride]
+                mask = mask[:, :: layer.stride, :: layer.stride]
             return masked, mask, budget
         # FC layer
         flat = activations.reshape(-1)
         packed = pack_fc_input(flat % t, params.row_size)
         ct = scheme.encrypt(scheme.encoder.encode_row(packed), self.public)
         traffic.send_to_cloud(ciphertext_bytes(params), layer.name)
-        out_ct = fc_he(
-            scheme, ct, self.weights[layer.name], self.galois_keys, self.schedule
-        )
-        mask = self.rng.integers(0, t, layer.no)
-        mask_slots = np.zeros(params.row_size, dtype=np.int64)
-        mask_slots[: layer.no] = mask
-        masked_ct = scheme.add_plain(out_ct, scheme.encoder.encode_row(mask_slots))
-        budget = invariant_noise_budget(scheme, masked_ct, self.secret)
+        out_ct = self.plans[layer.name].execute(ct, self.galois_keys)
+        masked_ct, mask, budget = self._mask_output_fc(out_ct, layer.no)
         traffic.send_to_client(ciphertext_bytes(params), layer.name + "+mask")
         traffic.end_round()
         slots = scheme.encoder.decode_row(
@@ -175,28 +198,47 @@ class GazelleProtocol:
         )
         return slots[: layer.no], mask, budget
 
-    def _mask_outputs_conv(self, out_cts, mask, grid_w, out_w):
+    def _mask_outputs_conv(self, out_cts, grid_w, dense_w):
+        """Blind every slot of each output row; return the dense mask block.
+
+        The whole row is masked (the schedule leaves partial sums in
+        grid-edge and fold positions too, and all computation stays within
+        slot row 0); only the dense_w x dense_w block the client will read
+        needs its mask values returned.
+        """
         scheme = self.scheme
+        t = scheme.params.plain_modulus
         budget = float("inf")
         masked_cts = []
-        positions = valid_output_positions(grid_w, grid_w - out_w + 1)
+        masks = np.empty((len(out_cts), dense_w, dense_w), dtype=np.int64)
         for oc, ct in enumerate(out_cts):
-            mask_slots = np.zeros(scheme.params.row_size, dtype=np.int64)
-            mask_slots[positions] = mask[oc].reshape(-1)
-            masked = scheme.add_plain(ct, scheme.encoder.encode_row(mask_slots))
+            mask_row = self.rng.integers(0, t, scheme.params.row_size)
+            masked = scheme.add_plain(ct, scheme.encoder.encode_row(mask_row))
             budget = min(budget, invariant_noise_budget(scheme, masked, self.secret))
             masked_cts.append(masked)
-        return masked_cts, budget
+            masks[oc] = unpack_image(mask_row, grid_w)[:dense_w, :dense_w]
+        return masked_cts, masks, budget
+
+    def _mask_output_fc(self, out_ct, no):
+        """Blind every slot of an FC output row (the extended-diagonal fold
+        leaves partial weight sums beyond slot ``no``); return the mask for
+        the ``no`` slots the client will read."""
+        scheme = self.scheme
+        t = scheme.params.plain_modulus
+        mask_row = self.rng.integers(0, t, scheme.params.row_size)
+        masked_ct = scheme.add_plain(out_ct, scheme.encoder.encode_row(mask_row))
+        budget = invariant_noise_budget(scheme, masked_ct, self.secret)
+        return masked_ct, mask_row[:no], budget
 
     # -- client side -----------------------------------------------------------
 
-    def _client_decrypt_conv(self, masked_cts, grid_w, out_w):
+    def _client_decrypt_conv(self, masked_cts, grid_w, dense_w):
         scheme = self.scheme
-        outputs = np.zeros((len(masked_cts), out_w, out_w), dtype=object)
+        outputs = np.zeros((len(masked_cts), dense_w, dense_w), dtype=object)
         for oc, ct in enumerate(masked_cts):
             slots = scheme.encoder.decode_row(scheme.decrypt(ct, self.secret), signed=False)
             grid = unpack_image(slots, grid_w)
-            outputs[oc] = grid[:out_w, :out_w].astype(object)
+            outputs[oc] = grid[:dense_w, :dense_w].astype(object)
         return outputs
 
     def _client_gc_stage(self, masked, mask, post_ops, evaluator):

@@ -3,6 +3,7 @@
 
 from .conv2d import (
     conv2d_he,
+    conv2d_he_naive,
     conv2d_he_small,
     conv_rotation_steps,
     encrypt_channels,
@@ -12,7 +13,7 @@ from .dot_product import (
     input_aligned_term,
     partial_aligned_term,
 )
-from .fc import fc_he, fc_he_small, fc_rotation_steps, pack_fc_input
+from .fc import fc_he, fc_he_naive, fc_he_small, fc_rotation_steps, pack_fc_input
 from .layouts import (
     conv_tap_plaintext_ia,
     conv_tap_plaintext_pa,
@@ -24,9 +25,22 @@ from .layouts import (
     valid_output_positions,
 )
 from .opcount import OpTrace, TraceRecorder
+from .plan import (
+    ConvPlan,
+    FcPlan,
+    cached_conv_plan,
+    cached_fc_plan,
+    compile_linear_plan,
+)
 
 __all__ = [
+    "ConvPlan",
+    "FcPlan",
+    "cached_conv_plan",
+    "cached_fc_plan",
+    "compile_linear_plan",
     "conv2d_he",
+    "conv2d_he_naive",
     "conv2d_he_small",
     "conv_rotation_steps",
     "encrypt_channels",
@@ -34,6 +48,7 @@ __all__ = [
     "input_aligned_term",
     "partial_aligned_term",
     "fc_he",
+    "fc_he_naive",
     "fc_he_small",
     "fc_rotation_steps",
     "pack_fc_input",

@@ -55,7 +55,36 @@ def conv2d_he(
     galois_keys: GaloisKeys,
     schedule: Schedule = Schedule.PARTIAL_ALIGNED,
 ) -> list[Ciphertext]:
-    """Valid (no padding, stride 1) homomorphic convolution.
+    """Valid (no padding, stride 1) homomorphic convolution via a compiled plan.
+
+    Resolves a :class:`repro.scheduling.plan.ConvPlan` for the weights
+    (memoized per scheme, so repeated calls with the same weights pay the
+    offline encoding once; weight encoding is offline by the repo's
+    op-census convention and never counted, same as the naive path) and
+    executes it.  Callers orchestrating many layers should compile plans
+    explicitly, as :class:`~repro.protocol.gazelle.GazelleProtocol` does.
+    The original loop nest survives as :func:`conv2d_he_naive`, the
+    bit-exact reference the plan is cross-checked against.
+    """
+    from .plan import cached_conv_plan  # local import: plan builds on this module
+
+    plan = cached_conv_plan(scheme, weights, schedule)
+    return plan.execute(channel_cts, galois_keys)
+
+
+def conv2d_he_naive(
+    scheme: BfvScheme,
+    channel_cts: list[Ciphertext],
+    weights: np.ndarray,
+    galois_keys: GaloisKeys,
+    schedule: Schedule = Schedule.PARTIAL_ALIGNED,
+) -> list[Ciphertext]:
+    """Reference loop nest for the Figure 5 schedules (one HE op per tap).
+
+    Re-encodes every weight plaintext online and rotates once per
+    ``(oc, ic, tap)`` partial -- exactly the operation census Table IV
+    models -- so it stays the oracle for op-count and noise-model
+    validation while :func:`conv2d_he` runs the compiled fast path.
 
     Parameters
     ----------
@@ -70,7 +99,7 @@ def conv2d_he(
     if len(channel_cts) != ci:
         raise ValueError(f"expected {ci} channel ciphertexts, got {len(channel_cts)}")
     row_size = scheme.params.row_size
-    w = _infer_width(row_size, fw)
+    w = _infer_width(row_size)
     outputs = []
     for oc in range(co):
         partials = []
@@ -103,7 +132,7 @@ def conv2d_he(
     return outputs
 
 
-def _infer_width(row_size: int, fw: int) -> int:
+def _infer_width(row_size: int) -> int:
     """Largest square image fitting one batching row.
 
     Callers pack one w x w channel per row; the convolution addresses
@@ -150,7 +179,7 @@ def conv2d_he_small(
             f"{w}x{w} image does not fit a batching row of {scheme.params.row_size}"
         )
     # Re-pack each channel into the row-width grid the scheduler assumes.
-    grid_w = _infer_width(scheme.params.row_size, fw)
+    grid_w = _infer_width(scheme.params.row_size)
     channels = np.zeros((ci, grid_w, grid_w), dtype=np.int64)
     channels[:, :w, :w] = activations
     cts = encrypt_channels(scheme, channels, public)

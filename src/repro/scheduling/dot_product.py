@@ -35,9 +35,7 @@ def partial_aligned_term(
     """One Sched-PA partial: HE_Mult first, HE_Rotate the partial after."""
     plain = scheme.encode_for_mul(encode_row_plaintext(scheme, weights))
     partial = scheme.mul_plain(ct, plain)
-    if rotation % scheme.params.row_size:
-        partial = scheme.rotate_rows(partial, rotation, galois_keys)
-    return partial
+    return scheme.rotate_rows(partial, rotation, galois_keys)
 
 
 def input_aligned_term(
@@ -48,9 +46,7 @@ def input_aligned_term(
     galois_keys: GaloisKeys,
 ) -> Ciphertext:
     """One Sched-IA partial: HE_Rotate the input first, then HE_Mult."""
-    rotated = ct
-    if rotation % scheme.params.row_size:
-        rotated = scheme.rotate_rows(ct, rotation, galois_keys)
+    rotated = scheme.rotate_rows(ct, rotation, galois_keys)
     plain = scheme.encode_for_mul(encode_row_plaintext(scheme, weights))
     return scheme.mul_plain(rotated, plain)
 

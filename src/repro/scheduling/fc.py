@@ -65,10 +65,30 @@ def fc_he(
     galois_keys: GaloisKeys,
     schedule: Schedule = Schedule.PARTIAL_ALIGNED,
 ) -> Ciphertext:
-    """Homomorphic matrix-vector product; outputs land in slots 0..no-1.
+    """Homomorphic matrix-vector product via a compiled plan.
 
-    ``ct_x`` must hold the duplicated input packing produced by
-    :func:`pack_fc_input`.
+    Outputs land in slots ``0..no-1``; ``ct_x`` must hold the duplicated
+    input packing produced by :func:`pack_fc_input`.  Resolves an
+    :class:`repro.scheduling.plan.FcPlan` (memoized per scheme, so
+    repeated calls with the same weights pay the offline encoding once)
+    and executes it; the per-diagonal loop survives as
+    :func:`fc_he_naive`, the bit-exact reference.
+    """
+    from .plan import cached_fc_plan  # local import: plan builds on this module
+
+    plan = cached_fc_plan(scheme, weights, schedule)
+    return plan.execute(ct_x, galois_keys)
+
+
+def fc_he_naive(
+    scheme: BfvScheme,
+    ct_x: Ciphertext,
+    weights: np.ndarray,
+    galois_keys: GaloisKeys,
+    schedule: Schedule = Schedule.PARTIAL_ALIGNED,
+) -> Ciphertext:
+    """Reference diagonal method: one online-encoded HE_Mult and one
+    HE_Rotate per diagonal, matching Table IV's operation census.
     """
     weights = np.asarray(weights, dtype=np.int64)
     no, ni = weights.shape

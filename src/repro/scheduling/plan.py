@@ -1,0 +1,374 @@
+"""Compiled linear-layer plans: offline weights, hoisted and grouped rotations.
+
+The naive Figure 5 loop nests (:func:`repro.scheduling.conv2d.conv2d_he_naive`,
+:func:`repro.scheduling.fc.fc_he_naive`) pay three avoidable costs on every
+inference.  A compiled :class:`ConvPlan` / :class:`FcPlan` removes all three
+while producing bit-identical decrypted outputs:
+
+* **Offline eval-domain weight encoding** (Section III-B, "Cheetah keeps
+  polynomials in the evaluation space"): every weight plaintext of the layer
+  is encoded once at compile time into a stacked ``(k, T, n)`` evaluation-
+  domain array, so no NTT is ever spent on weights during inference and the
+  multiply-accumulate over all T terms runs as one fused
+  :meth:`~repro.bfv.scheme.BfvScheme.mul_plain_accumulate_stacked` call.
+* **Hoisted, shared input rotations** (Sched-IA, Figure 5 right / Gazelle's
+  hoisting): each input ciphertext is decomposed once with
+  :meth:`~repro.bfv.scheme.BfvScheme.hoist`, making every subsequent rotation
+  NTT-free, and the rotated inputs are computed once per distinct tap offset
+  and shared across *all* output channels -- ``ci * fw^2`` key switches per
+  convolution instead of the naive ``co * ci * fw^2``.
+* **Rotation grouping under Sched-PA** (Figure 5 left / Cheetah's schedule):
+  rotation is linear, so all partials sharing a tap offset are summed
+  *before* the single rotation that aligns them -- ``fw^2`` rotations per
+  output channel instead of ``ci * fw^2``.  FC layers get the analogous
+  win from the Gazelle-style extended-diagonal fold: when ``ni`` has a
+  power-of-two factor ``2^f`` with ``ni / 2^f >= no``, only ``ni / 2^f``
+  diagonals are materialised and ``f`` rotate-and-add folds finish the
+  reduction, replacing ``ni - 1`` rotations with ``ni / 2^f - 1 + f``.
+
+Plans are weight- and parameter-bound but key-independent: compile once,
+then call ``execute`` with any ciphertexts/Galois keys under the same
+parameter set (the discipline :class:`~repro.protocol.gazelle.GazelleProtocol`
+uses to amortise compilation across inferences).  Noise is never worse than
+the naive schedule's Table III bound: Sched-PA grouping strictly reduces the
+number of rotation-noise terms, and hoisted rotations carry the same additive
+noise as plain ones.
+"""
+
+from __future__ import annotations
+
+from collections import OrderedDict
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from ..bfv.keys import GaloisKeys
+from ..bfv.scheme import BfvScheme, Ciphertext, EvalPlaintext
+from ..bfv.polynomial import Domain, RnsPolynomial
+from ..core.noise_model import Schedule
+from .conv2d import _infer_width
+from .layouts import tap_offset, valid_output_positions
+
+#: Offline-encoding NTT batch cap; bounds the engine's transient work buffers.
+_ENCODE_CHUNK = 128
+
+
+def encode_weight_rows(scheme: BfvScheme, rows: np.ndarray) -> np.ndarray:
+    """Encode T slot-row vectors into a stacked ``(k, T, n)`` eval-domain array.
+
+    Batched equivalent of ``encode_for_mul(encoder.encode_row(row))`` per
+    row -- bit-identical output, but the slot->coefficient and
+    coefficient->evaluation transforms each run over whole chunks instead
+    of one polynomial at a time.  Runs offline (no op counting).
+    """
+    rows = np.asarray(rows, dtype=np.int64)
+    chunks = []
+    for start in range(0, rows.shape[0], _ENCODE_CHUNK):
+        chunk = rows[start : start + _ENCODE_CHUNK]
+        coeffs = scheme.encoder.encode_rows(chunk)
+        chunks.append(scheme.encode_coeffs_stack_for_mul(coeffs))
+    return np.concatenate(chunks, axis=1)
+
+
+@dataclass
+class ConvPlan:
+    """A compiled valid (stride-1, dense) convolution schedule.
+
+    Term order inside the per-output-channel weight stack is tap-major,
+    input-channel-minor, so Sched-PA's offset groups are contiguous
+    ``ci``-wide slices and Sched-IA's rotated-input stack is built once in
+    the same order for all output channels.
+    """
+
+    scheme: BfvScheme
+    schedule: Schedule
+    grid_w: int
+    co: int
+    ci: int
+    fw: int
+    offsets: list[int]
+    #: Stacked offline-encoded weights, shape (k, co, ci * fw^2, n).
+    weight_stacks: np.ndarray = field(repr=False)
+
+    @classmethod
+    def compile(
+        cls,
+        scheme: BfvScheme,
+        weights: np.ndarray,
+        schedule: Schedule = Schedule.PARTIAL_ALIGNED,
+        grid_w: int | None = None,
+    ) -> "ConvPlan":
+        weights = np.asarray(weights, dtype=np.int64)
+        if weights.ndim != 4 or weights.shape[2] != weights.shape[3]:
+            raise ValueError(f"expected (co, ci, fw, fw) filters, got {weights.shape}")
+        co, ci, fw, _ = weights.shape
+        row_size = scheme.params.row_size
+        if grid_w is None:
+            grid_w = _infer_width(row_size)
+        taps = [(dy, dx) for dy in range(fw) for dx in range(fw)]
+        offsets = [tap_offset(dy, dx, grid_w) for dy, dx in taps]
+        positions = valid_output_positions(grid_w, fw)
+        # 0/1 slot masks per tap (shifted by the tap offset under Sched-PA,
+        # anchored at the output slots under Sched-IA), scaled by each
+        # (oc, ic) filter coefficient via broadcasting.
+        masks = np.zeros((fw * fw, row_size), dtype=np.int64)
+        for ti, offset in enumerate(offsets):
+            if schedule is Schedule.PARTIAL_ALIGNED:
+                masks[ti, positions + offset] = 1
+            else:
+                masks[ti, positions] = 1
+        # weights[oc, ic, dy, dx] -> (co, tap, ic) term order.
+        w_terms = weights.transpose(0, 2, 3, 1).reshape(co, fw * fw, ci)
+        rows = (w_terms[:, :, :, None] * masks[None, :, None, :]).reshape(
+            co * fw * fw * ci, row_size
+        )
+        stacks = encode_weight_rows(scheme, rows)
+        k, _, n = stacks.shape
+        weight_stacks = stacks.reshape(k, co, fw * fw * ci, n)
+        return cls(
+            scheme=scheme,
+            schedule=schedule,
+            grid_w=grid_w,
+            co=co,
+            ci=ci,
+            fw=fw,
+            offsets=offsets,
+            weight_stacks=weight_stacks,
+        )
+
+    @property
+    def rotation_steps(self) -> list[int]:
+        """Distinct Galois steps ``execute`` needs keys for."""
+        return sorted({offset for offset in self.offsets if offset})
+
+    def execute(
+        self, channel_cts: list[Ciphertext], galois_keys: GaloisKeys
+    ) -> list[Ciphertext]:
+        """Run the layer: one output ciphertext per output channel."""
+        if len(channel_cts) != self.ci:
+            raise ValueError(
+                f"expected {self.ci} channel ciphertexts, got {len(channel_cts)}"
+            )
+        if self.schedule is Schedule.PARTIAL_ALIGNED:
+            return self._execute_pa(channel_cts, galois_keys)
+        return self._execute_ia(channel_cts, galois_keys)
+
+    def _execute_pa(
+        self, channel_cts: list[Ciphertext], galois_keys: GaloisKeys
+    ) -> list[Ciphertext]:
+        scheme = self.scheme
+        ci = self.ci
+        c0 = np.stack([ct.c0.data for ct in channel_cts], axis=1)
+        c1 = np.stack([ct.c1.data for ct in channel_cts], axis=1)
+        outputs = []
+        for oc in range(self.co):
+            wstack = self.weight_stacks[:, oc]
+            total: Ciphertext | None = None
+            for ti, offset in enumerate(self.offsets):
+                group = slice(ti * ci, (ti + 1) * ci)
+                partial = scheme.mul_plain_accumulate_stacked(
+                    c0, c1, wstack[:, group]
+                )
+                if offset:
+                    partial = scheme.rotate_rows(partial, offset, galois_keys)
+                total = partial if total is None else scheme.add(total, partial)
+            outputs.append(total)
+        return outputs
+
+    def _execute_ia(
+        self, channel_cts: list[Ciphertext], galois_keys: GaloisKeys
+    ) -> list[Ciphertext]:
+        scheme = self.scheme
+        k, _, _, n = self.weight_stacks.shape
+        terms = len(self.offsets) * self.ci
+        rot_c0 = np.empty((k, terms, n), dtype=np.int64)
+        rot_c1 = np.empty((k, terms, n), dtype=np.int64)
+        # Hoist each input once; rotate once per distinct offset, shared
+        # across every output channel.  A 1x1 convolution rotates nothing,
+        # so skip the (NTT-paying) hoist entirely.
+        hoisted = (
+            [scheme.hoist(ct) for ct in channel_cts] if any(self.offsets) else None
+        )
+        for ti, offset in enumerate(self.offsets):
+            for ic in range(self.ci):
+                if offset:
+                    rotated = scheme.rotate_rows_hoisted(
+                        hoisted[ic], offset, galois_keys
+                    )
+                else:
+                    rotated = channel_cts[ic]
+                idx = ti * self.ci + ic
+                rot_c0[:, idx] = rotated.c0.data
+                rot_c1[:, idx] = rotated.c1.data
+        return [
+            scheme.mul_plain_accumulate_stacked(
+                rot_c0, rot_c1, self.weight_stacks[:, oc]
+            )
+            for oc in range(self.co)
+        ]
+
+
+@dataclass
+class FcPlan:
+    """A compiled diagonal-method FC schedule with extended-diagonal folding.
+
+    ``no_eff = ni / 2^fold_depth`` extended diagonals (rows of the weight
+    matrix reused cyclically mod ``no_eff``) are multiplied and aligned,
+    then ``fold_depth`` rotate-and-add steps collapse the ``2^fold_depth``
+    groups so outputs land in slots ``0..no-1``, exactly as in the plain
+    diagonal method.
+    """
+
+    scheme: BfvScheme
+    schedule: Schedule
+    ni: int
+    no: int
+    no_eff: int
+    fold_steps: list[int]
+    #: Stacked offline-encoded diagonals, shape (k, no_eff, n).
+    weight_stacks: np.ndarray = field(repr=False)
+
+    @classmethod
+    def compile(
+        cls,
+        scheme: BfvScheme,
+        weights: np.ndarray,
+        schedule: Schedule = Schedule.PARTIAL_ALIGNED,
+    ) -> "FcPlan":
+        weights = np.asarray(weights, dtype=np.int64)
+        no, ni = weights.shape
+        if no > ni:
+            raise ValueError(f"diagonal method requires no <= ni, got {weights.shape}")
+        row_size = scheme.params.row_size
+        if 2 * ni > row_size:
+            raise ValueError(f"ni={ni} needs {2 * ni} slots, row has {row_size}")
+        # Deepest fold: 2^f must divide ni and keep ni / 2^f >= no.
+        fold_depth = 0
+        for f in range((ni // no).bit_length() - 1, 0, -1):
+            if ni % (1 << f) == 0:
+                fold_depth = f
+                break
+        no_eff = ni >> fold_depth
+        extended = np.zeros((no_eff, ni), dtype=np.int64)
+        extended[:no] = weights
+        s = np.arange(ni)
+        rows = np.zeros((no_eff, row_size), dtype=np.int64)
+        for d in range(no_eff):
+            values = extended[s % no_eff, (s + d) % ni]
+            if schedule is Schedule.PARTIAL_ALIGNED:
+                rows[d, s + d] = values
+            else:
+                rows[d, s] = values
+        weight_stacks = encode_weight_rows(scheme, rows)
+        fold_steps = [no_eff << f for f in range(fold_depth - 1, -1, -1)]
+        return cls(
+            scheme=scheme,
+            schedule=schedule,
+            ni=ni,
+            no=no,
+            no_eff=no_eff,
+            fold_steps=fold_steps,
+            weight_stacks=weight_stacks,
+        )
+
+    @property
+    def rotation_steps(self) -> list[int]:
+        """Distinct Galois steps ``execute`` needs keys for."""
+        return sorted(set(range(1, self.no_eff)) | set(self.fold_steps))
+
+    def execute(self, ct_x: Ciphertext, galois_keys: GaloisKeys) -> Ciphertext:
+        """Run the layer on a duplicated-packing input ciphertext."""
+        scheme = self.scheme
+        basis = scheme.params.coeff_basis
+        if self.schedule is Schedule.PARTIAL_ALIGNED:
+            total: Ciphertext | None = None
+            for d in range(self.no_eff):
+                plain = EvalPlaintext(
+                    RnsPolynomial(basis, self.weight_stacks[:, d], Domain.EVAL)
+                )
+                partial = scheme.mul_plain(ct_x, plain)
+                if d:
+                    partial = scheme.rotate_rows(partial, d, galois_keys)
+                total = partial if total is None else scheme.add(total, partial)
+        else:
+            k, _, n = self.weight_stacks.shape
+            rot_c0 = np.empty((k, self.no_eff, n), dtype=np.int64)
+            rot_c1 = np.empty((k, self.no_eff, n), dtype=np.int64)
+            hoisted = scheme.hoist(ct_x) if self.no_eff > 1 else None
+            for d in range(self.no_eff):
+                rotated = (
+                    scheme.rotate_rows_hoisted(hoisted, d, galois_keys)
+                    if d
+                    else ct_x
+                )
+                rot_c0[:, d] = rotated.c0.data
+                rot_c1[:, d] = rotated.c1.data
+            total = scheme.mul_plain_accumulate_stacked(
+                rot_c0, rot_c1, self.weight_stacks
+            )
+        # Rotation linearity again: each fold halves the number of groups
+        # still spread across the row.
+        for step in self.fold_steps:
+            total = scheme.add(total, scheme.rotate_rows(total, step, galois_keys))
+        return total
+
+
+def compile_linear_plan(scheme, layer, weights, schedule, grid_w=None):
+    """Compile the right plan for an ``nn.layers`` linear layer descriptor."""
+    from ..nn.layers import ConvLayer
+
+    if isinstance(layer, ConvLayer):
+        return ConvPlan.compile(scheme, weights, schedule, grid_w=grid_w)
+    return FcPlan.compile(scheme, weights, schedule)
+
+
+#: Per-scheme compiled-plan cache (attached to the scheme so lifetime and
+#: identity follow it); bounds memory for long-lived schemes.
+_PLAN_CACHE_ATTR = "_linear_plan_cache"
+_PLAN_CACHE_MAX = 32
+
+
+def _cached_plan(scheme: BfvScheme, key: tuple, factory):
+    cache: OrderedDict | None = getattr(scheme, _PLAN_CACHE_ATTR, None)
+    if cache is None:
+        cache = OrderedDict()
+        setattr(scheme, _PLAN_CACHE_ATTR, cache)
+    plan = cache.get(key)
+    if plan is None:
+        plan = factory()
+        cache[key] = plan
+        if len(cache) > _PLAN_CACHE_MAX:
+            cache.popitem(last=False)
+    else:
+        cache.move_to_end(key)
+    return plan
+
+
+def cached_conv_plan(
+    scheme: BfvScheme,
+    weights: np.ndarray,
+    schedule: Schedule = Schedule.PARTIAL_ALIGNED,
+    grid_w: int | None = None,
+) -> ConvPlan:
+    """Memoized :meth:`ConvPlan.compile`, keyed by weight bytes.
+
+    Lets per-call entry points (``conv2d_he``, ``conv2d_he_small`` loops)
+    amortise the offline weight encoding across repeated invocations with
+    the same weights without holding a plan handle themselves.
+    """
+    weights = np.asarray(weights, dtype=np.int64)
+    key = ("conv", schedule, grid_w, weights.shape, weights.tobytes())
+    return _cached_plan(
+        scheme, key, lambda: ConvPlan.compile(scheme, weights, schedule, grid_w=grid_w)
+    )
+
+
+def cached_fc_plan(
+    scheme: BfvScheme,
+    weights: np.ndarray,
+    schedule: Schedule = Schedule.PARTIAL_ALIGNED,
+) -> FcPlan:
+    """Memoized :meth:`FcPlan.compile`, keyed by weight bytes."""
+    weights = np.asarray(weights, dtype=np.int64)
+    key = ("fc", schedule, weights.shape, weights.tobytes())
+    return _cached_plan(scheme, key, lambda: FcPlan.compile(scheme, weights, schedule))

@@ -1,0 +1,296 @@
+"""Compiled linear-layer plans vs the naive Figure 5 loop nests.
+
+The equivalence contract of :mod:`repro.scheduling.plan`: for both
+schedules and both layer types, a compiled plan decrypts bit-identically
+to the naive reference, spends strictly fewer NTTs and rotations, and
+stays within the Table III worst-case noise bound of the naive schedule.
+"""
+
+import math
+
+import numpy as np
+import pytest
+
+from repro.bfv import invariant_noise_budget
+from repro.bfv.counters import GLOBAL_COUNTERS
+from repro.core.noise_model import (
+    NoiseMode,
+    Schedule,
+    eta_mult,
+    eta_rotate,
+    fresh_noise,
+)
+from repro.core.ptune import ModelParams
+from repro.nn.plaintext import conv2d
+from repro.scheduling import (
+    ConvPlan,
+    FcPlan,
+    conv2d_he_naive,
+    conv_rotation_steps,
+    encrypt_channels,
+    fc_he_naive,
+    fc_rotation_steps,
+    pack_fc_input,
+)
+from repro.scheduling.conv2d import _infer_width
+from repro.scheduling.layouts import unpack_image
+
+CI, CO, FW, IMG_W = 2, 2, 3, 6
+NI, NO = 24, 7
+
+
+@pytest.fixture(scope="module")
+def grid_w(conv_scheme):
+    return _infer_width(conv_scheme.params.row_size)
+
+
+@pytest.fixture(scope="module")
+def conv_galois(conv_scheme, conv_keys, grid_w):
+    secret, _ = conv_keys
+    return conv_scheme.generate_galois_keys(
+        secret, conv_rotation_steps(grid_w, FW)
+    )
+
+
+@pytest.fixture(scope="module")
+def fc_galois(conv_scheme, conv_keys):
+    secret, _ = conv_keys
+    return conv_scheme.generate_galois_keys(secret, fc_rotation_steps(NI))
+
+
+@pytest.fixture(scope="module")
+def conv_inputs(conv_scheme, conv_keys, grid_w, rng):
+    _, public = conv_keys
+    acts = rng.integers(0, 8, (CI, IMG_W, IMG_W))
+    weights = rng.integers(-4, 5, (CO, CI, FW, FW))
+    grids = np.zeros((CI, grid_w, grid_w), dtype=np.int64)
+    grids[:, :IMG_W, :IMG_W] = acts
+    cts = encrypt_channels(conv_scheme, grids, public)
+    return acts, weights, cts
+
+
+@pytest.fixture(scope="module")
+def fc_inputs(conv_scheme, conv_keys, rng):
+    _, public = conv_keys
+    x = rng.integers(-8, 8, NI)
+    weights = rng.integers(-4, 5, (NO, NI))
+    packed = pack_fc_input(
+        x % conv_scheme.params.plain_modulus, conv_scheme.params.row_size
+    )
+    ct = conv_scheme.encrypt(conv_scheme.encoder.encode_row(packed), public)
+    return x, weights, ct
+
+
+def _table3_budget_bound(params, schedule, mult_terms, rot_terms):
+    """Worst-case Table III remaining-budget bound for the naive schedule.
+
+    Same proxy convention as ``bench_table5_noise_model``: live schedulers
+    multiply slot-encoded weight plaintexts whose coefficient norm is
+    bounded by t, i.e. one window of base Wdcmp = t.
+    """
+    t_bits = params.plain_modulus.bit_length()
+    proxy = ModelParams(
+        n=params.n,
+        plain_bits=t_bits,
+        coeff_bits=params.coeff_bits,
+        w_dcmp_bits=t_bits,
+        a_dcmp_bits=params.a_dcmp_bits,
+    )
+    v0 = fresh_noise(proxy, NoiseMode.WORST)
+    eta_m = eta_mult(proxy, NoiseMode.WORST, l_pt=1)
+    eta_a = eta_rotate(proxy, NoiseMode.WORST)
+    if schedule is Schedule.PARTIAL_ALIGNED:
+        noise = mult_terms * eta_m * v0 + rot_terms * eta_a
+    else:
+        noise = mult_terms * eta_m * (v0 + eta_a) + rot_terms * eta_a
+    return params.noise_capacity_bits - math.log2(noise)
+
+
+class TestConvPlanEquivalence:
+    @pytest.mark.parametrize("schedule", list(Schedule))
+    def test_plan_matches_naive_and_saves_ops(
+        self, conv_scheme, conv_keys, conv_galois, conv_inputs, grid_w, schedule
+    ):
+        secret, _ = conv_keys
+        acts, weights, cts = conv_inputs
+        plan = ConvPlan.compile(conv_scheme, weights, schedule)
+
+        before = GLOBAL_COUNTERS.snapshot()
+        plan_cts = plan.execute(cts, conv_galois)
+        plan_ops = GLOBAL_COUNTERS.diff(before)
+        before = GLOBAL_COUNTERS.snapshot()
+        naive_cts = conv2d_he_naive(conv_scheme, cts, weights, conv_galois, schedule)
+        naive_ops = GLOBAL_COUNTERS.diff(before)
+
+        expected = conv2d(acts, weights)
+        out_w = IMG_W - FW + 1
+        for oc in range(CO):
+            plan_slots = conv_scheme.encoder.decode_row(
+                conv_scheme.decrypt(plan_cts[oc], secret)
+            )
+            naive_slots = conv_scheme.encoder.decode_row(
+                conv_scheme.decrypt(naive_cts[oc], secret)
+            )
+            # Bit-identical decrypted outputs, full slot row.
+            assert np.array_equal(plan_slots, naive_slots)
+            assert np.array_equal(
+                unpack_image(plan_slots, grid_w)[:out_w, :out_w], expected[oc]
+            )
+
+        # Strictly fewer NTTs and rotations; analytic rotation census:
+        # Sched-PA sums offset groups first (fw^2 - 1 per oc), Sched-IA
+        # shares hoisted rotated inputs across ocs (fw^2 - 1 per ic).
+        assert plan_ops.ntt < naive_ops.ntt
+        assert plan_ops.he_rotate < naive_ops.he_rotate
+        assert naive_ops.he_rotate == CO * CI * (FW * FW - 1)
+        if schedule is Schedule.PARTIAL_ALIGNED:
+            assert plan_ops.he_rotate == CO * (FW * FW - 1)
+        else:
+            assert plan_ops.he_rotate == CI * (FW * FW - 1)
+        assert plan_ops.he_mult == naive_ops.he_mult == CO * CI * FW * FW
+
+    @pytest.mark.parametrize("schedule", list(Schedule))
+    def test_noise_within_table3_bound(
+        self, conv_scheme, conv_keys, conv_galois, conv_inputs, schedule
+    ):
+        secret, _ = conv_keys
+        _, weights, cts = conv_inputs
+        plan = ConvPlan.compile(conv_scheme, weights, schedule)
+        out = plan.execute(cts, conv_galois)[0]
+        budget = invariant_noise_budget(conv_scheme, out, secret)
+        bound = _table3_budget_bound(
+            conv_scheme.params,
+            schedule,
+            mult_terms=CI * FW * FW,
+            rot_terms=CI * (FW * FW - 1),
+        )
+        assert budget > 0
+        assert budget >= bound - 1.0
+
+
+class TestFcPlanEquivalence:
+    @pytest.mark.parametrize("schedule", list(Schedule))
+    def test_plan_matches_naive_and_saves_ops(
+        self, conv_scheme, conv_keys, fc_galois, fc_inputs, schedule
+    ):
+        secret, _ = conv_keys
+        x, weights, ct = fc_inputs
+        plan = FcPlan.compile(conv_scheme, weights, schedule)
+
+        before = GLOBAL_COUNTERS.snapshot()
+        plan_ct = plan.execute(ct, fc_galois)
+        plan_ops = GLOBAL_COUNTERS.diff(before)
+        before = GLOBAL_COUNTERS.snapshot()
+        naive_ct = fc_he_naive(conv_scheme, ct, weights, fc_galois, schedule)
+        naive_ops = GLOBAL_COUNTERS.diff(before)
+
+        plan_out = conv_scheme.encoder.decode_row(
+            conv_scheme.decrypt(plan_ct, secret)
+        )[:NO]
+        naive_out = conv_scheme.encoder.decode_row(
+            conv_scheme.decrypt(naive_ct, secret)
+        )[:NO]
+        assert np.array_equal(plan_out, naive_out)
+        assert np.array_equal(plan_out, weights @ x)
+
+        # The extended-diagonal fold: no_eff - 1 diagonal rotations plus
+        # one rotate-and-add per fold, strictly below the naive ni - 1.
+        assert naive_ops.he_rotate == NI - 1
+        assert plan_ops.he_rotate == plan.no_eff - 1 + len(plan.fold_steps)
+        assert plan_ops.he_rotate < naive_ops.he_rotate
+        assert plan_ops.ntt < naive_ops.ntt
+        assert plan_ops.he_mult == plan.no_eff < naive_ops.he_mult == NI
+
+    @pytest.mark.parametrize("schedule", list(Schedule))
+    def test_noise_within_table3_bound(
+        self, conv_scheme, conv_keys, fc_galois, fc_inputs, schedule
+    ):
+        secret, _ = conv_keys
+        _, weights, ct = fc_inputs
+        plan = FcPlan.compile(conv_scheme, weights, schedule)
+        out = plan.execute(ct, fc_galois)
+        budget = invariant_noise_budget(conv_scheme, out, secret)
+        bound = _table3_budget_bound(
+            conv_scheme.params,
+            schedule,
+            mult_terms=NI,
+            rot_terms=NI - 1,
+        )
+        assert budget > 0
+        assert budget >= bound - 1.0
+
+
+class TestPlanStructure:
+    def test_conv_rotation_steps_subset_of_schedule(self, conv_scheme, grid_w, rng):
+        weights = rng.integers(-4, 5, (CO, CI, FW, FW))
+        plan = ConvPlan.compile(conv_scheme, weights)
+        assert plan.rotation_steps == conv_rotation_steps(grid_w, FW)
+
+    def test_fc_fold_structure(self, conv_scheme, rng):
+        # ni = 24, no = 7: deepest usable fold is 2^1 (24 / 4 = 6 < 7).
+        plan = FcPlan.compile(conv_scheme, rng.integers(-4, 5, (7, 24)))
+        assert plan.no_eff == 12
+        assert plan.fold_steps == [12]
+        assert max(plan.rotation_steps) < 24
+
+    def test_fc_square_has_no_fold(self, conv_scheme, rng):
+        plan = FcPlan.compile(conv_scheme, rng.integers(-4, 5, (12, 12)))
+        assert plan.no_eff == 12
+        assert plan.fold_steps == []
+
+    def test_plan_reuse_across_inputs(
+        self, conv_scheme, conv_keys, fc_galois, rng
+    ):
+        """One compilation, many inferences: the amortisation contract."""
+        secret, public = conv_keys
+        weights = rng.integers(-4, 5, (NO, NI))
+        plan = FcPlan.compile(conv_scheme, weights)
+        for seed in (0, 1):
+            x = np.random.default_rng(seed).integers(0, 8, NI)
+            packed = pack_fc_input(x, conv_scheme.params.row_size)
+            ct = conv_scheme.encrypt(conv_scheme.encoder.encode_row(packed), public)
+            out = conv_scheme.encoder.decode_row(
+                conv_scheme.decrypt(plan.execute(ct, fc_galois), secret)
+            )[:NO]
+            assert np.array_equal(out, weights @ x)
+
+    @pytest.mark.parametrize("schedule", list(Schedule))
+    def test_1x1_conv_needs_no_rotations_or_hoists(
+        self, conv_scheme, conv_keys, conv_galois, grid_w, schedule, rng
+    ):
+        """fw=1 (the ResNet bottleneck shape): no offsets, so the plan must
+        spend zero rotations and zero NTTs (no speculative hoisting)."""
+        secret, public = conv_keys
+        acts = rng.integers(0, 8, (2, 4, 4))
+        weights = rng.integers(-4, 5, (2, 2, 1, 1))
+        grids = np.zeros((2, grid_w, grid_w), dtype=np.int64)
+        grids[:, :4, :4] = acts
+        cts = encrypt_channels(conv_scheme, grids, public)
+        plan = ConvPlan.compile(conv_scheme, weights, schedule)
+        assert plan.rotation_steps == []
+        before = GLOBAL_COUNTERS.snapshot()
+        outs = plan.execute(cts, conv_galois)
+        delta = GLOBAL_COUNTERS.diff(before)
+        assert delta.he_rotate == 0
+        assert delta.ntt == 0
+        expected = conv2d(acts, weights)
+        for oc in range(2):
+            slots = conv_scheme.encoder.decode_row(
+                conv_scheme.decrypt(outs[oc], secret)
+            )
+            assert np.array_equal(
+                unpack_image(slots, grid_w)[:4, :4], expected[oc]
+            )
+
+    def test_conv_channel_count_validated(self, conv_scheme, conv_galois, rng):
+        weights = rng.integers(-4, 5, (1, 2, 3, 3))
+        plan = ConvPlan.compile(conv_scheme, weights)
+        with pytest.raises(ValueError):
+            plan.execute([], conv_galois)
+
+    def test_fc_shape_validated(self, conv_scheme, rng):
+        with pytest.raises(ValueError):
+            FcPlan.compile(conv_scheme, rng.integers(-4, 5, (8, 4)))
+        too_wide = conv_scheme.params.row_size
+        with pytest.raises(ValueError):
+            FcPlan.compile(conv_scheme, rng.integers(-4, 5, (1, too_wide)))

@@ -20,8 +20,8 @@ from repro.core.perf_model import (
 from repro.core.ptune import ModelParams
 from repro.nn.layers import ConvLayer, FCLayer
 from repro.scheduling import TraceRecorder, conv_rotation_steps, fc_rotation_steps
-from repro.scheduling.conv2d import _infer_width, conv2d_he, encrypt_channels
-from repro.scheduling.fc import fc_he, pack_fc_input
+from repro.scheduling.conv2d import _infer_width, conv2d_he_naive, encrypt_channels
+from repro.scheduling.fc import fc_he_naive, pack_fc_input
 
 
 def params(n=2048, t=20, q=54, w=10, a=9):
@@ -138,7 +138,7 @@ class TestModelVsLiveExecution:
     def test_conv_trace_matches_model(self, conv_scheme, conv_keys):
         secret, public = conv_keys
         fw, ci, co = 3, 2, 2
-        grid_w = _infer_width(conv_scheme.params.row_size, fw)
+        grid_w = _infer_width(conv_scheme.params.row_size)
         galois = conv_scheme.generate_galois_keys(
             secret, conv_rotation_steps(grid_w, fw)
         )
@@ -147,7 +147,7 @@ class TestModelVsLiveExecution:
         weights = rng.integers(-4, 5, (co, ci, fw, fw))
         cts = encrypt_channels(conv_scheme, channels, public)
         with TraceRecorder() as rec:
-            conv2d_he(conv_scheme, cts, weights, galois, Schedule.PARTIAL_ALIGNED)
+            conv2d_he_naive(conv_scheme, cts, weights, galois, Schedule.PARTIAL_ALIGNED)
         trace = rec.trace
         # Live layout packs one channel per ciphertext (cn = 1 equivalent).
         assert trace.he_mult == ci * co * fw * fw
@@ -163,7 +163,7 @@ class TestModelVsLiveExecution:
         packed = pack_fc_input(rng.integers(0, 8, ni), conv_scheme.params.row_size)
         ct = conv_scheme.encrypt(conv_scheme.encoder.encode_row(packed), public)
         with TraceRecorder() as rec:
-            fc_he(conv_scheme, ct, weights, galois, Schedule.PARTIAL_ALIGNED)
+            fc_he_naive(conv_scheme, ct, weights, galois, Schedule.PARTIAL_ALIGNED)
         trace = rec.trace
         assert trace.he_mult == ni  # one diagonal per input position
         assert trace.he_rotate == ni - 1  # diagonal 0 needs no rotation
@@ -179,7 +179,7 @@ class TestModelVsLiveExecution:
         traces = {}
         for schedule in (Schedule.PARTIAL_ALIGNED, Schedule.INPUT_ALIGNED):
             with TraceRecorder() as rec:
-                fc_he(conv_scheme, ct, weights, galois, schedule)
+                fc_he_naive(conv_scheme, ct, weights, galois, schedule)
             traces[schedule] = rec.trace
         pa, ia = traces[Schedule.PARTIAL_ALIGNED], traces[Schedule.INPUT_ALIGNED]
         assert pa.he_mult == ia.he_mult

@@ -6,8 +6,8 @@ import pytest
 
 from repro.bfv import BfvParameters, BfvScheme, invariant_noise_budget
 from repro.core.noise_model import Schedule
-from repro.scheduling import fc_he, fc_rotation_steps, pack_fc_input
-from repro.scheduling.conv2d import conv2d_he, conv_rotation_steps, encrypt_channels
+from repro.scheduling import fc_he_naive, fc_rotation_steps, pack_fc_input
+from repro.scheduling.conv2d import conv2d_he_naive, conv_rotation_steps, encrypt_channels
 
 
 @pytest.fixture(scope="module")
@@ -40,7 +40,7 @@ class TestScheduleNoiseGap:
         ct = noisy_scheme.encrypt(noisy_scheme.encoder.encode_row(packed), public)
         budgets = {}
         for schedule in Schedule:
-            out = fc_he(noisy_scheme, ct, weights, galois, schedule)
+            out = fc_he_naive(noisy_scheme, ct, weights, galois, schedule)
             budgets[schedule] = invariant_noise_budget(noisy_scheme, out, secret)
         assert budgets[Schedule.PARTIAL_ALIGNED] > budgets[Schedule.INPUT_ALIGNED]
 
@@ -57,7 +57,7 @@ class TestScheduleNoiseGap:
         cts = encrypt_channels(noisy_scheme, channels, public)
         budgets = {}
         for schedule in Schedule:
-            out = conv2d_he(noisy_scheme, cts, weights, galois, schedule)[0]
+            out = conv2d_he_naive(noisy_scheme, cts, weights, galois, schedule)[0]
             budgets[schedule] = invariant_noise_budget(noisy_scheme, out, secret)
         assert budgets[Schedule.PARTIAL_ALIGNED] > budgets[Schedule.INPUT_ALIGNED]
 
@@ -72,12 +72,12 @@ class TestScheduleNoiseGap:
         ct = noisy_scheme.encrypt(noisy_scheme.encoder.encode_row(packed), public)
         pa = invariant_noise_budget(
             noisy_scheme,
-            fc_he(noisy_scheme, ct, weights, galois, Schedule.PARTIAL_ALIGNED),
+            fc_he_naive(noisy_scheme, ct, weights, galois, Schedule.PARTIAL_ALIGNED),
             secret,
         )
         ia = invariant_noise_budget(
             noisy_scheme,
-            fc_he(noisy_scheme, ct, weights, galois, Schedule.INPUT_ALIGNED),
+            fc_he_naive(noisy_scheme, ct, weights, galois, Schedule.INPUT_ALIGNED),
             secret,
         )
         assert pa - ia > 3.0

@@ -187,6 +187,36 @@ class TestRotation:
         assert after > 0
         assert after >= fresh - 12  # small additive hit, not multiplicative
 
+    @pytest.mark.parametrize("multiple", [0, 1, 2])
+    def test_zero_step_rotation_is_free_copy(
+        self, small_scheme, small_keys, small_galois, multiple
+    ):
+        """Steps that are multiples of the row size short-circuit: no key
+        switch (even without a key for Galois element 1), no HE_Rotate."""
+        secret, public = small_keys
+        row = small_scheme.params.row_size
+        vals = np.arange(row)
+        ct = small_scheme.encrypt(small_scheme.encoder.encode_row(vals), public)
+        assert 1 not in small_scheme.generate_galois_keys(secret, []).keys
+        before = GLOBAL_COUNTERS.snapshot()
+        rotated = small_scheme.rotate_rows(ct, multiple * row, small_galois)
+        delta = GLOBAL_COUNTERS.diff(before)
+        assert delta.he_rotate == 0
+        assert delta.ntt == 0
+        assert rotated is not ct  # an independent copy, not an alias
+        decoded = small_scheme.encoder.decode_row(
+            small_scheme.decrypt(rotated, secret), signed=False
+        )
+        assert np.array_equal(decoded, vals)
+
+    def test_zero_step_rotation_needs_no_keys(self, small_scheme, small_keys):
+        _, public = small_keys
+        ct = small_scheme.encrypt_values(np.arange(4), public)
+        from repro.bfv.keys import GaloisKeys
+
+        rotated = small_scheme.rotate_rows(ct, 0, GaloisKeys())
+        assert np.array_equal(rotated.c0.data, ct.c0.data)
+
     def test_missing_galois_key_raises(self, small_scheme, small_keys, small_galois):
         _, public = small_keys
         ct = small_scheme.encrypt_values(np.arange(4), public)
@@ -206,6 +236,53 @@ class TestRotation:
         limbs = params.coeff_basis.count
         assert delta.he_rotate == 1
         assert delta.ntt == (params.l_ct + 1) * limbs
+
+
+class TestMulPlainAccumulate:
+    def test_matches_mul_add_fold(self, small_scheme, small_keys):
+        """The fused batched helper equals T mul_plains folded with add."""
+        secret, public = small_keys
+        rng = np.random.default_rng(5)
+        row = small_scheme.params.row_size
+        values = [rng.integers(0, 8, row) for _ in range(3)]
+        weights = [rng.integers(0, 8, row) for _ in range(3)]
+        cts = [
+            small_scheme.encrypt(small_scheme.encoder.encode_row(v), public)
+            for v in values
+        ]
+        plains = [
+            small_scheme.encode_for_mul(small_scheme.encoder.encode_row(w))
+            for w in weights
+        ]
+        stack = np.stack([p.poly.data for p in plains], axis=1)
+
+        before = GLOBAL_COUNTERS.snapshot()
+        fused = small_scheme.mul_plain_accumulate(cts, stack)
+        delta = GLOBAL_COUNTERS.diff(before)
+        assert delta.he_mult == 3
+        assert delta.he_add == 2
+
+        reference = None
+        for ct, plain in zip(cts, plains):
+            term = small_scheme.mul_plain(ct, plain)
+            reference = term if reference is None else small_scheme.add(reference, term)
+        fused_out = small_scheme.encoder.decode_row(
+            small_scheme.decrypt(fused, secret), signed=False
+        )
+        ref_out = small_scheme.encoder.decode_row(
+            small_scheme.decrypt(reference, secret), signed=False
+        )
+        assert np.array_equal(fused_out, ref_out)
+
+    def test_shape_mismatch_rejected(self, small_scheme, small_keys):
+        _, public = small_keys
+        ct = small_scheme.encrypt_values(np.arange(4), public)
+        stack = np.zeros(
+            (small_scheme.params.coeff_basis.count, 2, small_scheme.params.n),
+            dtype=np.int64,
+        )
+        with pytest.raises(ValueError):
+            small_scheme.mul_plain_accumulate([ct], stack)
 
 
 class TestDigitCount:
