@@ -16,7 +16,13 @@ from .ntt_batch import RnsNttEngine, get_context, get_engine
 from .params import BfvParameters, DEFAULT_SIGMA, noise_bound
 from .polynomial import Domain, RnsPolynomial
 from .rns import RnsBasis
-from .scheme import BfvScheme, Ciphertext, EvalPlaintext, HoistedCiphertext
+from .scheme import (
+    BfvScheme,
+    Ciphertext,
+    EvalPlaintext,
+    HoistedCiphertext,
+    HoistedGroup,
+)
 from .security import is_secure, max_coeff_modulus_bits
 
 __all__ = [
@@ -49,6 +55,7 @@ __all__ = [
     "Ciphertext",
     "EvalPlaintext",
     "HoistedCiphertext",
+    "HoistedGroup",
     "is_secure",
     "max_coeff_modulus_bits",
 ]

@@ -7,6 +7,13 @@ reduction) and NTT butterflies (3 integer multiplications each under
 Harvey's butterfly).  This module provides the single counter object that
 every kernel in :mod:`repro.bfv` increments, so measured op counts can be
 validated against HE-PTune's analytical model (Table IV).
+
+The counters are profiling aids, not synchronised state: increments are
+plain ``+=`` with no lock, so censuses are only exact for
+single-threaded workloads.  Under the concurrent serving runtime
+(:mod:`repro.serving`) interleaved read-modify-writes can drop
+increments -- do not assert on counter values around multi-threaded
+runs.
 """
 
 from __future__ import annotations

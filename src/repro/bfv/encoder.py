@@ -67,7 +67,13 @@ class BatchEncoder:
         return self.params.n // 2
 
     def encode(self, values: np.ndarray) -> Plaintext:
-        """Encode up to n integers (signed ok) into a plaintext."""
+        """Encode up to n integers (signed ok) into a plaintext.
+
+        Slot value i lands at evaluation point i of the t-NTT; the
+        returned plaintext holds *coefficients* mod t (one inverse NTT
+        from the slot values), which is the representation every scheme
+        operation consumes.
+        """
         values = np.asarray(values, dtype=np.int64)
         if values.ndim != 1 or values.shape[0] > self.slot_count:
             raise ValueError(f"expected <= {self.slot_count} values, got {values.shape}")
@@ -80,7 +86,13 @@ class BatchEncoder:
         return Plaintext(coeffs)
 
     def decode(self, plaintext: Plaintext, signed: bool = True) -> np.ndarray:
-        """Decode a plaintext back to its n slot values."""
+        """Decode a plaintext back to its n slot values.
+
+        ``signed=True`` centers values into ``(-t/2, t/2]`` (fixed-point
+        convention); ``signed=False`` returns raw residues in ``[0, t)``
+        -- what the protocol uses for masked values, where wraparound mod
+        t is meaningful.
+        """
         evals = self.engine.forward(plaintext.coeffs[None, :], count_ops=False)[0]
         slots = evals[self._slot_to_eval]
         if signed:
@@ -88,7 +100,8 @@ class BatchEncoder:
         return slots
 
     def encode_row(self, values: np.ndarray, row: int = 0) -> Plaintext:
-        """Encode values into one row of the slot matrix (zeros elsewhere)."""
+        """Encode up to n/2 values into one row of the 2 x (n/2) slot matrix
+        (zeros elsewhere), so row rotations cover the whole payload."""
         values = np.asarray(values, dtype=np.int64)
         if values.shape[0] > self.row_size:
             raise ValueError(f"row holds {self.row_size} slots, got {values.shape[0]}")
@@ -117,6 +130,7 @@ class BatchEncoder:
         return self.engine.inverse(evals[None, :, :], count_ops=False)[0]
 
     def decode_row(self, plaintext: Plaintext, row: int = 0, signed: bool = True) -> np.ndarray:
+        """Decode one row (n/2 values) of the slot matrix; see :meth:`decode`."""
         return self.decode(plaintext, signed=signed)[
             row * self.row_size : (row + 1) * self.row_size
         ]

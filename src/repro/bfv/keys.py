@@ -42,6 +42,24 @@ class KeySwitchKey:
 
     pairs: list[tuple[RnsPolynomial, RnsPolynomial]]
     base_bits: int
+    _stacks: tuple[np.ndarray, np.ndarray] | None = field(
+        default=None, repr=False, compare=False
+    )
+
+    def stacks(self, depth: int) -> tuple[np.ndarray, np.ndarray]:
+        """Cached ``(body, a)`` digit stacks of shape ``(k, depth, n)``.
+
+        The key-switch inner loop multiplies every ciphertext digit
+        against these same pairs on every rotation; stacking them once
+        per key (instead of per rotation) keeps the hot path free of
+        repeated small-array copies.
+        """
+        if self._stacks is None or self._stacks[0].shape[1] < depth:
+            body = np.stack([body.data for body, _ in self.pairs], axis=1)
+            a = np.stack([a.data for _, a in self.pairs], axis=1)
+            self._stacks = (body, a)
+        body, a = self._stacks
+        return body[:, :depth], a[:, :depth]
 
 
 @dataclass

@@ -118,8 +118,10 @@ class RnsNttEngine:
             [c._ipsi_powers * c._n_inv % m for c, m in zip(self.contexts, moduli)]
         )
 
-        # Transforms run on shared per-engine work buffers (engines are
-        # globally memoized), so execution is serialised by this lock.
+        # Numpy-path transforms run on shared per-engine work buffers
+        # (engines are globally memoized), so that path is serialised by
+        # this lock; the native path uses per-call buffers and runs
+        # lock-free (concurrent serving threads transform in parallel).
         self._lock = threading.Lock()
         # Numpy-path Shoup tables are built lazily: when the native kernel
         # is live they would be dead weight (the quotient precomputation
@@ -182,7 +184,6 @@ class RnsNttEngine:
                 [_shoup(self._iscale_raw[i], m, 64) for i, m in enumerate(moduli)]
             ),
             "p": np.array(moduli, dtype=np.uint64),
-            "scratch": np.empty(self.n, dtype=np.uint64),
         }
 
     @property
@@ -341,6 +342,11 @@ class RnsNttEngine:
         k, batch, n = arr.shape
         nat = self._nat
         buf = np.ascontiguousarray(arr).astype(np.uint64)
+        # Per-call scratch keeps this path lock-free: the tables are
+        # read-only and ctypes releases the GIL during the C call, so
+        # concurrent serving threads transform without convoying on a
+        # shared-engine lock.
+        scratch = np.empty(n, dtype=np.uint64)
 
         def ptr(a):
             return a.ctypes.data_as(ctypes.c_void_p)
@@ -349,13 +355,13 @@ class RnsNttEngine:
             self._kernel.ntt_forward(
                 ptr(buf), ptr(nat["perm"]), ptr(nat["psi"]), ptr(nat["psi_sh"]),
                 ptr(nat["tw"]), ptr(nat["tw_sh"]), ptr(nat["p"]),
-                k, batch, n, ptr(nat["scratch"]),
+                k, batch, n, ptr(scratch),
             )
         else:
             self._kernel.ntt_inverse(
                 ptr(buf), ptr(nat["perm"]), ptr(nat["iscale"]), ptr(nat["iscale_sh"]),
                 ptr(nat["itw"]), ptr(nat["itw_sh"]), ptr(nat["p"]),
-                k, batch, n, ptr(nat["scratch"]),
+                k, batch, n, ptr(scratch),
             )
         return buf.view(np.int64)
 
@@ -386,12 +392,13 @@ class RnsNttEngine:
 
     def _transform(self, stack, forward: bool, count_ops: bool) -> np.ndarray:
         arr, squeeze = self._prepare(stack)
-        # Serialise: both paths use shared per-engine scratch, and engines
-        # are memoized across schemes.
-        with self._lock:
-            if self._kernel is not None:
-                out = self._native_transform(arr, forward)
-            else:
+        if self._kernel is not None:
+            # Lock-free: the native path uses per-call buffers only.
+            out = self._native_transform(arr, forward)
+        else:
+            # The numpy path runs on shared per-engine plan buffers, and
+            # engines are memoized across schemes -- serialise it.
+            with self._lock:
                 out = self._numpy_transform(arr, forward)
         if count_ops:
             GLOBAL_COUNTERS.add_ntt(self.n, count=arr.shape[0] * arr.shape[1])
@@ -432,11 +439,42 @@ class RnsNttEngine:
         """
         a = np.asarray(a, dtype=np.int64)
         b = np.asarray(b, dtype=np.int64)
-        col = self._primes_i64[:, None, None]
-        products = a * b % col
+        products = a * b
+        products %= self._primes_i64[:, None, None]
         if count_ops:
             GLOBAL_COUNTERS.add_modmuls(products.size)
-        return products.sum(axis=1) % self._primes_i64[:, None]
+        acc = products.sum(axis=1)
+        acc %= self._primes_i64[:, None]
+        return acc
+
+    def pointwise_accumulate_grouped(
+        self, a: np.ndarray, b: np.ndarray, count_ops: bool = True
+    ) -> np.ndarray:
+        """Per-group :meth:`pointwise_accumulate`: (k, B, T, n) -> (k, B, n).
+
+        The cross-client batching primitive: ``B`` independent ``T``-term
+        multiply-accumulate reductions (one per in-flight request) run as
+        a single broadcasted modmul plus one grouped sum, instead of ``B``
+        separate :meth:`pointwise_accumulate` calls.  ``b`` may be
+        ``(k, T, n)`` (weights shared across the batch, the common case)
+        or ``(k, B, T, n)`` (per-request operands, e.g. per-client
+        key-switch key stacks).  Slice ``[:, i]`` of the result is
+        bit-identical to ``pointwise_accumulate(a[:, i], b)`` /
+        ``pointwise_accumulate(a[:, i], b[:, i])``.
+        """
+        a = np.asarray(a, dtype=np.int64)
+        b = np.asarray(b, dtype=np.int64)
+        if a.ndim != 4:
+            raise ValueError(f"expected (k, B, T, n) stack, got {a.shape}")
+        if b.ndim == 3:
+            b = b[:, None]
+        products = a * b
+        products %= self._primes_i64[:, None, None, None]
+        if count_ops:
+            GLOBAL_COUNTERS.add_modmuls(products.size)
+        acc = products.sum(axis=2)
+        acc %= self._primes_i64[:, None, None]
+        return acc
 
     def negacyclic_multiply(self, a, b) -> np.ndarray:
         """Full negacyclic product of coefficient-domain stacks."""

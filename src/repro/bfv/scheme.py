@@ -58,6 +58,28 @@ class HoistedCiphertext:
 
     c0: RnsPolynomial
     digit_polys: list[RnsPolynomial]
+    #: Cached ``(k, l_ct, n)`` digit stack (every rotation reads it).
+    _stack: np.ndarray | None = None
+
+    def digit_stack(self) -> np.ndarray:
+        if self._stack is None:
+            self._stack = np.stack(
+                [poly.data for poly in self.digit_polys], axis=1
+            )
+        return self._stack
+
+
+@dataclass
+class HoistedGroup:
+    """A batch of hoisted ciphertexts with one shared digit stack.
+
+    Produced by :meth:`BfvScheme.hoist_group`; ``digits`` has shape
+    ``(k, B, l_ct, n)`` so a whole batch rotates through one permutation
+    pass per step (:meth:`BfvScheme.rotate_rows_group`).
+    """
+
+    c0_list: list[RnsPolynomial]
+    digits: np.ndarray
 
 
 class EvalPlaintext:
@@ -87,6 +109,17 @@ class BfvScheme:
         self.contexts = self.engine.contexts
         self.encoder = BatchEncoder(params)
         self._galois_eval_maps: dict[int, np.ndarray] = {}
+        # delta mod p_i per limb: lets Delta * m scaling run in int64 limb
+        # arithmetic (see _delta_residues).  Products need plain bits +
+        # limb bits < 63; parameter sets outside that fall back to object.
+        primes = params.coeff_basis.primes
+        self._delta_mod_primes = np.array(
+            [params.delta % p for p in primes], dtype=np.int64
+        )
+        self._delta_needs_object = (
+            params.plain_modulus.bit_length() + max(p.bit_length() for p in primes)
+            >= 63
+        )
 
     # -- sampling ----------------------------------------------------------
 
@@ -113,6 +146,12 @@ class BfvScheme:
     # -- key generation ------------------------------------------------------
 
     def keygen(self) -> tuple[SecretKey, PublicKey]:
+        """Sample a ternary secret and its public encryption key.
+
+        Both keys hold evaluation-domain ``(k, n)`` residue stacks (the
+        secret additionally keeps its signed coefficients for noise
+        measurement and Galois-key generation).
+        """
         s_coeffs = self._sample_ternary()
         s_eval = self._small_to_eval(s_coeffs)
         secret = SecretKey(coeffs=s_coeffs, eval_poly=s_eval)
@@ -170,6 +209,12 @@ class BfvScheme:
     # -- encryption / decryption ---------------------------------------------
 
     def encrypt(self, plaintext: Plaintext, public: PublicKey) -> Ciphertext:
+        """Encrypt a plaintext (coefficients mod t) under the public key.
+
+        Returns an evaluation-domain ciphertext carrying fresh noise of
+        magnitude ``~2 n sigma`` (Table III's v_fresh); all subsequent
+        operator noise compounds from there until :meth:`decrypt`.
+        """
         params = self.params
         u = self._small_to_eval(self._sample_ternary())
         e0 = self._sample_error()
@@ -184,11 +229,34 @@ class BfvScheme:
         return Ciphertext(c0, c1)
 
     def _delta_times_message(self, plaintext: Plaintext) -> RnsPolynomial:
+        return RnsPolynomial(
+            self.params.coeff_basis,
+            self.engine.forward(self._delta_residues(plaintext.coeffs[None, :])[:, 0]),
+            Domain.EVAL,
+        )
+
+    def _delta_residues(self, coeffs: np.ndarray) -> np.ndarray:
+        """Residues of ``delta * (coeffs mod t)`` for a ``(B, n)`` int64 stack.
+
+        ``delta * m < q`` for every message coefficient ``m < t`` (delta is
+        ``floor(q/t)``), so the product never wraps mod q and each residue
+        is just ``m * (delta mod p_i) mod p_i`` -- pure int64 limb
+        arithmetic, no big-integer CRT.  Results are bit-identical to
+        composing ``delta * m`` and decomposing it across the basis.
+        """
         params = self.params
-        coeffs = np.asarray(plaintext.coeffs, dtype=object) % params.plain_modulus
-        scaled = (coeffs * params.delta) % params.coeff_modulus
-        poly = RnsPolynomial.from_bigint_coeffs(params.coeff_basis, scaled)
-        return poly.to_eval(self.engine)
+        reduced = np.asarray(coeffs, dtype=np.int64) % params.plain_modulus
+        delta_residues = self._delta_mod_primes
+        # (k, B, n) <- (1, B, n) * (k, 1, 1): products stay below 2^63 only
+        # for ~30-bit primes and ~20-bit t; object math would be the
+        # fallback, but parameter creation bounds both (see BfvParameters).
+        stack = reduced[None, :, :].astype(object) if self._delta_needs_object else reduced[None, :, :]
+        residues = (
+            stack * delta_residues[:, None, None]
+        ) % params.coeff_basis.primes_column[:, :, None]
+        if self._delta_needs_object:
+            residues = residues.astype(np.int64)
+        return residues
 
     def encrypt_windowed(
         self, values: np.ndarray, public: PublicKey, num_windows: int
@@ -211,6 +279,14 @@ class BfvScheme:
         return ciphertexts
 
     def decrypt(self, ct: Ciphertext, secret: SecretKey) -> Plaintext:
+        """Decrypt to a plaintext of coefficients mod t.
+
+        Rounds ``(c0 + c1 s) * t / q``; the result is the encrypted
+        message exactly as long as the invariant noise stays below 1/2
+        (equivalently :func:`~repro.bfv.noise.invariant_noise_budget`
+        is positive) -- beyond that, decryption corrupts silently, which
+        is what HE-PTune's Table III bounds guard against.
+        """
         w = self._raw_decrypt(ct, secret)
         params = self.params
         t, q = params.plain_modulus, params.coeff_modulus
@@ -225,14 +301,18 @@ class BfvScheme:
     # -- HE operators ---------------------------------------------------------
 
     def add(self, a: Ciphertext, b: Ciphertext) -> Ciphertext:
+        """HE_Add: slot-wise sum; noise adds (v_a + v_b, Table III)."""
         GLOBAL_COUNTERS.he_add += 1
         return Ciphertext(a.c0.add(b.c0), a.c1.add(b.c1))
 
     def sub(self, a: Ciphertext, b: Ciphertext) -> Ciphertext:
+        """Slot-wise difference; same additive noise behaviour as :meth:`add`."""
         GLOBAL_COUNTERS.he_add += 1
         return Ciphertext(a.c0.sub(b.c0), a.c1.sub(b.c1))
 
     def add_plain(self, ct: Ciphertext, plaintext: Plaintext) -> Ciphertext:
+        """Add a plaintext into the slots (ct + Delta*m on c0; noise unchanged
+        up to the scaling's rounding term -- the cloud's blinding step)."""
         GLOBAL_COUNTERS.he_add += 1
         return Ciphertext(ct.c0.add(self._delta_times_message(plaintext)), ct.c1.copy())
 
@@ -241,7 +321,14 @@ class BfvScheme:
         return self.encode_coeffs_for_mul(plaintext.coeffs)
 
     def mul_plain(self, ct: Ciphertext, plain: EvalPlaintext) -> Ciphertext:
-        """HE_Mult (pt-ct): element-wise products, no NTTs (Section III-B1)."""
+        """HE_Mult (pt-ct): element-wise products, no NTTs (Section III-B1).
+
+        Both operands must already be in the evaluation domain (weights
+        via :meth:`encode_for_mul`, offline).  Noise is multiplicative:
+        ``n * t * v / 2`` against a full-range plaintext (Table III),
+        which is why Sched-PA's mask plaintexts and Gazelle's windowing
+        exist.
+        """
         GLOBAL_COUNTERS.he_mult += 1
         c0 = ct.c0.pointwise(plain.poly, self.engine)
         c1 = ct.c1.pointwise(plain.poly, self.engine)
@@ -341,7 +428,10 @@ class BfvScheme:
 
         A step that is a multiple of the row size is the identity Galois
         element 1; it short-circuits to a copy without key switching and
-        without counting an HE_Rotate.
+        without counting an HE_Rotate.  Key switching adds noise bounded
+        by ``n * Adcmp * l_ct * v_fresh / 2`` (Table III) and costs
+        ``l_ct + 1`` NTTs plus ``2 l_ct`` SIMD products -- the operation
+        census HE-PTune's performance model assumes.
         """
         if step % self.params.row_size == 0:
             return ct.copy()
@@ -375,18 +465,17 @@ class BfvScheme:
         digit_evals = self.engine.forward(
             params.coeff_basis.decompose_stack(digits)
         )
-        acc0, acc1 = self._keyswitch_accumulate(digit_evals, ksk.pairs)
+        acc0, acc1 = self._keyswitch_accumulate(digit_evals, ksk)
         return Ciphertext(c0_rotated.add(acc0), acc1)
 
     def _keyswitch_accumulate(
-        self, digit_evals: np.ndarray, pairs
+        self, digit_evals: np.ndarray, ksk: KeySwitchKey
     ) -> tuple[RnsPolynomial, RnsPolynomial]:
         """Fused sum over digits of digit * (body, a), shape (k, B, n) -> (k, n)."""
         basis = self.params.coeff_basis
-        depth = min(digit_evals.shape[1], len(pairs))
+        depth = min(digit_evals.shape[1], len(ksk.pairs))
         digit_evals = digit_evals[:, :depth]
-        body_stack = np.stack([body.data for body, _ in pairs[:depth]], axis=1)
-        a_stack = np.stack([a.data for _, a in pairs[:depth]], axis=1)
+        body_stack, a_stack = ksk.stacks(depth)
         acc0 = self.engine.pointwise_accumulate(digit_evals, body_stack)
         acc1 = self.engine.pointwise_accumulate(digit_evals, a_stack)
         return (
@@ -418,7 +507,9 @@ class BfvScheme:
             RnsPolynomial(params.coeff_basis, digit_evals[:, b], Domain.EVAL)
             for b in range(digit_evals.shape[1])
         ]
-        return HoistedCiphertext(c0=ct.c0.copy(), digit_polys=digit_polys)
+        return HoistedCiphertext(
+            c0=ct.c0.copy(), digit_polys=digit_polys, _stack=digit_evals
+        )
 
     def rotate_rows_hoisted(
         self, hoisted: "HoistedCiphertext", step: int, galois_keys: GaloisKeys
@@ -439,20 +530,182 @@ class BfvScheme:
             eval_map = eval_domain_galois_map(params.n, galois_elt)
             self._galois_eval_maps[galois_elt] = eval_map
         c0_rotated = hoisted.c0.permute(eval_map)
-        digit_evals = np.stack(
-            [poly.data for poly in hoisted.digit_polys], axis=1
-        )[:, :, eval_map]
-        acc0, acc1 = self._keyswitch_accumulate(digit_evals, ksk.pairs)
+        digit_evals = hoisted.digit_stack()[:, :, eval_map]
+        acc0, acc1 = self._keyswitch_accumulate(digit_evals, ksk)
         return Ciphertext(c0_rotated.add(acc0), acc1)
+
+    # -- cross-request batched operators ---------------------------------------
+    #
+    # The serving runtime (:mod:`repro.serving`) executes one layer for many
+    # concurrent clients at once.  These variants stack the per-client work
+    # into single ``(k, B, n)`` / ``(k, B*T, n)`` engine calls so the whole
+    # batch rides the batched-NTT path; op accounting is identical to running
+    # the serial methods once per client.
+
+    def hoist_group(self, cts: list[Ciphertext]) -> "HoistedGroup":
+        """Batched :meth:`hoist`: one INTT, CRT compose, digit decomposition,
+        and forward NTT over all ``B`` ciphertexts at once.
+
+        The per-client digit decompositions are independent, so the
+        ``(k, B, n)`` inverse transform, the ``(B, n)`` big-integer
+        compose, and the ``(k, B * l_ct, n)`` forward transform each run
+        as a single engine/numpy call instead of ``B``.  The result keeps
+        the whole batch's digits in one ``(k, B, l_ct, n)`` stack, so
+        every subsequent :meth:`rotate_rows_group` call permutes the
+        batch in a single pass.
+        """
+        params = self.params
+        basis = params.coeff_basis
+        batch = len(cts)
+        if not batch:
+            return HoistedGroup(c0_list=[], digits=np.empty((0, 0, 0, 0)))
+        c1_coeff = self.engine.inverse(
+            np.stack([ct.c1.data for ct in cts], axis=1)
+        )
+        # (B, n) big-integer coefficients, composed in one vectorised pass.
+        coeffs = basis.compose(c1_coeff)
+        digits = digit_decompose(coeffs, params.a_dcmp_bits, params.l_ct)
+        # Digit-major per client: stack to (B, l_ct, n) then flatten so
+        # client i's digit b lands at row i * l_ct + b.
+        flat = np.stack(digits, axis=1).reshape(batch * params.l_ct, params.n)
+        digit_evals = self.engine.forward(basis.decompose_stack(flat))
+        return HoistedGroup(
+            c0_list=[ct.c0.copy() for ct in cts],
+            digits=digit_evals.reshape(
+                basis.count, batch, params.l_ct, params.n
+            ),
+        )
+
+    def hoist_batch(self, cts: list[Ciphertext]) -> list["HoistedCiphertext"]:
+        """Batched :meth:`hoist` returning per-ciphertext views.
+
+        Same pipeline as :meth:`hoist_group`; use the group form when the
+        whole batch rotates together (it avoids re-stacking digits per
+        rotation).
+        """
+        group = self.hoist_group(cts)
+        basis = self.params.coeff_basis
+        return [
+            HoistedCiphertext(
+                c0=c0,
+                digit_polys=[
+                    RnsPolynomial(basis, group.digits[:, i, b], Domain.EVAL)
+                    for b in range(group.digits.shape[2])
+                ],
+                _stack=group.digits[:, i],
+            )
+            for i, c0 in enumerate(group.c0_list)
+        ]
+
+    def rotate_rows_group(
+        self, group: "HoistedGroup", step: int, galois_keys: list[GaloisKeys]
+    ) -> list[Ciphertext]:
+        """Rotate a hoisted batch by one ``step``, each member under its own keys.
+
+        The batch's digit stack is permuted in one pass; the key
+        multiply-accumulate runs per client against its cached key stacks
+        (keys are per-client, so there is no shared operand to batch
+        there).  Member ``i`` decrypts identically to
+        ``rotate_rows_hoisted(hoist(cts[i]), step, galois_keys[i])``.
+        """
+        return self._apply_galois_group(
+            group, self.galois_elt_for_step(step), galois_keys
+        )
+
+    def _apply_galois_group(
+        self, group: "HoistedGroup", galois_elt: int, galois_keys: list[GaloisKeys]
+    ) -> list[Ciphertext]:
+        batch = len(group.c0_list)
+        if not batch:
+            return []
+        GLOBAL_COUNTERS.he_rotate += batch
+        params = self.params
+        basis = params.coeff_basis
+        eval_map = self._galois_eval_maps.get(galois_elt)
+        if eval_map is None:
+            eval_map = eval_domain_galois_map(params.n, galois_elt)
+            self._galois_eval_maps[galois_elt] = eval_map
+        ksks = [keys.key_for(galois_elt) for keys in galois_keys]
+        depth = min(group.digits.shape[2], min(len(k.pairs) for k in ksks))
+        outputs = []
+        for i, (c0, ksk) in enumerate(zip(group.c0_list, ksks)):
+            # Per-client permute keeps the MAC operands contiguous (a
+            # whole-batch fancy index would leave strided views).  Two
+            # indexing steps: combining the scalar i with the eval_map
+            # array would trigger numpy's advanced-index axis reordering.
+            permuted = group.digits[:, i][:, :depth, eval_map]
+            body_stack, a_stack = ksk.stacks(depth)
+            acc0 = self.engine.pointwise_accumulate(permuted, body_stack)
+            acc1 = self.engine.pointwise_accumulate(permuted, a_stack)
+            outputs.append(
+                Ciphertext(
+                    c0.permute(eval_map).add(
+                        RnsPolynomial(basis, acc0, Domain.EVAL)
+                    ),
+                    RnsPolynomial(basis, acc1, Domain.EVAL),
+                )
+            )
+        return outputs
+
+    def rotate_rows_batch(
+        self, cts: list[Ciphertext], step: int, galois_keys: list[GaloisKeys]
+    ) -> list[Ciphertext]:
+        """HE_Rotate over ``B`` ciphertexts, each under its own client's keys.
+
+        Runs the key-switching pipeline once over the stacked batch
+        (batched INTT, digit decomposition, one forward NTT over all
+        ``B * l_ct`` digits).  Counts ``B`` HE_Rotates and the same NTT
+        census as ``B`` serial :meth:`rotate_rows` calls; decrypted
+        outputs are identical.
+        """
+        if step % self.params.row_size == 0:
+            return [ct.copy() for ct in cts]
+        return self._apply_galois_group(
+            self.hoist_group(cts), self.galois_elt_for_step(step), galois_keys
+        )
+
+    def mul_plain_accumulate_grouped(
+        self,
+        c0_stack: np.ndarray,
+        c1_stack: np.ndarray,
+        plain_stack: np.ndarray,
+    ) -> list[Ciphertext]:
+        """Per-client :meth:`mul_plain_accumulate_stacked` over a ``(k, B, T, n)`` batch.
+
+        ``plain_stack`` is the shared offline-encoded weight stack
+        (``(k, T, n)``, broadcast to every client); client ``i`` of the
+        result equals ``mul_plain_accumulate_stacked(c0_stack[:, i],
+        c1_stack[:, i], plain_stack)`` bit-for-bit.
+        """
+        if c0_stack.ndim != 4 or c1_stack.shape != c0_stack.shape:
+            raise ValueError(
+                f"expected matching (k, B, T, n) stacks, got c0 {c0_stack.shape}, "
+                f"c1 {c1_stack.shape}"
+            )
+        batch, terms = c0_stack.shape[1], c0_stack.shape[2]
+        GLOBAL_COUNTERS.he_mult += batch * terms
+        GLOBAL_COUNTERS.he_add += batch * max(0, terms - 1)
+        basis = self.params.coeff_basis
+        acc0 = self.engine.pointwise_accumulate_grouped(c0_stack, plain_stack)
+        acc1 = self.engine.pointwise_accumulate_grouped(c1_stack, plain_stack)
+        return [
+            Ciphertext(
+                RnsPolynomial(basis, acc0[:, i], Domain.EVAL),
+                RnsPolynomial(basis, acc1[:, i], Domain.EVAL),
+            )
+            for i in range(batch)
+        ]
 
     # -- convenience -----------------------------------------------------------
 
     def encrypt_values(self, values: np.ndarray, public: PublicKey) -> Ciphertext:
+        """Encode up to n integers into slots and encrypt in one step."""
         return self.encrypt(self.encoder.encode(values), public)
 
     def decrypt_values(
         self, ct: Ciphertext, secret: SecretKey, signed: bool = True
     ) -> np.ndarray:
+        """Decrypt and decode back to the n slot values (centered if signed)."""
         return self.encoder.decode(self.decrypt(ct, secret), signed=signed)
 
 

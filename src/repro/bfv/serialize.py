@@ -1,10 +1,44 @@
-"""Serialization for parameters, plaintexts and ciphertexts.
+"""Serialization for parameters, plaintexts, ciphertexts, and Galois keys.
 
-The Gazelle protocol ships ciphertexts over the network every layer;
-this module provides the wire format: a small JSON header (so the peer
-can validate parameter compatibility) followed by little-endian int64
-residue data.  Sizes match :func:`repro.protocol.messages.ciphertext_bytes`
-up to the header.
+The Gazelle protocol ships ciphertexts over the network every layer; this
+module provides the wire format: a small JSON header (so the peer can
+validate parameter compatibility) followed by little-endian int64 residue
+data.  Sizes match :func:`repro.protocol.messages.ciphertext_bytes` up to
+the header.
+
+Deserialization is strict: every header field is validated against the
+local parameter set, body lengths are checked before any array is built,
+and residues are range-checked against the RNS primes -- a malformed or
+truncated blob raises :class:`ValueError` with a reason instead of
+silently corrupting polynomials.  (Residue data is read as explicit
+little-endian ``<i8``, so blobs are portable across host endianness.)
+
+A round trip through the wire format preserves ciphertexts exactly:
+
+>>> import numpy as np
+>>> from repro.bfv import BfvParameters, BfvScheme
+>>> params = BfvParameters.create(
+...     n=256, plain_bits=18, coeff_bits=60, a_dcmp_bits=12,
+...     require_security=False,
+... )
+>>> scheme = BfvScheme(params, seed=0)
+>>> secret, public = scheme.keygen()
+>>> ct = scheme.encrypt_values(np.arange(8), public)
+>>> restored = deserialize_ciphertext(serialize_ciphertext(ct, params), params)
+>>> scheme.decrypt_values(restored, secret, signed=False)[:8].tolist()
+[0, 1, 2, 3, 4, 5, 6, 7]
+
+while malformed input fails loudly:
+
+>>> deserialize_ciphertext(b"garbage", params)
+Traceback (most recent call last):
+    ...
+ValueError: not a repro-serialized object
+>>> blob = serialize_ciphertext(ct, params)
+>>> deserialize_ciphertext(blob[: len(blob) // 2], params)  # doctest: +ELLIPSIS
+Traceback (most recent call last):
+    ...
+ValueError: ciphertext body has ... bytes, expected 8192
 """
 
 from __future__ import annotations
@@ -36,6 +70,7 @@ def params_to_dict(params: BfvParameters) -> dict:
 
 
 def params_from_dict(data: dict, require_security: bool = False) -> BfvParameters:
+    """Inverse of :func:`params_to_dict`."""
     return BfvParameters(
         n=int(data["n"]),
         plain_modulus=int(data["plain_modulus"]),
@@ -56,11 +91,67 @@ def _pack(header: dict, arrays: list[np.ndarray]) -> bytes:
 
 
 def _unpack(blob: bytes) -> tuple[dict, memoryview]:
-    if blob[:4] != _MAGIC:
+    if len(blob) < 8 or blob[:4] != _MAGIC:
         raise ValueError("not a repro-serialized object")
     (header_len,) = struct.unpack_from("<I", blob, 4)
-    header = json.loads(blob[8 : 8 + header_len].decode())
+    if 8 + header_len > len(blob):
+        raise ValueError(
+            f"truncated blob: header claims {header_len} bytes, "
+            f"{len(blob) - 8} available"
+        )
+    try:
+        header = json.loads(blob[8 : 8 + header_len].decode())
+    except (UnicodeDecodeError, json.JSONDecodeError) as exc:
+        raise ValueError(f"malformed serialization header: {exc}") from exc
+    if not isinstance(header, dict) or "kind" not in header:
+        raise ValueError("serialization header missing 'kind'")
     return header, memoryview(blob)[8 + header_len :]
+
+
+def _expect_kind(header: dict, kind: str) -> None:
+    if header["kind"] != kind:
+        raise ValueError(f"expected {kind}, got {header['kind']!r}")
+
+
+def _check_body_size(body: memoryview, count: int, what: str) -> None:
+    """Require the binary body to hold exactly ``count`` int64 values."""
+    if len(body) != count * 8:
+        raise ValueError(
+            f"{what} body has {len(body)} bytes, expected {count * 8}"
+        )
+
+
+def _read_residues(
+    body: memoryview, offset_values: int, params: BfvParameters, what: str
+) -> np.ndarray:
+    """Read one (limbs, n) residue stack, validating the value ranges.
+
+    Out-of-range residues would be silently reduced by the NTT engine's
+    input normalisation -- i.e. a corrupt blob would *decrypt to garbage*
+    rather than fail -- so range violations are rejected here.
+    """
+    limbs, n = params.coeff_basis.count, params.n
+    count = limbs * n
+    data = np.frombuffer(
+        body, dtype="<i8", count=count, offset=offset_values * 8
+    ).reshape(limbs, n)
+    if (data < 0).any() or (data >= params.coeff_basis.primes_column).any():
+        raise ValueError(f"{what} contains residues outside [0, p_i)")
+    return data.astype(np.int64, copy=True)
+
+
+def _header_matches_params(header: dict, params: BfvParameters, what: str) -> None:
+    if header.get("params", {}).get("coeff_primes") != list(params.coeff_basis.primes):
+        raise ValueError(f"{what} was produced under different parameters")
+    if int(header.get("n", -1)) != params.n:
+        raise ValueError(
+            f"{what} header n={header.get('n')} does not match params n={params.n}"
+        )
+    if int(header.get("limbs", -1)) != params.coeff_basis.count:
+        raise ValueError(
+            f"{what} header limbs={header.get('limbs')} does not match "
+            f"params limbs={params.coeff_basis.count}"
+        )
 
 
 def serialize_plaintext(plaintext: Plaintext) -> bytes:
@@ -70,9 +161,12 @@ def serialize_plaintext(plaintext: Plaintext) -> bytes:
 
 def deserialize_plaintext(blob: bytes) -> Plaintext:
     header, body = _unpack(blob)
-    if header["kind"] != "plaintext":
-        raise ValueError(f"expected plaintext, got {header['kind']!r}")
-    coeffs = np.frombuffer(body, dtype="<i8", count=header["n"])
+    _expect_kind(header, "plaintext")
+    n = int(header["n"])
+    if n <= 0:
+        raise ValueError(f"plaintext header has invalid n={n}")
+    _check_body_size(body, n, "plaintext")
+    coeffs = np.frombuffer(body, dtype="<i8", count=n)
     return Plaintext(coeffs.copy())
 
 
@@ -88,17 +182,15 @@ def serialize_ciphertext(ct: Ciphertext, params: BfvParameters) -> bytes:
 
 def deserialize_ciphertext(blob: bytes, params: BfvParameters) -> Ciphertext:
     header, body = _unpack(blob)
-    if header["kind"] != "ciphertext":
-        raise ValueError(f"expected ciphertext, got {header['kind']!r}")
-    if header["params"]["coeff_primes"] != list(params.coeff_basis.primes):
-        raise ValueError("ciphertext was produced under different parameters")
-    limbs, n = header["limbs"], header["n"]
-    count = limbs * n
-    c0 = np.frombuffer(body, dtype="<i8", count=count).reshape(limbs, n)
-    c1 = np.frombuffer(body[count * 8 :], dtype="<i8", count=count).reshape(limbs, n)
+    _expect_kind(header, "ciphertext")
+    _header_matches_params(header, params, "ciphertext")
+    count = params.coeff_basis.count * params.n
+    _check_body_size(body, 2 * count, "ciphertext")
+    c0 = _read_residues(body, 0, params, "ciphertext c0")
+    c1 = _read_residues(body, count, params, "ciphertext c1")
     return Ciphertext(
-        RnsPolynomial(params.coeff_basis, c0.copy(), Domain.EVAL),
-        RnsPolynomial(params.coeff_basis, c1.copy(), Domain.EVAL),
+        RnsPolynomial(params.coeff_basis, c0, Domain.EVAL),
+        RnsPolynomial(params.coeff_basis, c1, Domain.EVAL),
     )
 
 
@@ -125,7 +217,13 @@ def serialize_galois_keys(keys, params: BfvParameters) -> bytes:
     }
     arrays = []
     for element in elements:
-        for body, a in keys.keys[element].pairs:
+        pairs = keys.keys[element].pairs
+        if len(pairs) != params.l_ct:
+            raise ValueError(
+                f"key for element {element} has {len(pairs)} pairs, "
+                f"expected l_ct={params.l_ct}"
+            )
+        for body, a in pairs:
             arrays.append(body.data)
             arrays.append(a.data)
     return _pack(header, arrays)
@@ -135,26 +233,42 @@ def deserialize_galois_keys(blob: bytes, params: BfvParameters):
     from .keys import GaloisKeys, KeySwitchKey
 
     header, body = _unpack(blob)
-    if header["kind"] != "galois_keys":
-        raise ValueError(f"expected galois keys, got {header['kind']!r}")
-    if header["params"]["coeff_primes"] != list(params.coeff_basis.primes):
-        raise ValueError("keys were produced under different parameters")
-    limbs, n = header["limbs"], header["n"]
-    count = limbs * n
+    _expect_kind(header, "galois_keys")
+    _header_matches_params(header, params, "galois keys")
+    if int(header.get("base_bits", -1)) != params.a_dcmp_bits:
+        raise ValueError(
+            f"galois keys use decomposition base 2^{header.get('base_bits')}, "
+            f"params expect 2^{params.a_dcmp_bits}"
+        )
+    pairs_per_key = int(header.get("pairs_per_key", 0))
+    if pairs_per_key != params.l_ct:
+        raise ValueError(
+            f"galois keys carry {pairs_per_key} pairs per key, "
+            f"params expect l_ct={params.l_ct}"
+        )
+    elements = [int(element) for element in header["elements"]]
+    two_n = 2 * params.n
+    for element in elements:
+        if not (0 < element < two_n) or element % 2 == 0:
+            raise ValueError(f"invalid Galois element {element} (n={params.n})")
+    count = params.coeff_basis.count * params.n
+    _check_body_size(body, len(elements) * pairs_per_key * 2 * count, "galois keys")
     offset = 0
 
-    def next_poly() -> RnsPolynomial:
+    def next_poly(what: str) -> RnsPolynomial:
         nonlocal offset
-        data = np.frombuffer(body[offset * 8 :], dtype="<i8", count=count)
+        data = _read_residues(body, offset, params, what)
         offset += count
-        return RnsPolynomial(
-            params.coeff_basis, data.reshape(limbs, n).copy(), Domain.EVAL
-        )
+        return RnsPolynomial(params.coeff_basis, data, Domain.EVAL)
 
     keys = GaloisKeys()
-    for element in header["elements"]:
+    for element in elements:
         pairs = [
-            (next_poly(), next_poly()) for _ in range(header["pairs_per_key"])
+            (
+                next_poly(f"galois key {element} body"),
+                next_poly(f"galois key {element} a"),
+            )
+            for _ in range(pairs_per_key)
         ]
         keys.keys[element] = KeySwitchKey(pairs=pairs, base_bits=header["base_bits"])
     return keys

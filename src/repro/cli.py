@@ -12,6 +12,10 @@ Commands
     Full flow: tuning, profiling, limit study, accelerator DSE.
 ``params N PLAIN_BITS COEFF_BITS``
     Inspect a BFV parameter set (security, digits, noise capacity).
+``serve [--host H] [--port P]``
+    Run the multi-client private-inference server (demo deployment).
+``infer [--host H] [--port P] [--count K]``
+    Connect to a running server, run private inferences, verify logits.
 """
 
 from __future__ import annotations
@@ -100,6 +104,96 @@ def _cmd_params(args) -> int:
     return 0
 
 
+def _cmd_serve(args) -> int:
+    from .core.noise_model import Schedule
+    from .serving import (
+        DEMO_RESCALE_BITS,
+        ModelRegistry,
+        ServingEngine,
+        SocketServer,
+        demo_network,
+        demo_params,
+        demo_weights,
+    )
+
+    params = demo_params(n=args.n)
+    registry = ModelRegistry()
+    schedule = (
+        Schedule.INPUT_ALIGNED if args.schedule == "ia" else Schedule.PARTIAL_ALIGNED
+    )
+    print(f"compiling plans for model 'demo' over {params.describe()} ...")
+    entry = registry.register(
+        "demo",
+        demo_network(),
+        demo_weights(),
+        params,
+        schedule=schedule,
+        rescale_bits=DEMO_RESCALE_BITS,
+    )
+    engine = ServingEngine(
+        registry, max_batch=args.max_batch, batch_window_s=args.batch_window_ms / 1000
+    )
+    server = SocketServer(engine, host=args.host, port=args.port, workers=args.workers)
+    server.start()
+    print(
+        f"serving model 'demo' ({len(entry.network.linear_layers)} linear layers, "
+        f"{len(entry.rotation_steps)} rotation steps) on "
+        f"{server.host}:{server.port} "
+        f"(max_batch={engine.max_batch}, workers={args.workers})"
+    )
+    print("press Ctrl-C to stop")
+    try:
+        import time
+
+        while True:
+            time.sleep(3600)
+    except KeyboardInterrupt:
+        print("\nshutting down")
+        server.stop()
+    return 0
+
+
+def _cmd_infer(args) -> int:
+    import numpy as np
+
+    from .nn.plaintext import PlaintextRunner
+    from .serving import (
+        DEMO_RESCALE_BITS,
+        ClientSession,
+        SocketTransport,
+        demo_image,
+        demo_network,
+        demo_params,
+        demo_weights,
+    )
+
+    params = demo_params(n=args.n)
+    network = demo_network()
+    runner = PlaintextRunner(network, demo_weights(), rescale_bits=DEMO_RESCALE_BITS)
+    with SocketTransport(args.host, args.port) as transport:
+        session = ClientSession(
+            network, params, transport, seed=args.seed, track_noise=args.noise
+        )
+        session.connect("demo")
+        print(f"session {session.session_id} connected to {args.host}:{args.port}")
+        failures = 0
+        for index in range(args.count):
+            image = demo_image(args.seed + index)
+            result = session.infer(image)
+            expected = runner.run(image)
+            match = np.array_equal(result.logits, expected)
+            failures += 0 if match else 1
+            budget = (
+                f", min budget {result.min_noise_budget:.1f}b" if args.noise else ""
+            )
+            print(
+                f"inference {index}: logits {result.logits.tolist()} "
+                f"(matches plaintext: {match}{budget})"
+            )
+        session.close()
+    return 1 if failures else 0
+
+
 def build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="repro", description="Cheetah (HPCA 2021) reproduction toolkit"
@@ -127,6 +221,33 @@ def build_parser() -> argparse.ArgumentParser:
     params.add_argument("plain_bits", type=int)
     params.add_argument("coeff_bits", type=int)
 
+    serve = sub.add_parser("serve", help="run the private-inference server")
+    serve.add_argument("--host", default="127.0.0.1")
+    serve.add_argument("--port", type=int, default=7707)
+    serve.add_argument("--n", type=int, default=4096, help="ring dimension")
+    serve.add_argument(
+        "--schedule", choices=["ia", "pa"], default="ia",
+        help="dot-product schedule for the compiled plans",
+    )
+    serve.add_argument("--max-batch", type=int, default=8, dest="max_batch")
+    serve.add_argument(
+        "--batch-window-ms", type=float, default=20.0, dest="batch_window_ms"
+    )
+    serve.add_argument(
+        "--workers", type=int, default=16,
+        help="max concurrently connected clients (one worker per connection)",
+    )
+
+    infer = sub.add_parser("infer", help="run private inference against a server")
+    infer.add_argument("--host", default="127.0.0.1")
+    infer.add_argument("--port", type=int, default=7707)
+    infer.add_argument("--n", type=int, default=4096, help="ring dimension")
+    infer.add_argument("--count", type=int, default=1)
+    infer.add_argument("--seed", type=int, default=0)
+    infer.add_argument(
+        "--noise", action="store_true", help="report the received noise budget"
+    )
+
     return parser
 
 
@@ -137,6 +258,8 @@ _COMMANDS = {
     "speedups": _cmd_speedups,
     "accelerate": _cmd_accelerate,
     "params": _cmd_params,
+    "serve": _cmd_serve,
+    "infer": _cmd_infer,
 }
 
 

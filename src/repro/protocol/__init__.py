@@ -8,7 +8,14 @@ from .garbled import (
     maxpool_circuit_cost,
     relu_circuit_cost,
 )
-from .gazelle import GazelleProtocol, ProtocolResult
+from .gazelle import (
+    GazelleProtocol,
+    ProtocolResult,
+    blind_ciphertext_rows,
+    decrypt_conv_outputs,
+    gc_postprocess,
+    pad_and_grid_conv_input,
+)
 from .messages import TrafficLog, ciphertext_bytes, plaintext_bytes
 from .shape_hiding import (
     HidingOverhead,
@@ -26,6 +33,10 @@ __all__ = [
     "relu_circuit_cost",
     "GazelleProtocol",
     "ProtocolResult",
+    "blind_ciphertext_rows",
+    "decrypt_conv_outputs",
+    "gc_postprocess",
+    "pad_and_grid_conv_input",
     "TrafficLog",
     "ciphertext_bytes",
     "plaintext_bytes",

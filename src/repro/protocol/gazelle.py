@@ -25,7 +25,7 @@ import numpy as np
 
 from ..bfv.noise import invariant_noise_budget
 from ..bfv.params import BfvParameters
-from ..bfv.scheme import BfvScheme
+from ..bfv.scheme import BfvScheme, Ciphertext
 from ..core.noise_model import Schedule
 from ..nn.layers import ActivationLayer, ConvLayer, FCLayer
 from ..nn.models import Network
@@ -46,6 +46,127 @@ class ProtocolResult:
     min_noise_budget: float
 
 
+# -- shared client/cloud building blocks -------------------------------------
+#
+# The in-process :class:`GazelleProtocol` below and the networked serving
+# runtime (:mod:`repro.serving`) run the same per-layer math; these helpers
+# hold the pieces both sides share so the wire-split protocol cannot drift
+# from the reference simulation.
+
+
+def pad_and_grid_conv_input(layer, activations: np.ndarray, grid_w: int):
+    """Client-side conv input prep: zero-pad, then embed into the packing grid.
+
+    The HE schedule always computes the dense valid convolution of the
+    (padded) image; strides are lowered later by subsampling the dense
+    output.  Returns ``(grids, w)``: the ``(ci, grid_w, grid_w)`` int64
+    grids ready for :func:`~repro.scheduling.layouts.pack_image`, and the
+    padded image width ``w`` (which determines the dense output width
+    ``w - fw + 1``).
+    """
+    activations = np.asarray(activations, dtype=np.int64)
+    if layer.padding:
+        pad = layer.padding
+        activations = np.pad(activations, ((0, 0), (pad, pad), (pad, pad)))
+    ci, w, _ = activations.shape
+    if w > grid_w:
+        raise ValueError(
+            f"{layer.name}: padded {w}x{w} image exceeds the "
+            f"{grid_w}x{grid_w} packing grid"
+        )
+    grids = np.zeros((ci, grid_w, grid_w), dtype=np.int64)
+    grids[:, :w, :w] = activations
+    return grids, w
+
+
+def blind_ciphertext_rows(scheme, rng, cts):
+    """Cloud-side blinding: add a fresh uniform mask row to every ciphertext.
+
+    Every slot of each output row must be masked before anything leaves
+    the cloud -- the schedules leave partial sums in grid-edge and fold
+    positions, and any slot left unmasked would hand the client a clean
+    linear equation in the model weights.  All masks are encoded and
+    lifted to the evaluation domain in one ``(k, B, n)`` batched NTT;
+    output ``i`` is bit-identical to
+    ``scheme.add_plain(cts[i], scheme.encoder.encode_row(mask_rows[i]))``.
+
+    Returns ``(masked_cts, mask_rows)`` with ``mask_rows`` of shape
+    ``(len(cts), row_size)``.
+    """
+    from ..bfv.counters import GLOBAL_COUNTERS
+    from ..bfv.polynomial import Domain, RnsPolynomial
+
+    params = scheme.params
+    basis = params.coeff_basis
+    mask_rows = rng.integers(0, params.plain_modulus, (len(cts), params.row_size))
+    coeffs = scheme.encoder.encode_rows(mask_rows)
+    evals = scheme.engine.forward(scheme._delta_residues(coeffs))
+    GLOBAL_COUNTERS.he_add += len(cts)
+    masked = [
+        Ciphertext(
+            RnsPolynomial(
+                basis,
+                (ct.c0.data + evals[:, i]) % basis.primes_column,
+                Domain.EVAL,
+            ),
+            ct.c1.copy(),
+        )
+        for i, ct in enumerate(cts)
+    ]
+    return masked, mask_rows
+
+
+def decrypt_conv_outputs(scheme, secret, masked_cts, grid_w: int, dense_w: int):
+    """Client-side conv decrypt: read the dense ``dense_w x dense_w`` block.
+
+    Returns an object-dtype ``(co, dense_w, dense_w)`` array of masked
+    slot values (still blinded mod t; see :func:`gc_postprocess`).
+    """
+    outputs = np.zeros((len(masked_cts), dense_w, dense_w), dtype=object)
+    for oc, ct in enumerate(masked_cts):
+        slots = scheme.encoder.decode_row(scheme.decrypt(ct, secret), signed=False)
+        grid = unpack_image(slots, grid_w)
+        outputs[oc] = grid[:dense_w, :dense_w].astype(object)
+    return outputs
+
+
+def gc_postprocess(masked, mask, post_ops, evaluator, plain_modulus, rescale_bits):
+    """Unmask, truncate, apply nonlinearities; return signed integers.
+
+    Runs what the garbled circuit computes (unmask -> truncate ->
+    nonlinearities) and charges its gate/traffic costs on the evaluator.
+    The re-masking exchange is value-elided: the next linear layer
+    encrypts the recovered activations directly, which is equivalent to
+    re-encrypting masked values and removing the mask homomorphically,
+    with identical traffic (accounted in the next round's send).
+    """
+    from .garbled import maxpool_circuit_cost, relu_circuit_cost
+
+    t = plain_modulus
+    actual = (
+        np.asarray(masked, dtype=object) - np.asarray(mask, dtype=object)
+    ) % t
+    signed = np.where(actual > t // 2, actual - t, actual)
+    signed = np.asarray(signed.tolist(), dtype=np.int64) >> rescale_bits
+    # Unmask + truncate circuit cost (same structure as masked ReLU).
+    evaluator.total_cost = evaluator.total_cost + relu_circuit_cost(
+        int(signed.size), evaluator.bit_width
+    )
+    for op in post_ops:
+        if op.kind == "relu":
+            signed = np.maximum(signed, 0)
+        elif op.kind == "maxpool":
+            signed = _maxpool(signed, op.pool_size)
+            evaluator.total_cost = evaluator.total_cost + maxpool_circuit_cost(
+                int(signed.size), op.pool_size, evaluator.bit_width
+            )
+        elif op.kind == "avgpool":
+            signed = _avgpool(signed, op.pool_size)
+        else:
+            raise ValueError(f"unsupported activation {op.kind!r}")
+    return signed
+
+
 class GazelleProtocol:
     """Run private inference for a small network end to end.
 
@@ -61,6 +182,12 @@ class GazelleProtocol:
     encoding, hoisted/grouped rotations), so repeated ``run`` calls reuse
     the encoded weights and the Galois key set is exactly the union of
     the plans' rotation steps.
+
+    This class is the *in-process reference*: client and cloud share one
+    object and one key set.  The deployable split of the same protocol --
+    separate key ownership, serialized messages, concurrent sessions --
+    lives in :mod:`repro.serving`, which reuses this module's helpers so
+    the two cannot drift.
     """
 
     def __init__(
@@ -139,23 +266,7 @@ class GazelleProtocol:
         if isinstance(layer, ConvLayer):
             plan = self.plans[layer.name]
             grid_w = plan.grid_w
-            # Client-side padding before packing, exactly as conv2d_he_small:
-            # the HE schedule always computes the dense valid convolution of
-            # the (padded) image; strides are lowered by masking/subsampling
-            # only every stride-th output slot below.
-            if layer.padding:
-                pad = layer.padding
-                activations = np.pad(
-                    activations, ((0, 0), (pad, pad), (pad, pad))
-                )
-            ci, w, _ = activations.shape
-            if w > grid_w:
-                raise ValueError(
-                    f"{layer.name}: padded {w}x{w} image exceeds the "
-                    f"{grid_w}x{grid_w} packing grid"
-                )
-            grids = np.zeros((ci, grid_w, grid_w), dtype=np.int64)
-            grids[:, :w, :w] = activations
+            grids, w = pad_and_grid_conv_input(layer, activations, grid_w)
             cts = [
                 scheme.encrypt(
                     scheme.encoder.encode_row(pack_image(grid)), self.public
@@ -206,77 +317,38 @@ class GazelleProtocol:
         slot row 0); only the dense_w x dense_w block the client will read
         needs its mask values returned.
         """
-        scheme = self.scheme
-        t = scheme.params.plain_modulus
-        budget = float("inf")
-        masked_cts = []
-        masks = np.empty((len(out_cts), dense_w, dense_w), dtype=np.int64)
-        for oc, ct in enumerate(out_cts):
-            mask_row = self.rng.integers(0, t, scheme.params.row_size)
-            masked = scheme.add_plain(ct, scheme.encoder.encode_row(mask_row))
-            budget = min(budget, invariant_noise_budget(scheme, masked, self.secret))
-            masked_cts.append(masked)
-            masks[oc] = unpack_image(mask_row, grid_w)[:dense_w, :dense_w]
+        masked_cts, mask_rows = blind_ciphertext_rows(self.scheme, self.rng, out_cts)
+        budget = min(
+            invariant_noise_budget(self.scheme, ct, self.secret) for ct in masked_cts
+        )
+        masks = np.stack(
+            [unpack_image(row, grid_w)[:dense_w, :dense_w] for row in mask_rows]
+        )
         return masked_cts, masks, budget
 
     def _mask_output_fc(self, out_ct, no):
         """Blind every slot of an FC output row (the extended-diagonal fold
         leaves partial weight sums beyond slot ``no``); return the mask for
         the ``no`` slots the client will read."""
-        scheme = self.scheme
-        t = scheme.params.plain_modulus
-        mask_row = self.rng.integers(0, t, scheme.params.row_size)
-        masked_ct = scheme.add_plain(out_ct, scheme.encoder.encode_row(mask_row))
-        budget = invariant_noise_budget(scheme, masked_ct, self.secret)
-        return masked_ct, mask_row[:no], budget
+        masked_cts, mask_rows = blind_ciphertext_rows(self.scheme, self.rng, [out_ct])
+        budget = invariant_noise_budget(self.scheme, masked_cts[0], self.secret)
+        return masked_cts[0], mask_rows[0, :no], budget
 
     # -- client side -----------------------------------------------------------
 
     def _client_decrypt_conv(self, masked_cts, grid_w, dense_w):
-        scheme = self.scheme
-        outputs = np.zeros((len(masked_cts), dense_w, dense_w), dtype=object)
-        for oc, ct in enumerate(masked_cts):
-            slots = scheme.encoder.decode_row(scheme.decrypt(ct, self.secret), signed=False)
-            grid = unpack_image(slots, grid_w)
-            outputs[oc] = grid[:dense_w, :dense_w].astype(object)
-        return outputs
+        return decrypt_conv_outputs(self.scheme, self.secret, masked_cts, grid_w, dense_w)
 
     def _client_gc_stage(self, masked, mask, post_ops, evaluator):
-        """Unmask, truncate, apply nonlinearities; return signed integers.
-
-        Runs what the garbled circuit computes (unmask -> truncate ->
-        nonlinearities) and charges its gate/traffic costs on the
-        evaluator.  The re-masking exchange is value-elided: the next
-        linear layer encrypts the recovered activations directly, which
-        is equivalent to re-encrypting masked values and removing the
-        mask homomorphically, with identical traffic (accounted in the
-        next round's send).
-        """
-        from .garbled import maxpool_circuit_cost, relu_circuit_cost
-
-        t = self.scheme.params.plain_modulus
-        actual = (
-            np.asarray(masked, dtype=object) - np.asarray(mask, dtype=object)
-        ) % t
-        signed = np.where(actual > t // 2, actual - t, actual)
-        signed = np.asarray(signed.tolist(), dtype=np.int64) >> self.rescale_bits
-        # Unmask + truncate circuit cost (same structure as masked ReLU).
-        evaluator.total_cost = evaluator.total_cost + relu_circuit_cost(
-            int(signed.size), evaluator.bit_width
+        """Unmask, truncate, apply nonlinearities (see :func:`gc_postprocess`)."""
+        return gc_postprocess(
+            masked,
+            mask,
+            post_ops,
+            evaluator,
+            self.scheme.params.plain_modulus,
+            self.rescale_bits,
         )
-        for op in post_ops:
-            if op.kind == "relu":
-                signed = np.maximum(signed, 0)
-            elif op.kind == "maxpool":
-                signed = _maxpool(signed, op.pool_size)
-                evaluator.total_cost = evaluator.total_cost + maxpool_circuit_cost(
-                    int(signed.size), op.pool_size, evaluator.bit_width
-                )
-            elif op.kind == "avgpool":
-                signed = _avgpool(signed, op.pool_size)
-            else:
-                raise ValueError(f"unsupported activation {op.kind!r}")
-        return signed
 
 
 def _maxpool(values: np.ndarray, size: int) -> np.ndarray:

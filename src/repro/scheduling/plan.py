@@ -144,7 +144,14 @@ class ConvPlan:
     def execute(
         self, channel_cts: list[Ciphertext], galois_keys: GaloisKeys
     ) -> list[Ciphertext]:
-        """Run the layer: one output ciphertext per output channel."""
+        """Run the layer: one output ciphertext per output channel.
+
+        ``channel_cts`` holds one eval-domain ciphertext per input
+        channel, each encrypting a ``grid_w x grid_w`` image packed with
+        :func:`~repro.scheduling.layouts.pack_image`; ``galois_keys``
+        must cover :attr:`rotation_steps`.  Output slot layout matches
+        the input grid (valid positions carry the dense convolution).
+        """
         if len(channel_cts) != self.ci:
             raise ValueError(
                 f"expected {self.ci} channel ciphertexts, got {len(channel_cts)}"
@@ -173,6 +180,111 @@ class ConvPlan:
                     partial = scheme.rotate_rows(partial, offset, galois_keys)
                 total = partial if total is None else scheme.add(total, partial)
             outputs.append(total)
+        return outputs
+
+    def execute_batch(
+        self,
+        batch_inputs: list[list[Ciphertext]],
+        batch_keys: list[GaloisKeys],
+    ) -> list[list[Ciphertext]]:
+        """Run the layer for ``B`` independent requests in one stacked pass.
+
+        ``batch_inputs[i]`` holds request ``i``'s per-channel ciphertexts
+        and rotates under ``batch_keys[i]`` (each client has its own
+        Galois keys).  The weight multiply-accumulates and key-switching
+        digit NTTs for the whole batch run as single ``(k, B*T, n)``
+        engine calls; request ``i`` of the result decrypts identically to
+        ``execute(batch_inputs[i], batch_keys[i])``.
+        """
+        if len(batch_inputs) != len(batch_keys):
+            raise ValueError(
+                f"{len(batch_inputs)} inputs but {len(batch_keys)} key sets"
+            )
+        for cts in batch_inputs:
+            if len(cts) != self.ci:
+                raise ValueError(
+                    f"expected {self.ci} channel ciphertexts, got {len(cts)}"
+                )
+        if len(batch_inputs) == 1:
+            return [self.execute(batch_inputs[0], batch_keys[0])]
+        if self.schedule is Schedule.PARTIAL_ALIGNED:
+            return self._execute_batch_pa(batch_inputs, batch_keys)
+        return self._execute_batch_ia(batch_inputs, batch_keys)
+
+    def _execute_batch_pa(
+        self,
+        batch_inputs: list[list[Ciphertext]],
+        batch_keys: list[GaloisKeys],
+    ) -> list[list[Ciphertext]]:
+        scheme = self.scheme
+        ci, batch = self.ci, len(batch_inputs)
+        # (k, B, ci, n) stacks across requests and input channels.
+        c0 = np.stack(
+            [np.stack([ct.c0.data for ct in cts], axis=1) for cts in batch_inputs],
+            axis=1,
+        )
+        c1 = np.stack(
+            [np.stack([ct.c1.data for ct in cts], axis=1) for cts in batch_inputs],
+            axis=1,
+        )
+        outputs: list[list[Ciphertext]] = [[] for _ in range(batch)]
+        for oc in range(self.co):
+            wstack = self.weight_stacks[:, oc]
+            totals: list[Ciphertext | None] = [None] * batch
+            for ti, offset in enumerate(self.offsets):
+                group = slice(ti * ci, (ti + 1) * ci)
+                partials = scheme.mul_plain_accumulate_grouped(
+                    c0, c1, wstack[:, group]
+                )
+                if offset:
+                    partials = scheme.rotate_rows_batch(partials, offset, batch_keys)
+                totals = [
+                    p if t is None else scheme.add(t, p)
+                    for t, p in zip(totals, partials)
+                ]
+            for i in range(batch):
+                outputs[i].append(totals[i])
+        return outputs
+
+    def _execute_batch_ia(
+        self,
+        batch_inputs: list[list[Ciphertext]],
+        batch_keys: list[GaloisKeys],
+    ) -> list[list[Ciphertext]]:
+        scheme = self.scheme
+        ci, batch = self.ci, len(batch_inputs)
+        k, _, _, n = self.weight_stacks.shape
+        terms = len(self.offsets) * ci
+        # Request-major layout so each request's (k, T, n) slice is one
+        # contiguous block for the per-request weight MAC below.
+        rot_c0 = np.empty((batch, k, terms, n), dtype=np.int64)
+        rot_c1 = np.empty((batch, k, terms, n), dtype=np.int64)
+        flat_cts = [ct for cts in batch_inputs for ct in cts]
+        flat_keys = [batch_keys[i] for i in range(batch) for _ in range(ci)]
+        hoisted = scheme.hoist_group(flat_cts) if any(self.offsets) else None
+        for ti, offset in enumerate(self.offsets):
+            rotated = (
+                scheme.rotate_rows_group(hoisted, offset, flat_keys)
+                if offset
+                else flat_cts
+            )
+            for i in range(batch):
+                for ic in range(ci):
+                    idx = ti * ci + ic
+                    rot_c0[i, :, idx] = rotated[i * ci + ic].c0.data
+                    rot_c1[i, :, idx] = rotated[i * ci + ic].c1.data
+        # The weight MAC runs per request: its operands are request-local,
+        # and a whole-batch (k, B, T, n) reduction would trade cache
+        # locality for nothing (the weights broadcast either way).
+        outputs: list[list[Ciphertext]] = [[] for _ in range(batch)]
+        for oc in range(self.co):
+            wstack = self.weight_stacks[:, oc]
+            for i in range(batch):
+                outputs[i].append(
+                    scheme.mul_plain_accumulate_stacked(
+                        rot_c0[i], rot_c1[i], wstack
+                    )
+                )
         return outputs
 
     def _execute_ia(
@@ -277,7 +389,13 @@ class FcPlan:
         return sorted(set(range(1, self.no_eff)) | set(self.fold_steps))
 
     def execute(self, ct_x: Ciphertext, galois_keys: GaloisKeys) -> Ciphertext:
-        """Run the layer on a duplicated-packing input ciphertext."""
+        """Run the layer on a duplicated-packing input ciphertext.
+
+        ``ct_x`` must encrypt :func:`~repro.scheduling.fc.pack_fc_input`
+        output (the input vector duplicated across the row); results land
+        in slots ``0..no-1`` with fold partials beyond -- callers read
+        ``no`` slots and must treat the rest as undefined.
+        """
         scheme = self.scheme
         basis = scheme.params.coeff_basis
         if self.schedule is Schedule.PARTIAL_ALIGNED:
@@ -311,6 +429,62 @@ class FcPlan:
         for step in self.fold_steps:
             total = scheme.add(total, scheme.rotate_rows(total, step, galois_keys))
         return total
+
+    def execute_batch(
+        self, cts: list[Ciphertext], batch_keys: list[GaloisKeys]
+    ) -> list[Ciphertext]:
+        """Run the layer for ``B`` independent requests in one stacked pass.
+
+        Request ``i`` rotates under ``batch_keys[i]``; every diagonal
+        multiply and fold runs as one grouped ``(k, B, ., n)`` engine call
+        across the batch.  Request ``i`` of the result decrypts
+        identically to ``execute(cts[i], batch_keys[i])``.
+        """
+        if len(cts) != len(batch_keys):
+            raise ValueError(f"{len(cts)} inputs but {len(batch_keys)} key sets")
+        if len(cts) == 1:
+            return [self.execute(cts[0], batch_keys[0])]
+        scheme = self.scheme
+        batch = len(cts)
+        k, _, n = self.weight_stacks.shape
+        if self.schedule is Schedule.PARTIAL_ALIGNED:
+            c0 = np.stack([ct.c0.data for ct in cts], axis=1)[:, :, None, :]
+            c1 = np.stack([ct.c1.data for ct in cts], axis=1)[:, :, None, :]
+            totals: list[Ciphertext | None] = [None] * batch
+            for d in range(self.no_eff):
+                partials = scheme.mul_plain_accumulate_grouped(
+                    c0, c1, self.weight_stacks[:, d : d + 1]
+                )
+                if d:
+                    partials = scheme.rotate_rows_batch(partials, d, batch_keys)
+                totals = [
+                    p if t is None else scheme.add(t, p)
+                    for t, p in zip(totals, partials)
+                ]
+        else:
+            # Request-major so each request's MAC reads contiguous blocks.
+            rot_c0 = np.empty((batch, k, self.no_eff, n), dtype=np.int64)
+            rot_c1 = np.empty((batch, k, self.no_eff, n), dtype=np.int64)
+            hoisted = scheme.hoist_group(cts) if self.no_eff > 1 else None
+            for d in range(self.no_eff):
+                rotated = (
+                    scheme.rotate_rows_group(hoisted, d, batch_keys)
+                    if d
+                    else cts
+                )
+                for i in range(batch):
+                    rot_c0[i, :, d] = rotated[i].c0.data
+                    rot_c1[i, :, d] = rotated[i].c1.data
+            totals = [
+                scheme.mul_plain_accumulate_stacked(
+                    rot_c0[i], rot_c1[i], self.weight_stacks
+                )
+                for i in range(batch)
+            ]
+        for step in self.fold_steps:
+            rotated = scheme.rotate_rows_batch(totals, step, batch_keys)
+            totals = [scheme.add(t, r) for t, r in zip(totals, rotated)]
+        return list(totals)
 
 
 def compile_linear_plan(scheme, layer, weights, schedule, grid_w=None):

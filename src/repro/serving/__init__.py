@@ -1,0 +1,45 @@
+"""Session-oriented serving runtime for private inference over the wire.
+
+Everything PR 1-2 made fast (the batched RNS-NTT engine, compiled
+linear-layer plans) becomes reachable by remote clients here: a
+:class:`ServingEngine` terminates the Gazelle-style protocol rounds over
+the :mod:`repro.bfv.serialize` wire format, a :class:`ModelRegistry`
+amortises plan compilation across sessions, and concurrently pending
+requests for the same layer are merged into single stacked ``(k, B, n)``
+engine calls (cross-client batching).  Clients drive sessions with
+:class:`ClientSession` over an in-process :class:`LoopbackTransport` or
+the TCP :class:`SocketTransport` / :class:`SocketServer` pair.
+"""
+
+from .engine import ServingEngine
+from .models import (
+    DEMO_RESCALE_BITS,
+    demo_image,
+    demo_network,
+    demo_params,
+    demo_weights,
+)
+from .registry import ModelEntry, ModelRegistry
+from .session import ClientSession, ServingResult
+from .transport import LoopbackTransport, SocketServer, SocketTransport
+from .wire import Message, ServingError, decode_message, encode_message
+
+__all__ = [
+    "ServingEngine",
+    "ModelRegistry",
+    "ModelEntry",
+    "ClientSession",
+    "ServingResult",
+    "LoopbackTransport",
+    "SocketServer",
+    "SocketTransport",
+    "Message",
+    "ServingError",
+    "encode_message",
+    "decode_message",
+    "DEMO_RESCALE_BITS",
+    "demo_network",
+    "demo_weights",
+    "demo_params",
+    "demo_image",
+]

@@ -1,0 +1,373 @@
+"""The serving engine: sessions, per-layer cross-client batching, blinding.
+
+The cloud side of the wire protocol.  A :class:`ServingEngine` owns a
+:class:`~repro.serving.registry.ModelRegistry` and processes
+:class:`~repro.serving.wire.Message` requests from any number of
+transports/worker threads:
+
+``hello``
+    Parameter handshake.  The client's parameter description must match
+    the model's exactly (plans and mask encodings are parameter-bound);
+    a mismatch is rejected with a reason instead of producing garbage
+    ciphertexts later.  The reply carries the model's rotation-step set
+    so the client generates exactly the Galois keys the compiled plans
+    need.
+``galois_keys``
+    One-time per-session key upload (the Gazelle setup transmission).
+``linear``
+    One protocol round: the client's freshly encrypted activations in,
+    the blinded layer outputs plus the dense mask block out.
+
+Requests for the same ``(model, layer)`` that are pending concurrently
+are merged by a :class:`_LayerBatcher` into a single
+:meth:`~repro.scheduling.plan.ConvPlan.execute_batch` call, so the HE
+work of ``B`` clients rides the batched ``(k, B, n)`` NTT path of
+:class:`~repro.bfv.ntt_batch.RnsNttEngine` -- the serving-side analogue
+of the paper's on-chip batching discipline.  Each client still key-
+switches under its own Galois keys and is blinded with its own mask;
+outputs are bit-identical to serial execution.
+
+Per-session traffic is tallied with
+:class:`~repro.protocol.messages.TrafficLog` (blob bytes, per-layer
+labels, round counts), matching the accounting of the in-process
+:class:`~repro.protocol.gazelle.GazelleProtocol`.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+from collections import OrderedDict
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from ..bfv.keys import GaloisKeys
+from ..bfv.serialize import deserialize_ciphertext, deserialize_galois_keys, serialize_ciphertext
+from ..nn.layers import ConvLayer
+from ..protocol.gazelle import blind_ciphertext_rows
+from ..protocol.messages import TrafficLog
+from ..scheduling.layouts import unpack_image
+from .registry import ModelEntry, ModelRegistry
+from .wire import Message, error_message
+
+
+@dataclass
+class _Session:
+    """Per-client serving state: model binding, keys, traffic tally."""
+
+    session_id: str
+    entry: ModelEntry
+    galois_keys: GaloisKeys | None = None
+    traffic: TrafficLog = field(default_factory=TrafficLog)
+
+
+class _BatchItem:
+    """One pending layer request inside a :class:`_LayerBatcher`."""
+
+    __slots__ = ("cts", "keys", "event", "output", "error")
+
+    def __init__(self, cts, keys):
+        self.cts = cts
+        self.keys = keys
+        self.event = threading.Event()
+        self.output = None
+        self.error: BaseException | None = None
+
+
+class _LayerBatcher:
+    """Merge concurrently pending requests for one (model, layer) pair.
+
+    The first request of a generation becomes the *leader*: it collects
+    followers until ``max_batch`` are pending, the ``window_s`` deadline
+    passes, or no new request has arrived for ``idle_gap_s`` (the burst
+    is over -- waiting longer would be pure idle time), then executes the
+    whole batch in one ``execute_batch`` call and distributes per-request
+    outputs.  Followers block on their item's event.  A request arriving
+    while a batch executes simply opens the next generation, so the
+    engine never stalls behind a running batch.
+    """
+
+    def __init__(
+        self, execute, max_batch: int, window_s: float, idle_gap_s: float = 0.005
+    ):
+        self._execute = execute
+        self.max_batch = max(1, int(max_batch))
+        self.window_s = window_s
+        self.idle_gap_s = idle_gap_s
+        #: The ModelEntry this batcher executes against (set by the engine;
+        #: used to prune batchers of replaced models).
+        self.entry = None
+        self._cond = threading.Condition()
+        self._pending: list[_BatchItem] = []
+
+    def submit(self, cts, keys):
+        item = _BatchItem(cts, keys)
+        with self._cond:
+            self._pending.append(item)
+            leader = len(self._pending) == 1
+            if len(self._pending) >= self.max_batch:
+                self._cond.notify_all()
+        if leader:
+            deadline = time.monotonic() + self.window_s
+            with self._cond:
+                last_size = len(self._pending)
+                last_growth = time.monotonic()
+                while len(self._pending) < self.max_batch:
+                    now = time.monotonic()
+                    quiet_for = now - last_growth
+                    if now >= deadline or quiet_for >= self.idle_gap_s:
+                        break
+                    self._cond.wait(
+                        min(deadline - now, self.idle_gap_s - quiet_for)
+                    )
+                    if len(self._pending) > last_size:
+                        last_size = len(self._pending)
+                        last_growth = time.monotonic()
+                batch, self._pending = self._pending, []
+            self._run(batch)
+        item.event.wait()
+        if item.error is not None:
+            raise item.error
+        return item.output
+
+    def _run(self, batch: list[_BatchItem]) -> None:
+        try:
+            outputs = self._execute(
+                [item.cts for item in batch], [item.keys for item in batch]
+            )
+            for item, output in zip(batch, outputs):
+                item.output = output
+        except BaseException as exc:  # surface to every waiter, don't hang
+            for item in batch:
+                item.error = exc
+        finally:
+            for item in batch:
+                item.event.set()
+
+
+class ServingEngine:
+    """Multi-client private-inference server over the repro wire format."""
+
+    def __init__(
+        self,
+        registry: ModelRegistry,
+        max_batch: int = 8,
+        batch_window_s: float = 0.02,
+        max_sessions: int = 256,
+        seed: int | None = None,
+    ):
+        self.registry = registry
+        self.max_batch = max(1, int(max_batch))
+        self.batch_window_s = batch_window_s
+        #: Session-table bound: clients that vanish without sending ``close``
+        #: (crashes, dropped connections) must not leak their multi-MB Galois
+        #: key sets forever, so the least-recently-used session is evicted
+        #: once the table is full.  An evicted client's next request fails
+        #: with "unknown session" and it simply reconnects.
+        self.max_sessions = max(1, int(max_sessions))
+        self._sessions: "OrderedDict[str, _Session]" = OrderedDict()
+        self._batchers: dict[tuple[int, str], _LayerBatcher] = {}
+        self._lock = threading.Lock()
+        self._mask_lock = threading.Lock()
+        # Blinding masks hide partial weight sums from *remote* clients, so
+        # the default is OS entropy; pass a seed only for reproducible tests
+        # (predictable masks let a client unmask the withheld slots).
+        self._rng = np.random.default_rng(seed)
+        self._next_session = 0
+
+    # -- dispatch -----------------------------------------------------------
+
+    def handle(self, request: Message) -> Message:
+        """Process one request message; always returns a reply message."""
+        handler = {
+            "hello": self._handle_hello,
+            "galois_keys": self._handle_galois_keys,
+            "linear": self._handle_linear,
+            "close": self._handle_close,
+        }.get(request.kind)
+        if handler is None:
+            return error_message(f"unknown request kind {request.kind!r}")
+        try:
+            return handler(request)
+        except (KeyError, ValueError, TypeError) as exc:
+            return error_message(str(exc))
+
+    def session_traffic(self, session_id: str) -> TrafficLog:
+        """The per-session byte/round tally (server-side view)."""
+        return self._session(session_id).traffic
+
+    def _session(self, session_id: str) -> _Session:
+        with self._lock:
+            try:
+                session = self._sessions[session_id]
+            except KeyError:
+                raise KeyError(f"unknown session {session_id!r}") from None
+            self._sessions.move_to_end(session_id)
+            return session
+
+    # -- handshake ----------------------------------------------------------
+
+    def _handle_hello(self, request: Message) -> Message:
+        model_name, client_params = request.require("model", "params")
+        entry = self.registry.get(model_name)
+        reason = self.registry.params_compatible(entry, client_params)
+        if reason is not None:
+            return error_message(reason)
+        with self._lock:
+            while len(self._sessions) >= self.max_sessions:
+                self._sessions.popitem(last=False)
+            session_id = f"s{self._next_session}"
+            self._next_session += 1
+            self._sessions[session_id] = _Session(session_id, entry)
+        meta = {"session": session_id, **entry.handshake_meta()}
+        return Message("hello_ok", meta)
+
+    def _handle_galois_keys(self, request: Message) -> Message:
+        session = self._session(request.require("session"))
+        if len(request.blobs) != 1:
+            return error_message("galois_keys expects exactly one key blob")
+        blob = request.blobs[0]
+        keys = deserialize_galois_keys(blob, session.entry.params)
+        missing = [
+            step
+            for step in session.entry.rotation_steps
+            if session.entry.scheme.galois_elt_for_step(step) not in keys
+        ]
+        if missing:
+            return error_message(
+                f"uploaded Galois keys missing rotation step(s) {missing}"
+            )
+        session.galois_keys = keys
+        session.traffic.send_to_cloud(len(blob), "galois_keys")
+        return Message("keys_ok", {"session": session.session_id})
+
+    def _handle_close(self, request: Message) -> Message:
+        session_id = request.require("session")
+        with self._lock:
+            self._sessions.pop(session_id, None)
+        return Message("close_ok", {"session": session_id})
+
+    # -- linear rounds -------------------------------------------------------
+
+    def _handle_linear(self, request: Message) -> Message:
+        session_id, layer_name = request.require("session", "layer")
+        session = self._session(session_id)
+        if session.galois_keys is None:
+            return error_message(
+                f"session {session_id!r} has not uploaded Galois keys"
+            )
+        entry = session.entry
+        layer = entry.layer(layer_name)
+        plan = entry.plans[layer_name]
+        expected = plan.ci if isinstance(layer, ConvLayer) else 1
+        if len(request.blobs) != expected:
+            return error_message(
+                f"layer {layer_name!r} expects {expected} ciphertext(s), "
+                f"got {len(request.blobs)}"
+            )
+        cts = [deserialize_ciphertext(blob, entry.params) for blob in request.blobs]
+        session.traffic.send_to_cloud(
+            sum(len(blob) for blob in request.blobs), layer_name
+        )
+        masked_cts, mask = self._run_layer(entry, layer, cts, session.galois_keys)
+        ct_blobs = [serialize_ciphertext(ct, entry.params) for ct in masked_cts]
+        mask_blob = np.ascontiguousarray(mask, dtype="<i8").tobytes()
+        session.traffic.send_to_client(
+            sum(len(blob) for blob in ct_blobs) + len(mask_blob),
+            layer_name + "+mask",
+        )
+        session.traffic.end_round()
+        return Message(
+            "linear_ok",
+            {"layer": layer_name, "mask_shape": list(mask.shape)},
+            [*ct_blobs, mask_blob],
+        )
+
+    def _run_layer(self, entry: ModelEntry, layer, cts, galois_keys):
+        """Execute one layer, batched across clients when possible.
+
+        Returns this request's ``(masked_cts, mask_view)``.
+        """
+        if self.max_batch <= 1:
+            return self._execute_layer(entry, layer, [cts], [galois_keys])[0]
+        # Keyed by entry *identity*: re-registering a model name creates a
+        # fresh ModelEntry, and sessions opened before and after must not
+        # share a batch (their plans and weights differ).  Sessions keep
+        # executing against the entry they handshook with.
+        key = (id(entry), layer.name)
+        with self._lock:
+            batcher = self._batchers.get(key)
+            if batcher is None:
+                self._prune_stale_batchers()
+                batcher = _LayerBatcher(
+                    lambda inputs, keys, e=entry, l=layer: self._execute_layer(
+                        e, l, inputs, keys
+                    ),
+                    self.max_batch,
+                    self.batch_window_s,
+                )
+                batcher.entry = entry
+                self._batchers[key] = batcher
+        return batcher.submit(cts, galois_keys)
+
+    def _prune_stale_batchers(self) -> None:
+        """Drop idle batchers for replaced model entries (holds self._lock)."""
+        current = {id(e) for e in self.registry.entries()}
+        stale = [
+            key
+            for key, batcher in self._batchers.items()
+            if key[0] not in current and not batcher._pending
+        ]
+        for key in stale:
+            del self._batchers[key]
+
+    def _execute_layer(self, entry: ModelEntry, layer, batch_inputs, batch_keys):
+        """One stacked plan execution + blinding for B pending requests."""
+        plan = entry.plans[layer.name]
+        if isinstance(layer, ConvLayer):
+            outputs = plan.execute_batch(batch_inputs, batch_keys)
+        else:
+            outputs = [
+                [ct]
+                for ct in plan.execute_batch(
+                    [cts[0] for cts in batch_inputs], batch_keys
+                )
+            ]
+        # One blinding pass over every output of the whole batch: the mask
+        # encode + eval-domain lift run as a single (k, B*co, n) call.
+        flat = [ct for request_cts in outputs for ct in request_cts]
+        with self._mask_lock:
+            masked_flat, mask_rows = blind_ciphertext_rows(
+                entry.scheme, self._rng, flat
+            )
+        results = []
+        offset = 0
+        for request_cts in outputs:
+            count = len(request_cts)
+            results.append(
+                self._mask_view(
+                    entry,
+                    layer,
+                    masked_flat[offset : offset + count],
+                    mask_rows[offset : offset + count],
+                )
+            )
+            offset += count
+        return results
+
+    def _mask_view(self, entry: ModelEntry, layer, masked_cts, mask_rows):
+        """Pair one request's masked outputs with the mask block it decrypts."""
+        if isinstance(layer, ConvLayer):
+            plan = entry.plans[layer.name]
+            w = layer.w + 2 * layer.padding
+            dense_w = w - layer.fw + 1
+            mask = np.stack(
+                [
+                    unpack_image(row, plan.grid_w)[:dense_w, :dense_w]
+                    for row in mask_rows
+                ]
+            )
+        else:
+            mask = mask_rows[0, : layer.no]
+        return masked_cts, mask

@@ -1,0 +1,62 @@
+"""Demo deployment: a live-HE-scale CNN for the serve/infer CLI and bench.
+
+The model zoo in :mod:`repro.nn.models` holds the paper's evaluation
+networks (AlexNet-class shapes are analytic-model territory); serving
+end-to-end over live BFV needs LeNet-scale layers.  This module pins one
+such deployment -- network, synthetic weights, and a parameter set wide
+enough for its accumulations -- so ``repro serve`` and ``repro infer``
+agree on the architecture without shipping it over the wire.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..bfv.params import BfvParameters
+from ..nn.layers import ActivationLayer, ConvLayer, FCLayer
+from ..nn.models import Network
+from ..nn.quantize import synthetic_conv_weights, synthetic_fc_weights
+
+#: Fixed-point truncation applied by the demo deployment's GC stage.
+DEMO_RESCALE_BITS = 4
+
+
+def demo_network() -> Network:
+    """A LeNet-style CNN small enough for interactive live-HE serving."""
+    return Network(
+        "ServeCNN",
+        [
+            ConvLayer("conv1", w=8, fw=3, ci=1, co=4),
+            ActivationLayer("relu1", "relu", 4 * 6 * 6),
+            ActivationLayer("pool1", "maxpool", 4 * 3 * 3, pool_size=2),
+            FCLayer("fc1", 36, 16),
+            ActivationLayer("relu2", "relu", 16),
+            FCLayer("fc2", 16, 10),
+        ],
+    )
+
+
+def demo_weights(seed: int = 0) -> dict[str, np.ndarray]:
+    """Synthetic quantized weights for :func:`demo_network`."""
+    return {
+        "conv1": synthetic_conv_weights(3, 1, 4, bits=5, seed=seed),
+        "fc1": synthetic_fc_weights(36, 16, bits=5, seed=seed + 1),
+        "fc2": synthetic_fc_weights(16, 10, bits=5, seed=seed + 2),
+    }
+
+
+def demo_params(n: int = 4096) -> BfvParameters:
+    """Parameters sized for the demo network's accumulation depth."""
+    return BfvParameters.create(
+        n=n,
+        plain_bits=20,
+        coeff_bits=100,
+        a_dcmp_bits=16,
+        require_security=n >= 4096,
+    )
+
+
+def demo_image(seed: int = 0) -> np.ndarray:
+    """A synthetic (1, 8, 8) input image for the demo network."""
+    rng = np.random.default_rng(seed)
+    return rng.integers(0, 16, (1, 8, 8))

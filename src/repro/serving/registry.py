@@ -1,0 +1,149 @@
+"""Server-side model registry: compile once, serve every session.
+
+A :class:`ModelRegistry` owns the cloud's share of each deployed model:
+the network description, a server :class:`~repro.bfv.scheme.BfvScheme`
+(no secret key -- the cloud only ever computes on ciphertexts), and the
+compiled :class:`~repro.scheduling.plan.ConvPlan` / ``FcPlan`` for every
+linear layer.  Plans are weight-bound but key-independent, so one offline
+compile is amortised across all sessions and all clients; the underlying
+NTT engine is likewise shared through the
+:func:`~repro.bfv.ntt_batch.get_engine` memoization, so two models on the
+same parameter set reuse one set of twiddle tables.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from ..bfv.params import BfvParameters
+from ..bfv.scheme import BfvScheme
+from ..bfv.serialize import params_to_dict
+from ..core.noise_model import Schedule
+from ..nn.layers import ConvLayer, FCLayer
+from ..nn.models import Network
+from ..scheduling.plan import compile_linear_plan
+
+
+@dataclass
+class ModelEntry:
+    """One deployed model: params, server scheme, and compiled plans."""
+
+    name: str
+    network: Network
+    params: BfvParameters
+    schedule: Schedule
+    rescale_bits: int
+    scheme: BfvScheme = field(repr=False)
+    plans: dict = field(repr=False)
+    rotation_steps: list[int] = field(default_factory=list)
+
+    def layer(self, name: str):
+        """Resolve a *linear* layer by name (activations never hit the wire)."""
+        for layer in self.network.linear_layers:
+            if layer.name == name:
+                return layer
+        raise KeyError(f"model {self.name!r} has no linear layer {name!r}")
+
+    def handshake_meta(self) -> dict:
+        """The JSON-safe model facts a client needs after ``hello``."""
+        layers = {}
+        for layer in self.network.linear_layers:
+            if isinstance(layer, ConvLayer):
+                layers[layer.name] = {
+                    "kind": "conv",
+                    "grid_w": self.plans[layer.name].grid_w,
+                }
+            else:
+                layers[layer.name] = {"kind": "fc", "no": layer.no}
+        return {
+            "rotation_steps": list(self.rotation_steps),
+            "schedule": self.schedule.value,
+            "rescale_bits": self.rescale_bits,
+            "layers": layers,
+        }
+
+
+class ModelRegistry:
+    """Name -> :class:`ModelEntry` table with one-time plan compilation."""
+
+    def __init__(self) -> None:
+        self._models: dict[str, ModelEntry] = {}
+
+    def register(
+        self,
+        name: str,
+        network: Network,
+        weights: dict[str, np.ndarray],
+        params: BfvParameters,
+        schedule: Schedule = Schedule.PARTIAL_ALIGNED,
+        rescale_bits: int = 6,
+        seed: int = 0,
+    ) -> ModelEntry:
+        """Deploy a model: compile every linear layer's plan offline.
+
+        The returned entry is shared by every future session for ``name``;
+        re-registering a name replaces it.
+        """
+        missing = [
+            layer.name
+            for layer in network.linear_layers
+            if layer.name not in weights
+        ]
+        if missing:
+            raise ValueError(f"weights missing for layer(s) {missing}")
+        scheme = BfvScheme(params, seed=seed)
+        plans = {
+            layer.name: compile_linear_plan(
+                scheme, layer, weights[layer.name], schedule
+            )
+            for layer in network.linear_layers
+        }
+        steps: set[int] = set()
+        for plan in plans.values():
+            steps.update(plan.rotation_steps)
+        entry = ModelEntry(
+            name=name,
+            network=network,
+            params=params,
+            schedule=schedule,
+            rescale_bits=rescale_bits,
+            scheme=scheme,
+            plans=plans,
+            rotation_steps=sorted(steps),
+        )
+        self._models[name] = entry
+        return entry
+
+    def get(self, name: str) -> ModelEntry:
+        try:
+            return self._models[name]
+        except KeyError:
+            raise KeyError(
+                f"no model {name!r} registered (available: {sorted(self._models)})"
+            ) from None
+
+    def names(self) -> list[str]:
+        return sorted(self._models)
+
+    def entries(self) -> list[ModelEntry]:
+        """The currently registered entries (latest registration per name)."""
+        return list(self._models.values())
+
+    def params_compatible(self, entry: ModelEntry, client_params: dict) -> str | None:
+        """Validate a client's ``hello`` parameter dict against a model.
+
+        Returns ``None`` when compatible, else a human-readable reason --
+        every field of the wire parameter description must match, because
+        plans, Galois keys, and mask encodings are all parameter-bound.
+        """
+        expected = params_to_dict(entry.params)
+        for key, value in expected.items():
+            got = client_params.get(key)
+            if got != value:
+                return (
+                    f"parameter mismatch on {key!r}: model {entry.name!r} "
+                    f"expects {value}, client sent {got}"
+                )
+        return None

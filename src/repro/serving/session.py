@@ -1,0 +1,216 @@
+"""The client side of the serving protocol.
+
+A :class:`ClientSession` owns everything the cloud must never see: the
+secret key, the plaintext activations, and the unmasked layer outputs.
+It drives one session against any :class:`~repro.serving.transport.
+Transport`:
+
+1. ``connect`` -- parameter handshake (the server validates the client's
+   :func:`~repro.bfv.serialize.params_to_dict` against the model), then a
+   one-time Galois-key upload covering exactly the rotation steps the
+   server's compiled plans need.
+2. ``infer`` -- per linear layer: pack + encrypt the activations, ship
+   the ciphertexts, receive the blinded outputs plus the dense mask
+   block, decrypt, and run the simulated garbled-circuit stage (unmask,
+   truncate, ReLU/pooling) locally before the next round.
+
+The per-layer math is shared with the in-process reference
+(:mod:`repro.protocol.gazelle` helpers), so a loopback session returns
+logits bit-identical to :meth:`GazelleProtocol.run
+<repro.protocol.gazelle.GazelleProtocol.run>`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from ..bfv.noise import invariant_noise_budget
+from ..bfv.params import BfvParameters
+from ..bfv.scheme import BfvScheme
+from ..bfv.serialize import (
+    deserialize_ciphertext,
+    params_to_dict,
+    serialize_ciphertext,
+    serialize_galois_keys,
+)
+from ..nn.layers import ActivationLayer, ConvLayer, FCLayer
+from ..nn.models import Network
+from ..protocol.garbled import GarbledEvaluator, GcCost
+from ..protocol.gazelle import (
+    decrypt_conv_outputs,
+    gc_postprocess,
+    pad_and_grid_conv_input,
+)
+from ..scheduling.fc import pack_fc_input
+from ..scheduling.layouts import pack_image
+from .transport import Transport
+from .wire import Message, raise_on_error
+
+
+@dataclass
+class ServingResult:
+    """Client-side outcome of one remote private inference."""
+
+    logits: np.ndarray
+    rounds: int
+    gc_cost: GcCost
+    #: Minimum invariant noise budget observed across received ciphertexts
+    #: (``inf`` when ``track_noise`` is off -- measuring costs a decrypt).
+    min_noise_budget: float
+
+
+class ClientSession:
+    """One client's connection-scoped state and inference driver."""
+
+    def __init__(
+        self,
+        network: Network,
+        params: BfvParameters,
+        transport: Transport,
+        seed: int = 0,
+        track_noise: bool = False,
+    ):
+        self.network = network
+        self.params = params
+        self.transport = transport
+        self.track_noise = track_noise
+        self.scheme = BfvScheme(params, seed=seed)
+        self.secret, self.public = self.scheme.keygen()
+        self.session_id: str | None = None
+        self.rescale_bits: int = 0
+        self._layer_meta: dict = {}
+
+    # -- setup --------------------------------------------------------------
+
+    def connect(self, model: str) -> None:
+        """Handshake and Galois-key upload; raises ServingError on rejection."""
+        reply = raise_on_error(
+            self.transport.request(
+                Message("hello", {"model": model, "params": params_to_dict(self.params)})
+            )
+        )
+        self.session_id = reply.require("session")
+        self.rescale_bits = int(reply.require("rescale_bits"))
+        self._layer_meta = reply.require("layers")
+        steps = [int(step) for step in reply.require("rotation_steps")]
+        galois = self.scheme.generate_galois_keys(self.secret, steps)
+        raise_on_error(
+            self.transport.request(
+                Message(
+                    "galois_keys",
+                    {"session": self.session_id},
+                    [serialize_galois_keys(galois, self.params)],
+                )
+            )
+        )
+
+    def close(self) -> None:
+        if self.session_id is not None:
+            self.transport.request(Message("close", {"session": self.session_id}))
+            self.session_id = None
+
+    # -- inference ----------------------------------------------------------
+
+    def infer(self, image: np.ndarray) -> ServingResult:
+        """Private inference on a (ci, w, w) integer input tensor."""
+        if self.session_id is None:
+            raise RuntimeError("call connect() before infer()")
+        t = self.params.plain_modulus
+        evaluator = GarbledEvaluator(t, bit_width=t.bit_length())
+        self._min_budget = float("inf")
+        current = np.asarray(image, dtype=np.int64)
+        layers = list(self.network.layers)
+        index = 0
+        rounds = 0
+        while index < len(layers):
+            layer = layers[index]
+            if not isinstance(layer, (ConvLayer, FCLayer)):
+                raise TypeError(
+                    f"activation layer {layer.name!r} without preceding linear layer"
+                )
+            masked, mask = self._linear_round(layer, current)
+            rounds += 1
+            index += 1
+            post_ops: list[ActivationLayer] = []
+            while index < len(layers) and isinstance(layers[index], ActivationLayer):
+                post_ops.append(layers[index])
+                index += 1
+            current = gc_postprocess(
+                masked, mask, post_ops, evaluator, t, self.rescale_bits
+            )
+        return ServingResult(
+            logits=current,
+            rounds=rounds,
+            gc_cost=evaluator.total_cost,
+            min_noise_budget=self._min_budget,
+        )
+
+    def _linear_round(self, layer, activations):
+        """Encrypt -> request -> decrypt for one linear layer."""
+        scheme = self.scheme
+        if isinstance(layer, ConvLayer):
+            grid_w = int(self._layer_meta[layer.name]["grid_w"])
+            grids, w = pad_and_grid_conv_input(layer, activations, grid_w)
+            cts = [
+                scheme.encrypt(
+                    scheme.encoder.encode_row(pack_image(grid)), self.public
+                )
+                for grid in grids
+            ]
+            reply, mask = self._request_linear(layer, cts)
+            masked_cts = [
+                deserialize_ciphertext(blob, self.params)
+                for blob in reply.blobs[:-1]
+            ]
+            self._observe_noise(masked_cts)
+            dense_w = w - layer.fw + 1
+            masked = decrypt_conv_outputs(
+                scheme, self.secret, masked_cts, grid_w, dense_w
+            )
+            if layer.stride > 1:
+                masked = masked[:, :: layer.stride, :: layer.stride]
+                mask = mask[:, :: layer.stride, :: layer.stride]
+            return masked, mask
+        # FC layer: one duplicated-packing ciphertext each way.
+        flat = activations.reshape(-1)
+        packed = pack_fc_input(flat % self.params.plain_modulus, self.params.row_size)
+        ct = scheme.encrypt(scheme.encoder.encode_row(packed), self.public)
+        reply, mask = self._request_linear(layer, [ct])
+        masked_ct = deserialize_ciphertext(reply.blobs[0], self.params)
+        self._observe_noise([masked_ct])
+        slots = scheme.encoder.decode_row(
+            scheme.decrypt(masked_ct, self.secret), signed=False
+        )
+        return slots[: layer.no], mask
+
+    def _request_linear(self, layer, cts):
+        reply = raise_on_error(
+            self.transport.request(
+                Message(
+                    "linear",
+                    {"session": self.session_id, "layer": layer.name},
+                    [serialize_ciphertext(ct, self.params) for ct in cts],
+                )
+            )
+        )
+        shape = tuple(int(dim) for dim in reply.require("mask_shape"))
+        count = int(np.prod(shape)) if shape else 1
+        mask_blob = reply.blobs[-1]
+        if len(mask_blob) != count * 8:
+            raise ValueError(
+                f"mask blob for {layer.name!r} has {len(mask_blob)} bytes, "
+                f"expected {count * 8}"
+            )
+        mask = np.frombuffer(mask_blob, dtype="<i8").reshape(shape)
+        return reply, mask
+
+    def _observe_noise(self, cts) -> None:
+        if not self.track_noise:
+            return
+        for ct in cts:
+            self._min_budget = min(
+                self._min_budget,
+                invariant_noise_budget(self.scheme, ct, self.secret),
+            )

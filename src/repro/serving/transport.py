@@ -1,0 +1,195 @@
+"""Transports: in-process loopback and a TCP socket server/client pair.
+
+Both move the exact frames of :mod:`repro.serving.wire`.  The loopback
+transport is the test/bench harness -- it still encodes and decodes every
+frame, so anything it carries would survive a real network.  The socket
+pair is a minimal production shape: one persistent connection per client
+session, a listener thread, and a worker pool sized so that concurrent
+clients can be in flight together (cross-client batching needs multiple
+requests pending at once).
+"""
+
+from __future__ import annotations
+
+import socket
+import threading
+from concurrent.futures import ThreadPoolExecutor
+from typing import Protocol
+
+from .engine import ServingEngine
+from .wire import (
+    Message,
+    decode_message,
+    encode_message,
+    error_message,
+    recv_frame,
+    send_frame,
+)
+
+
+class Transport(Protocol):
+    """Anything a :class:`~repro.serving.session.ClientSession` can drive."""
+
+    def request(self, message: Message) -> Message:
+        """Send one request frame and block for its reply frame."""
+        ...
+
+
+class LoopbackTransport:
+    """Drive a :class:`ServingEngine` in process, through the wire format.
+
+    Every request and reply round-trips ``encode_message`` /
+    ``decode_message``, so serialization bugs surface in unit tests
+    without sockets; concurrency still works (call ``request`` from many
+    threads to exercise cross-client batching).
+    """
+
+    def __init__(self, engine: ServingEngine):
+        self.engine = engine
+
+    def request(self, message: Message) -> Message:
+        reply = self.engine.handle(decode_message(encode_message(message)))
+        return decode_message(encode_message(reply))
+
+
+class SocketTransport:
+    """Client side of the TCP transport: one persistent framed connection."""
+
+    def __init__(self, host: str, port: int, timeout: float | None = 60.0):
+        self._sock = socket.create_connection((host, port), timeout=timeout)
+        self._lock = threading.Lock()
+
+    def request(self, message: Message) -> Message:
+        with self._lock:
+            send_frame(self._sock, encode_message(message))
+            payload = recv_frame(self._sock)
+        if payload is None:
+            raise ConnectionError("server closed the connection")
+        return decode_message(payload)
+
+    def close(self) -> None:
+        try:
+            self._sock.shutdown(socket.SHUT_RDWR)
+        except OSError:
+            pass
+        self._sock.close()
+
+    def __enter__(self) -> "SocketTransport":
+        return self
+
+    def __exit__(self, *_exc) -> None:
+        self.close()
+
+
+class SocketServer:
+    """TCP front end for a :class:`ServingEngine` with a worker pool.
+
+    Each accepted connection is *owned* by one pooled worker for the
+    connection's whole lifetime (a per-connection frame loop), so
+    ``workers`` bounds how many clients can be **connected** at once --
+    an idle persistent session still holds its worker, and connection
+    number ``workers + 1`` queues unserved until one disconnects.  Size
+    ``workers`` at or above the expected concurrent client count (and at
+    least the engine's ``max_batch`` for full cross-client batching).
+    """
+
+    def __init__(
+        self,
+        engine: ServingEngine,
+        host: str = "127.0.0.1",
+        port: int = 0,
+        workers: int = 16,
+    ):
+        self.engine = engine
+        self._listener = socket.create_server((host, port))
+        self.host, self.port = self._listener.getsockname()[:2]
+        self._pool = ThreadPoolExecutor(
+            max_workers=workers, thread_name_prefix="repro-serve"
+        )
+        self._accept_thread: threading.Thread | None = None
+        self._stopping = threading.Event()
+        # Live connections, so stop() can unblock workers parked in recv()
+        # (pool threads are non-daemon; without this the process would hang
+        # on shutdown while any client stays connected).
+        self._conn_lock = threading.Lock()
+        self._connections: set[socket.socket] = set()
+
+    def start(self) -> "SocketServer":
+        self._accept_thread = threading.Thread(
+            target=self._accept_loop, name="repro-serve-accept", daemon=True
+        )
+        self._accept_thread.start()
+        return self
+
+    def _accept_loop(self) -> None:
+        while not self._stopping.is_set():
+            try:
+                conn, _addr = self._listener.accept()
+            except OSError:
+                return  # listener closed by stop()
+            self._pool.submit(self._serve_connection, conn)
+
+    def _serve_connection(self, conn: socket.socket) -> None:
+        with self._conn_lock:
+            if self._stopping.is_set():
+                conn.close()
+                return
+            self._connections.add(conn)
+        try:
+            with conn:
+                while not self._stopping.is_set():
+                    try:
+                        payload = recv_frame(conn)
+                    except (ValueError, OSError):
+                        return  # corrupted stream or closed by stop()
+                    if payload is None:
+                        return
+                    try:
+                        request = decode_message(payload)
+                    except ValueError as exc:
+                        reply = error_message(f"bad frame: {exc}")
+                    else:
+                        try:
+                            reply = self.engine.handle(request)
+                        except Exception as exc:  # keep the connection alive
+                            reply = error_message(f"internal error: {exc}")
+                    try:
+                        send_frame(conn, encode_message(reply))
+                    except OSError:
+                        return
+        finally:
+            with self._conn_lock:
+                self._connections.discard(conn)
+
+    def stop(self) -> None:
+        self._stopping.set()
+        # Closing a listening socket does not reliably wake a blocked
+        # accept(); shut it down and poke it with a throwaway connection.
+        try:
+            self._listener.shutdown(socket.SHUT_RDWR)
+        except OSError:
+            pass
+        try:
+            with socket.create_connection((self.host, self.port), timeout=0.5):
+                pass
+        except OSError:
+            pass
+        self._listener.close()
+        # Shut down live connections so workers blocked in recv() return.
+        with self._conn_lock:
+            connections = list(self._connections)
+        for conn in connections:
+            try:
+                conn.shutdown(socket.SHUT_RDWR)
+            except OSError:
+                pass
+            conn.close()
+        if self._accept_thread is not None:
+            self._accept_thread.join(timeout=5)
+        self._pool.shutdown(wait=True, cancel_futures=True)
+
+    def __enter__(self) -> "SocketServer":
+        return self.start()
+
+    def __exit__(self, *_exc) -> None:
+        self.stop()

@@ -119,3 +119,111 @@ class TestGaloisKeys:
         pt = small_scheme.encoder.encode(np.arange(4))
         with pytest.raises(ValueError):
             deserialize_galois_keys(serialize_plaintext(pt), small_scheme.params)
+
+
+class TestMalformedBlobs:
+    """Corrupt or mismatched wire data must raise, never mis-deserialize."""
+
+    @pytest.fixture()
+    def ct_blob(self, small_scheme, small_keys):
+        _, public = small_keys
+        ct = small_scheme.encrypt_values(np.arange(8), public)
+        return serialize_ciphertext(ct, small_scheme.params)
+
+    def test_truncated_ciphertext_body(self, ct_blob, small_params):
+        with pytest.raises(ValueError, match="expected"):
+            deserialize_ciphertext(ct_blob[:-100], small_params)
+
+    def test_oversized_ciphertext_body(self, ct_blob, small_params):
+        with pytest.raises(ValueError, match="body has"):
+            deserialize_ciphertext(ct_blob + b"\x00" * 64, small_params)
+
+    def test_truncated_header(self, ct_blob, small_params):
+        with pytest.raises(ValueError, match="truncated|not a repro"):
+            deserialize_ciphertext(ct_blob[:10], small_params)
+
+    def test_header_not_json(self, small_params):
+        import struct
+
+        blob = b"RPRO" + struct.pack("<I", 8) + b"not json" + b"\x00" * 16
+        with pytest.raises(ValueError, match="malformed"):
+            deserialize_ciphertext(blob, small_params)
+
+    def test_out_of_range_residues_rejected(self, ct_blob, small_params):
+        """Residues >= p_i would be silently reduced downstream; reject them."""
+        header_len = int.from_bytes(ct_blob[4:8], "little")
+        body_start = 8 + header_len
+        bad = bytearray(ct_blob)
+        bad[body_start : body_start + 8] = (2**62).to_bytes(8, "little")
+        with pytest.raises(ValueError, match="residues outside"):
+            deserialize_ciphertext(bytes(bad), small_params)
+
+    def test_wrong_n_rejected(self, small_scheme, small_keys):
+        from repro.bfv import BfvParameters
+
+        _, public = small_keys
+        ct = small_scheme.encrypt_values(np.arange(4), public)
+        blob = serialize_ciphertext(ct, small_scheme.params)
+        other = BfvParameters.create(
+            n=512,
+            plain_bits=18,
+            coeff_bits=60,
+            w_dcmp_bits=6,
+            a_dcmp_bits=12,
+            require_security=False,
+        )
+        with pytest.raises(ValueError):
+            deserialize_ciphertext(blob, other)
+
+    def test_galois_base_bits_mismatch(self, small_scheme, small_keys):
+        """A key blob under a different Adcmp must not key-switch garbage."""
+        from dataclasses import replace
+
+        from repro.bfv.serialize import (
+            deserialize_galois_keys,
+            serialize_galois_keys,
+        )
+
+        secret, _ = small_keys
+        keys = small_scheme.generate_galois_keys(secret, [1])
+        blob = serialize_galois_keys(keys, small_scheme.params)
+        other = replace(small_scheme.params, a_dcmp_bits=10)
+        with pytest.raises(ValueError, match="base|pairs"):
+            deserialize_galois_keys(blob, other)
+
+    def test_galois_invalid_element_rejected(self, small_scheme, small_keys):
+        import json
+        import struct
+
+        from repro.bfv.serialize import (
+            deserialize_galois_keys,
+            serialize_galois_keys,
+        )
+
+        secret, _ = small_keys
+        keys = small_scheme.generate_galois_keys(secret, [1])
+        blob = serialize_galois_keys(keys, small_scheme.params)
+        header_len = int.from_bytes(blob[4:8], "little")
+        header = json.loads(blob[8 : 8 + header_len].decode())
+        header["elements"] = [4]  # even => not a valid Galois element
+        new_header = json.dumps(header, sort_keys=True).encode()
+        patched = (
+            blob[:4]
+            + struct.pack("<I", len(new_header))
+            + new_header
+            + blob[8 + header_len :]
+        )
+        with pytest.raises(ValueError, match="Galois element"):
+            deserialize_galois_keys(patched, small_scheme.params)
+
+    def test_galois_truncated_body(self, small_scheme, small_keys):
+        from repro.bfv.serialize import (
+            deserialize_galois_keys,
+            serialize_galois_keys,
+        )
+
+        secret, _ = small_keys
+        keys = small_scheme.generate_galois_keys(secret, [1, 2])
+        blob = serialize_galois_keys(keys, small_scheme.params)
+        with pytest.raises(ValueError, match="body has"):
+            deserialize_galois_keys(blob[:-8], small_scheme.params)

@@ -1,0 +1,412 @@
+"""Tests for the multi-client serving runtime (repro.serving).
+
+Covers the wire format, the parameter handshake, loopback and socket
+transports, and the core serving guarantee: concurrent sessions -- with
+cross-client batching on -- return logits bit-identical to direct
+in-process :class:`GazelleProtocol` runs.
+"""
+
+from __future__ import annotations
+
+import threading
+
+import numpy as np
+import pytest
+
+from repro.bfv import BfvParameters, BfvScheme
+from repro.core.noise_model import Schedule
+from repro.nn.plaintext import PlaintextRunner
+from repro.protocol import GazelleProtocol
+from repro.scheduling import ConvPlan, FcPlan, encrypt_channels, pack_fc_input
+from repro.scheduling.conv2d import _infer_width
+from repro.serving import (
+    DEMO_RESCALE_BITS,
+    ClientSession,
+    LoopbackTransport,
+    Message,
+    ModelRegistry,
+    ServingEngine,
+    ServingError,
+    SocketServer,
+    SocketTransport,
+    decode_message,
+    demo_image,
+    demo_network,
+    demo_weights,
+    encode_message,
+)
+
+SERVE_SCHEDULE = Schedule.INPUT_ALIGNED
+
+
+@pytest.fixture(scope="module")
+def serve_params() -> BfvParameters:
+    return BfvParameters.create(
+        n=2048, plain_bits=20, coeff_bits=100, a_dcmp_bits=16,
+        require_security=False,
+    )
+
+
+@pytest.fixture(scope="module")
+def registry(serve_params) -> ModelRegistry:
+    registry = ModelRegistry()
+    registry.register(
+        "demo",
+        demo_network(),
+        demo_weights(),
+        serve_params,
+        schedule=SERVE_SCHEDULE,
+        rescale_bits=DEMO_RESCALE_BITS,
+    )
+    return registry
+
+
+@pytest.fixture(scope="module")
+def plaintext_logits():
+    runner = PlaintextRunner(
+        demo_network(), demo_weights(), rescale_bits=DEMO_RESCALE_BITS
+    )
+    return lambda image: runner.run(image)
+
+
+class TestWireFormat:
+    def test_message_roundtrip(self):
+        msg = Message("linear", {"session": "s1", "layer": "conv1"}, [b"abc", b"", b"xy"])
+        restored = decode_message(encode_message(msg))
+        assert restored.kind == msg.kind
+        assert restored.meta == msg.meta
+        assert restored.blobs == msg.blobs
+
+    def test_rejects_garbage(self):
+        with pytest.raises(ValueError):
+            decode_message(b"definitely not a frame")
+
+    def test_rejects_truncated_blob(self):
+        payload = encode_message(Message("x", {}, [b"0123456789"]))
+        with pytest.raises(ValueError, match="truncated"):
+            decode_message(payload[:-3])
+
+    def test_rejects_trailing_bytes(self):
+        payload = encode_message(Message("x", {}))
+        with pytest.raises(ValueError, match="trailing"):
+            decode_message(payload + b"!!")
+
+
+class TestHandshake:
+    def test_unknown_model_rejected(self, registry, serve_params):
+        engine = ServingEngine(registry, max_batch=1)
+        session = ClientSession(
+            demo_network(), serve_params, LoopbackTransport(engine)
+        )
+        with pytest.raises(ServingError, match="no model"):
+            session.connect("nope")
+
+    def test_mismatched_params_rejected(self, registry):
+        engine = ServingEngine(registry, max_batch=1)
+        other = BfvParameters.create(
+            n=2048, plain_bits=17, coeff_bits=100, a_dcmp_bits=16,
+            require_security=False,
+        )
+        session = ClientSession(demo_network(), other, LoopbackTransport(engine))
+        with pytest.raises(ServingError, match="parameter mismatch"):
+            session.connect("demo")
+
+    def test_linear_before_keys_rejected(self, registry, serve_params):
+        engine = ServingEngine(registry, max_batch=1)
+        transport = LoopbackTransport(engine)
+        reply = transport.request(
+            Message(
+                "hello",
+                {
+                    "model": "demo",
+                    "params": __import__(
+                        "repro.bfv.serialize", fromlist=["params_to_dict"]
+                    ).params_to_dict(serve_params),
+                },
+            )
+        )
+        assert reply.kind == "hello_ok"
+        linear = transport.request(
+            Message("linear", {"session": reply.meta["session"], "layer": "conv1"})
+        )
+        assert linear.kind == "error"
+        assert "Galois" in linear.meta["reason"]
+
+    def test_handshake_reports_plan_facts(self, registry, serve_params):
+        engine = ServingEngine(registry, max_batch=1)
+        session = ClientSession(
+            demo_network(), serve_params, LoopbackTransport(engine)
+        )
+        session.connect("demo")
+        entry = registry.get("demo")
+        assert session.rescale_bits == DEMO_RESCALE_BITS
+        assert set(session._layer_meta) == {"conv1", "fc1", "fc2"}
+        assert session._layer_meta["conv1"]["grid_w"] == entry.plans["conv1"].grid_w
+
+
+class TestLoopbackInference:
+    def test_matches_direct_protocol(self, registry, serve_params, plaintext_logits):
+        engine = ServingEngine(registry, max_batch=1)
+        session = ClientSession(
+            demo_network(), serve_params, LoopbackTransport(engine),
+            seed=3, track_noise=True,
+        )
+        session.connect("demo")
+        image = demo_image(1)
+        result = session.infer(image)
+        direct = GazelleProtocol(
+            demo_network(), demo_weights(), serve_params,
+            schedule=SERVE_SCHEDULE, rescale_bits=DEMO_RESCALE_BITS, seed=9,
+        ).run(image)
+        assert np.array_equal(result.logits, direct.logits)
+        assert np.array_equal(result.logits, plaintext_logits(image))
+        assert result.min_noise_budget > 0
+        assert result.rounds == 3
+
+    def test_traffic_tallied_per_session(self, registry, serve_params):
+        engine = ServingEngine(registry, max_batch=1)
+        session = ClientSession(
+            demo_network(), serve_params, LoopbackTransport(engine), seed=4
+        )
+        session.connect("demo")
+        session.infer(demo_image(0))
+        traffic = engine.session_traffic(session.session_id)
+        assert traffic.rounds == 3
+        assert traffic.client_to_cloud_bytes > 0
+        assert traffic.cloud_to_client_bytes > 0
+        labels = [label for _dir, label, _n in traffic.events]
+        assert "galois_keys" in labels and "conv1" in labels and "fc2+mask" in labels
+
+    def test_concurrent_batched_sessions_bit_identical(
+        self, registry, serve_params, plaintext_logits
+    ):
+        """Cross-client batching preserves every request's own output."""
+        clients = 4
+        engine = ServingEngine(registry, max_batch=clients, batch_window_s=0.05)
+        transport = LoopbackTransport(engine)
+        sessions = []
+        for i in range(clients):
+            session = ClientSession(
+                demo_network(), serve_params, transport, seed=20 + i
+            )
+            session.connect("demo")
+            sessions.append(session)
+        images = [demo_image(100 + i) for i in range(clients)]
+        results = [None] * clients
+        errors = []
+
+        def run(i):
+            try:
+                results[i] = sessions[i].infer(images[i])
+            except BaseException as exc:  # surfaces in the main thread
+                errors.append(exc)
+
+        threads = [
+            threading.Thread(target=run, args=(i,)) for i in range(clients)
+        ]
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join()
+        assert not errors
+        direct = GazelleProtocol(
+            demo_network(), demo_weights(), serve_params,
+            schedule=SERVE_SCHEDULE, rescale_bits=DEMO_RESCALE_BITS, seed=77,
+        )
+        for i in range(clients):
+            assert np.array_equal(results[i].logits, direct.run(images[i]).logits), i
+            assert np.array_equal(results[i].logits, plaintext_logits(images[i])), i
+
+    def test_reregistered_model_not_served_stale_plans(self, serve_params):
+        """New sessions after a re-register must use the new weights, even
+        with batching on (the per-layer batcher is entry-bound)."""
+        from repro.nn.plaintext import PlaintextRunner
+
+        registry = ModelRegistry()
+        registry.register(
+            "m", demo_network(), demo_weights(seed=0), serve_params,
+            schedule=SERVE_SCHEDULE, rescale_bits=DEMO_RESCALE_BITS,
+        )
+        engine = ServingEngine(registry, max_batch=2, batch_window_s=0.01)
+        transport = LoopbackTransport(engine)
+        old = ClientSession(demo_network(), serve_params, transport, seed=1)
+        old.connect("m")
+        image = demo_image(0)
+        old_logits = old.infer(image).logits
+
+        registry.register(
+            "m", demo_network(), demo_weights(seed=5), serve_params,
+            schedule=SERVE_SCHEDULE, rescale_bits=DEMO_RESCALE_BITS,
+        )
+        new = ClientSession(demo_network(), serve_params, transport, seed=2)
+        new.connect("m")
+        expected_new = PlaintextRunner(
+            demo_network(), demo_weights(seed=5), rescale_bits=DEMO_RESCALE_BITS
+        ).run(image)
+        assert np.array_equal(new.infer(image).logits, expected_new)
+        # The pre-existing session keeps the entry it handshook with.
+        assert np.array_equal(old.infer(image).logits, old_logits)
+
+    def test_session_table_is_bounded(self, registry, serve_params):
+        """Clients that vanish without close() must not leak key material."""
+        engine = ServingEngine(registry, max_batch=1, max_sessions=2)
+        transport = LoopbackTransport(engine)
+        sessions = []
+        for i in range(4):
+            session = ClientSession(
+                demo_network(), serve_params, transport, seed=40 + i
+            )
+            session.connect("demo")
+            sessions.append(session)
+        assert len(engine._sessions) == 2
+        with pytest.raises(ServingError, match="unknown session"):
+            sessions[0].infer(demo_image(0))
+
+    def test_close_frees_session(self, registry, serve_params):
+        engine = ServingEngine(registry, max_batch=1)
+        session = ClientSession(
+            demo_network(), serve_params, LoopbackTransport(engine)
+        )
+        session.connect("demo")
+        sid = session.session_id
+        session.close()
+        with pytest.raises(KeyError):
+            engine.session_traffic(sid)
+
+
+class TestSocketTransport:
+    def test_end_to_end_over_tcp(self, registry, serve_params, plaintext_logits):
+        engine = ServingEngine(registry, max_batch=1)
+        with SocketServer(engine, workers=2) as server:
+            with SocketTransport(server.host, server.port) as transport:
+                session = ClientSession(
+                    demo_network(), serve_params, transport, seed=6
+                )
+                session.connect("demo")
+                image = demo_image(7)
+                result = session.infer(image)
+                assert np.array_equal(result.logits, plaintext_logits(image))
+
+    def test_stop_unblocks_idle_connections(self, registry):
+        """stop() must not hang while a client sits connected and silent."""
+        import socket
+        import time
+
+        engine = ServingEngine(registry, max_batch=1)
+        server = SocketServer(engine, workers=2).start()
+        idle = socket.create_connection((server.host, server.port))
+        time.sleep(0.1)
+        start = time.monotonic()
+        server.stop()
+        assert time.monotonic() - start < 5
+        idle.close()
+
+    def test_bad_frame_gets_error_reply(self, registry):
+        from repro.serving.wire import recv_frame, send_frame
+        import socket
+
+        engine = ServingEngine(registry, max_batch=1)
+        with SocketServer(engine, workers=1) as server:
+            with socket.create_connection((server.host, server.port)) as sock:
+                send_frame(sock, b"not a message frame")
+                reply = decode_message(recv_frame(sock))
+                assert reply.kind == "error"
+
+
+class TestBatchedPrimitives:
+    """Bit-exactness of the stacked (k, B, n) execution paths."""
+
+    @pytest.fixture(scope="class")
+    def small(self):
+        params = BfvParameters.create(
+            n=256, plain_bits=18, coeff_bits=90, a_dcmp_bits=16,
+            require_security=False,
+        )
+        return params, BfvScheme(params, seed=42)
+
+    def _clients(self, params, server, steps, count=3):
+        clients = []
+        for i in range(count):
+            scheme = BfvScheme(params, seed=i)
+            secret, public = scheme.keygen()
+            keys = scheme.generate_galois_keys(secret, steps)
+            clients.append((secret, public, keys))
+        return clients
+
+    def test_rotate_rows_batch_matches_serial(self, small):
+        params, server = small
+        clients = self._clients(params, server, [1, 5])
+        values = np.arange(params.row_size)
+        for step in [1, 5]:
+            cts = [
+                server.encrypt(server.encoder.encode_row(values * (i + 1)), pub)
+                for i, (_s, pub, _k) in enumerate(clients)
+            ]
+            batch = server.rotate_rows_batch(
+                cts, step, [keys for _s, _p, keys in clients]
+            )
+            for i, (secret, _pub, keys) in enumerate(clients):
+                serial = server.rotate_rows(cts[i], step, keys)
+                assert np.array_equal(
+                    server.decrypt_values(batch[i], secret, signed=False),
+                    server.decrypt_values(serial, secret, signed=False),
+                )
+
+    def test_hoist_batch_matches_hoist(self, small):
+        params, server = small
+        clients = self._clients(params, server, [2])
+        cts = [
+            server.encrypt_values(np.arange(16) + i, pub)
+            for i, (_s, pub, _k) in enumerate(clients)
+        ]
+        batch = server.hoist_batch(cts)
+        for i, ct in enumerate(cts):
+            single = server.hoist(ct)
+            assert np.array_equal(batch[i].digit_stack(), single.digit_stack())
+
+    @pytest.mark.parametrize("schedule", list(Schedule))
+    def test_conv_plan_execute_batch(self, small, schedule):
+        params, server = small
+        rng = np.random.default_rng(0)
+        weights = rng.integers(-4, 5, (3, 2, 3, 3))
+        plan = ConvPlan.compile(server, weights, schedule)
+        clients = self._clients(params, server, plan.rotation_steps)
+        grid_w = _infer_width(params.row_size)
+        inputs = []
+        for _secret, public, _keys in clients:
+            grids = np.zeros((2, grid_w, grid_w), dtype=np.int64)
+            grids[:, :6, :6] = rng.integers(0, 8, (2, 6, 6))
+            inputs.append(encrypt_channels(server, grids, public))
+        batch = plan.execute_batch(
+            inputs, [keys for _s, _p, keys in clients]
+        )
+        for i, (secret, _public, keys) in enumerate(clients):
+            serial = plan.execute(inputs[i], keys)
+            for got, want in zip(batch[i], serial):
+                assert np.array_equal(
+                    server.decrypt_values(got, secret, signed=False),
+                    server.decrypt_values(want, secret, signed=False),
+                )
+
+    @pytest.mark.parametrize("schedule", list(Schedule))
+    def test_fc_plan_execute_batch(self, small, schedule):
+        params, server = small
+        rng = np.random.default_rng(1)
+        weights = rng.integers(-4, 5, (8, 32))
+        plan = FcPlan.compile(server, weights, schedule)
+        clients = self._clients(params, server, plan.rotation_steps)
+        cts, xs = [], []
+        for _secret, public, _keys in clients:
+            x = rng.integers(0, 8, 32)
+            xs.append(x)
+            packed = pack_fc_input(x, params.row_size)
+            cts.append(server.encrypt(server.encoder.encode_row(packed), public))
+        batch = plan.execute_batch(cts, [keys for _s, _p, keys in clients])
+        for i, (secret, _public, keys) in enumerate(clients):
+            decoded = server.decrypt_values(batch[i], secret, signed=False)
+            serial = server.decrypt_values(plan.execute(cts[i], keys), secret, signed=False)
+            assert np.array_equal(decoded, serial)
+            assert np.array_equal(
+                decoded[: len(weights)],
+                (weights @ xs[i]) % params.plain_modulus,
+            )

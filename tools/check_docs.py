@@ -1,0 +1,158 @@
+#!/usr/bin/env python3
+"""Link and heading checker for README.md and docs/.
+
+Validates, for every markdown file given (default: README.md and
+docs/**/*.md relative to the repository root):
+
+* relative link targets exist on disk (files or directories);
+* ``#fragment`` links — both in-page and cross-file — resolve to a
+  heading whose GitHub-style anchor slug matches;
+* no duplicate heading slugs inside one file (duplicate anchors silently
+  shadow each other);
+* every file has exactly one H1.
+
+External (``http://``/``https://``/``mailto:``) links are not fetched;
+CI must not flake on other people's servers.
+
+Exit status is non-zero when any check fails, so CI can gate on it:
+
+    python tools/check_docs.py
+"""
+
+from __future__ import annotations
+
+import re
+import sys
+from pathlib import Path
+
+REPO_ROOT = Path(__file__).resolve().parents[1]
+
+_LINK = re.compile(r"(?<!\!)\[[^\]]*\]\(([^)\s]+)(?:\s+\"[^\"]*\")?\)")
+_IMAGE = re.compile(r"\!\[[^\]]*\]\(([^)\s]+)\)")
+_HEADING = re.compile(r"^(#{1,6})\s+(.*?)\s*#*\s*$")
+_CODE_FENCE = re.compile(r"^\s*(```|~~~)")
+
+
+def heading_slug(text: str) -> str:
+    """GitHub's anchor slug: lowercase, strip punctuation, spaces to dashes."""
+    text = re.sub(r"`([^`]*)`", r"\1", text)  # inline code keeps its text
+    text = re.sub(r"\[([^\]]*)\]\([^)]*\)", r"\1", text)  # links keep label
+    text = text.strip().lower()
+    text = re.sub(r"[^\w\- ]", "", text)
+    return text.replace(" ", "-")
+
+
+def collect(path: Path) -> tuple[list[tuple[int, int, str]], list[tuple[int, str]]]:
+    """Return (headings, links): (line, level, text) / (line, target), skipping code."""
+    headings: list[tuple[int, int, str]] = []
+    links: list[tuple[int, str]] = []
+    in_fence = False
+    for number, line in enumerate(path.read_text().splitlines(), start=1):
+        if _CODE_FENCE.match(line):
+            in_fence = not in_fence
+            continue
+        if in_fence:
+            continue
+        match = _HEADING.match(line)
+        if match:
+            headings.append((number, len(match.group(1)), match.group(2)))
+        for pattern in (_LINK, _IMAGE):
+            for link in pattern.finditer(line):
+                links.append((number, link.group(1)))
+    return headings, links
+
+
+def _rel(path: Path) -> str:
+    try:
+        return str(path.relative_to(REPO_ROOT))
+    except ValueError:
+        return str(path)
+
+
+def check_file(path: Path, slug_index: dict[Path, set[str]]) -> list[str]:
+    errors: list[str] = []
+    headings, links = collect(path)
+    rel = _rel(path)
+
+    h1_count = sum(1 for _line, level, _text in headings if level == 1)
+    if h1_count != 1:
+        errors.append(f"{rel}: expected exactly one H1, found {h1_count}")
+
+    seen: set[str] = set()
+    for line, _level, text in headings:
+        slug = heading_slug(text)
+        if slug in seen:
+            errors.append(f"{rel}:{line}: duplicate heading anchor #{slug}")
+        seen.add(slug)
+
+    for line, target in links:
+        if re.match(r"^[a-z][a-z0-9+.-]*:", target):  # http:, https:, mailto:
+            continue
+        file_part, _, fragment = target.partition("#")
+        if file_part:
+            resolved = (path.parent / file_part).resolve()
+            if not resolved.exists():
+                errors.append(f"{rel}:{line}: broken link target {target!r}")
+                continue
+        else:
+            resolved = path.resolve()
+        if fragment:
+            if resolved.suffix != ".md":
+                continue
+            if fragment not in slug_index[resolved]:
+                errors.append(
+                    f"{rel}:{line}: anchor #{fragment} not found in "
+                    f"{_rel(resolved)}"
+                )
+    return errors
+
+
+def main(argv: list[str]) -> int:
+    if len(argv) > 1:
+        files = [Path(arg).resolve() for arg in argv[1:]]
+    else:
+        files = [REPO_ROOT / "README.md"] + sorted(
+            (REPO_ROOT / "docs").glob("**/*.md")
+        )
+    files = [path for path in files if path.exists()]
+    if not files:
+        print("check_docs: no markdown files found", file=sys.stderr)
+        return 1
+    # Pre-index anchors of every markdown file links might point at.
+    slug_index: dict[Path, set[str]] = {}
+
+    def index(path: Path) -> None:
+        headings, links = collect(path)
+        slug_index[path.resolve()] = {heading_slug(t) for _l, _lvl, t in headings}
+        for _line, target in links:
+            if re.match(r"^[a-z][a-z0-9+.-]*:", target):
+                continue
+            file_part = target.partition("#")[0]
+            if file_part:
+                candidate = (path.parent / file_part).resolve()
+                if (
+                    candidate.suffix == ".md"
+                    and candidate.exists()
+                    and candidate not in slug_index
+                ):
+                    index(candidate)
+
+    for path in files:
+        if path.resolve() not in slug_index:
+            index(path)
+
+    errors: list[str] = []
+    for path in files:
+        errors.extend(check_file(path, slug_index))
+    for error in errors:
+        print(error, file=sys.stderr)
+    checked = ", ".join(_rel(p) for p in files)
+    if errors:
+        print(f"check_docs: {len(errors)} problem(s) in {checked}", file=sys.stderr)
+        return 1
+    print(f"check_docs: OK ({checked})")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main(sys.argv))
