@@ -1,0 +1,224 @@
+"""Artifact warm-start: compile once ahead of time, memmap forever after.
+
+Measures the ahead-of-time artifact subsystem (:mod:`repro.artifacts`)
+on the demo CNN deployment at n=2048:
+
+``compile``
+    A fresh :meth:`ModelRegistry.register` -- offline weight encoding
+    through the NTT engine for every linear layer (what every process
+    start used to pay).
+``warm_start``
+    :meth:`ModelRegistry.register_artifact` from a ``.rpa`` file --
+    header parse + CRC-32 section verification + plan reconstruction
+    from metadata, with the weight stacks memmapped read-only (asserted:
+    **zero NTT transforms**).  Also measured with audit-grade SHA-256
+    verification (``verify="full"``) and with verification skipped.
+``shared_residency``
+    N concurrent processes each load the same artifact and touch every
+    weight page, then report RSS and PSS (proportional set size) from
+    ``/proc``.  Because the mapping is shared and read-only, each
+    process's *proportional* share of the weight pages is ~1/N of the
+    artifact -- the page-cache sharing a per-process recompile can never
+    have.
+
+The acceptance gate is warm start >= 5x faster than a fresh compile;
+results land in ``BENCH_artifacts.json``.
+
+Run with::
+
+    PYTHONPATH=src python -m pytest benchmarks/bench_artifacts.py -s
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import platform
+import subprocess
+import sys
+import tempfile
+import time
+from pathlib import Path
+
+from repro.artifacts import save_artifact
+from repro.bfv import BfvParameters
+from repro.bfv.counters import counting
+from repro.bfv.ntt_batch import get_engine
+from repro.core.noise_model import Schedule
+from repro.serving import (
+    DEMO_RESCALE_BITS,
+    ModelRegistry,
+    demo_network,
+    demo_weights,
+)
+
+REPO_ROOT = Path(__file__).resolve().parents[1]
+RECORD_PATH = REPO_ROOT / "BENCH_artifacts.json"
+
+#: Acceptance gate: warm start vs fresh compile.
+GATE_SPEEDUP = 5.0
+
+SCHEDULE = Schedule.INPUT_ALIGNED
+REPS = 5
+#: Processes concurrently mapping one artifact for the residency probe.
+PROCESSES = 4
+
+_CHILD_SCRIPT = r"""
+import json, sys
+from repro.serving import ModelRegistry
+
+registry = ModelRegistry()
+entry = registry.register_artifact(sys.argv[1])
+touched = 0
+for plan in entry.plans.values():
+    touched += int(plan.weight_stacks.sum())  # fault every weight page in
+
+def probe(path, fields):
+    values = {}
+    try:
+        for line in open(path):
+            key = line.split(":")[0]
+            if key in fields:
+                values[key] = int(line.split()[1])  # kB
+    except OSError:
+        pass
+    return values
+
+status = probe("/proc/self/status", {"VmRSS"})
+rollup = probe("/proc/self/smaps_rollup", {"Rss", "Pss"})
+print(json.dumps({"rss_kb": status.get("VmRSS"), "pss_kb": rollup.get("Pss")}),
+      flush=True)
+sys.stdin.read()  # hold the mapping until the parent releases us
+"""
+
+
+def _params() -> BfvParameters:
+    return BfvParameters.create(
+        n=2048, plain_bits=20, coeff_bits=100, a_dcmp_bits=16,
+        require_security=False,
+    )
+
+
+def _compile(params):
+    registry = ModelRegistry()
+    entry = registry.register(
+        "demo", demo_network(), demo_weights(), params,
+        schedule=SCHEDULE, rescale_bits=DEMO_RESCALE_BITS,
+    )
+    return entry
+
+
+def _time_best(fn, reps=REPS):
+    best = float("inf")
+    result = None
+    for _ in range(reps):
+        start = time.perf_counter()
+        result = fn()
+        best = min(best, time.perf_counter() - start)
+    return best, result
+
+
+def _shared_residency(artifact_path, count):
+    """Launch ``count`` processes mapping one artifact; gather RSS/PSS."""
+    env = dict(os.environ)
+    env["PYTHONPATH"] = str(REPO_ROOT / "src") + (
+        os.pathsep + env["PYTHONPATH"] if env.get("PYTHONPATH") else ""
+    )
+    children = [
+        subprocess.Popen(
+            [sys.executable, "-c", _CHILD_SCRIPT, str(artifact_path)],
+            stdin=subprocess.PIPE,
+            stdout=subprocess.PIPE,
+            env=env,
+            text=True,
+        )
+        for _ in range(count)
+    ]
+    stats = []
+    try:
+        for child in children:
+            line = child.stdout.readline()
+            stats.append(json.loads(line))
+    finally:
+        for child in children:
+            child.stdin.close()
+            child.wait(timeout=30)
+    return stats
+
+
+def test_artifact_warm_start():
+    params = _params()
+
+    # Warm the engine/twiddle caches so neither mode pays first-touch costs.
+    _compile(params)
+
+    compile_s, entry = _time_best(lambda: _compile(params))
+
+    workdir = Path(tempfile.mkdtemp(prefix="repro-artifacts-"))
+    artifact_path = workdir / "demo.rpa"
+    save_start = time.perf_counter()
+    save_artifact(entry, artifact_path)
+    save_s = time.perf_counter() - save_start
+    artifact_bytes = artifact_path.stat().st_size
+
+    with counting() as delta:
+        warm_s, warm_entry = _time_best(
+            lambda: ModelRegistry().register_artifact(artifact_path)
+        )
+    assert delta().ntt == 0, "warm start must run zero NTT transforms"
+    assert warm_entry.rotation_steps == entry.rotation_steps
+
+    warm_full_s, _ = _time_best(
+        lambda: ModelRegistry().register_artifact(artifact_path, verify="full")
+    )
+    warm_noverify_s, _ = _time_best(
+        lambda: ModelRegistry().register_artifact(artifact_path, verify=False)
+    )
+    speedup = compile_s / warm_s
+
+    residency = _shared_residency(artifact_path, PROCESSES)
+    pss_known = all(s.get("pss_kb") for s in residency)
+
+    print(f"\nArtifact warm start, n={params.n}, demo deployment")
+    print(f"fresh compile:        {compile_s * 1e3:8.1f} ms")
+    print(f"artifact save:        {save_s * 1e3:8.1f} ms "
+          f"({artifact_bytes / 1e6:.2f} MB)")
+    print(f"warm start (crc32):   {warm_s * 1e3:8.1f} ms  -> {speedup:.1f}x")
+    print(f"warm start (sha256):  {warm_full_s * 1e3:8.1f} ms")
+    print(f"warm start (trusted): {warm_noverify_s * 1e3:8.1f} ms")
+    print(f"\n{PROCESSES} processes mapping one artifact:")
+    for index, stat in enumerate(residency):
+        pss = f"{stat['pss_kb']} kB" if stat.get("pss_kb") else "n/a"
+        print(f"  process {index}: RSS {stat['rss_kb']} kB, PSS {pss}")
+    if pss_known:
+        saved = sum(s["rss_kb"] - s["pss_kb"] for s in residency)
+        print(f"  pages shared instead of duplicated: ~{saved} kB total")
+
+    payload = {
+        "benchmark": "artifacts",
+        "unit": "seconds",
+        "n": params.n,
+        "schedule": SCHEDULE.value,
+        "ntt_path": "native" if get_engine(
+            params.n, params.coeff_basis.primes
+        ).uses_native_kernel else "numpy",
+        "platform": platform.platform(),
+        "gate_speedup": GATE_SPEEDUP,
+        "artifact_bytes": artifact_bytes,
+        "compile_seconds": compile_s,
+        "save_seconds": save_s,
+        "warm_start_seconds": warm_s,
+        "warm_start_full_verify_seconds": warm_full_s,
+        "warm_start_noverify_seconds": warm_noverify_s,
+        "warm_start_speedup": speedup,
+        "load_ntt_transforms": 0,
+        "shared_residency_processes": PROCESSES,
+        "shared_residency": residency,
+    }
+    RECORD_PATH.write_text(json.dumps(payload, indent=2) + "\n")
+    print(f"wrote {RECORD_PATH}")
+
+    assert speedup >= GATE_SPEEDUP, (
+        f"warm start {speedup:.2f}x below the {GATE_SPEEDUP}x gate over a "
+        f"fresh compile"
+    )

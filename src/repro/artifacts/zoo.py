@@ -1,0 +1,148 @@
+"""The artifact model zoo: a directory of ``.rpa`` files + one manifest.
+
+A deployment is a directory of compiled model artifacts.  The optional
+``manifest.json`` is the deployment record: one entry per model naming
+the artifact file, its parameter fingerprint, schedule, and (when the
+deployment was tuned with :mod:`repro.core.ptune`) the tuned-parameter
+stamp, so operations can answer "exactly what was this fleet compiled
+for?" without opening the binaries.
+
+:func:`load_zoo` turns such a directory into a populated
+:class:`~repro.serving.registry.ModelRegistry` -- one multi-model server
+warm-started from disk with zero plan recompilation.
+"""
+
+from __future__ import annotations
+
+import json
+import warnings
+from pathlib import Path
+
+from ..bfv.serialize import params_to_dict
+from .format import ArtifactError
+from .store import ARTIFACT_SUFFIX, load_artifact
+
+MANIFEST_NAME = "manifest.json"
+
+_MANIFEST_KIND = "repro-artifact-zoo"
+
+
+def manifest_entry(model, file_name: str, tuned: dict | None = None) -> dict:
+    """The deployment-record line for one artifact.
+
+    ``model`` is anything carrying ``name/params/schedule/rescale_bits/
+    rotation_steps`` -- a loaded :class:`ModelArtifact` or the
+    :class:`~repro.serving.registry.ModelEntry` that was just compiled
+    (so ``repro compile`` never re-reads the file it wrote).  ``tuned``
+    defaults to the model's own stamp when it has one.
+    """
+    entry = {
+        "name": model.name,
+        "file": str(file_name),
+        "params": params_to_dict(model.params),
+        "schedule": model.schedule.value,
+        "rescale_bits": int(model.rescale_bits),
+        "rotation_steps": len(model.rotation_steps),
+    }
+    if tuned is None:
+        tuned = getattr(model, "tuned", None)
+    if tuned is not None:
+        entry["tuned"] = tuned
+    return entry
+
+
+def read_manifest(directory) -> dict | None:
+    """Parse ``manifest.json`` in ``directory``; ``None`` when absent."""
+    path = Path(directory) / MANIFEST_NAME
+    if not path.exists():
+        return None
+    try:
+        manifest = json.loads(path.read_text())
+    except json.JSONDecodeError as exc:
+        raise ArtifactError(f"{path}: malformed zoo manifest: {exc}") from exc
+    if not isinstance(manifest, dict) or manifest.get("kind") != _MANIFEST_KIND:
+        raise ArtifactError(f"{path}: not a {_MANIFEST_KIND} manifest")
+    return manifest
+
+
+def update_manifest(
+    directory, model, file_name: str, tuned: dict | None = None
+) -> Path:
+    """Add or replace ``model``'s entry in the directory manifest."""
+    directory = Path(directory)
+    manifest = read_manifest(directory) or {"kind": _MANIFEST_KIND, "models": []}
+    models = [
+        entry for entry in manifest.get("models", [])
+        if entry.get("name") != model.name
+    ]
+    models.append(manifest_entry(model, file_name, tuned=tuned))
+    manifest["models"] = sorted(models, key=lambda entry: entry["name"])
+    path = directory / MANIFEST_NAME
+    directory.mkdir(parents=True, exist_ok=True)
+    path.write_text(json.dumps(manifest, indent=2, sort_keys=True) + "\n")
+    return path
+
+
+def zoo_files(directory) -> list[Path]:
+    """The artifact files of a zoo directory, manifest order when present.
+
+    When a manifest exists it is authoritative, but an ``.rpa`` file
+    sitting in the directory *unlisted* is almost always an operator
+    mistake (``repro compile`` without ``--manifest``), so it is warned
+    about rather than silently skipped -- the inverse case (listed but
+    missing) is an error, matching.
+    """
+    directory = Path(directory)
+    manifest = read_manifest(directory)
+    on_disk = sorted(directory.glob(f"*{ARTIFACT_SUFFIX}"))
+    if manifest is None:
+        return on_disk
+    files = []
+    for entry in manifest.get("models", []):
+        path = directory / str(entry.get("file", ""))
+        if not path.exists():
+            raise ArtifactError(
+                f"manifest lists {entry.get('file')!r} for model "
+                f"{entry.get('name')!r}, but the file is missing from {directory}"
+            )
+        files.append(path)
+    unlisted = [path.name for path in on_disk if path not in files]
+    if unlisted:
+        warnings.warn(
+            f"{directory}: artifact(s) {unlisted} are not listed in "
+            f"{MANIFEST_NAME} and will not be served (compile with "
+            f"--manifest, or delete them)",
+            stacklevel=2,
+        )
+    return files
+
+
+def load_zoo(directory, registry=None, verify: bool | str = True):
+    """Load every artifact of a zoo directory into one registry.
+
+    Returns the populated :class:`~repro.serving.registry.ModelRegistry`
+    (a fresh one unless ``registry`` is passed).  Every model warm-starts
+    through :meth:`~repro.serving.registry.ModelRegistry.register_artifact`
+    -- memmapped stacks, zero plan recompilation.  Two artifacts
+    declaring the same model name are an error (a zoo is a deployment
+    record, not a precedence puzzle).
+    """
+    from ..serving.registry import ModelRegistry
+
+    directory = Path(directory)
+    files = zoo_files(directory)
+    if not files:
+        raise ArtifactError(f"no {ARTIFACT_SUFFIX} artifacts found in {directory}")
+    if registry is None:
+        registry = ModelRegistry()
+    seen: dict[str, Path] = {}
+    for path in files:
+        artifact = load_artifact(path, verify=verify)
+        if artifact.name in seen:
+            raise ArtifactError(
+                f"{path.name} redeclares model {artifact.name!r} "
+                f"already provided by {seen[artifact.name].name}"
+            )
+        seen[artifact.name] = path
+        registry.register_artifact(artifact)
+    return registry

@@ -12,9 +12,14 @@ Commands
     Full flow: tuning, profiling, limit study, accelerator DSE.
 ``params N PLAIN_BITS COEFF_BITS``
     Inspect a BFV parameter set (security, digits, noise capacity).
-``serve [--host H] [--port P]``
-    Run the multi-client private-inference server (demo deployment).
-``infer [--host H] [--port P] [--count K]``
+``compile MODEL -o model.rpa``
+    Compile a model ahead of time into a ``.rpa`` artifact (offline
+    weight encoding paid once; see :mod:`repro.artifacts`).
+``serve [--host H] [--port P] [--artifacts DIR]``
+    Run the multi-client private-inference server -- compiling the demo
+    deployment at startup, or warm-starting a whole artifact directory
+    with zero recompute.
+``infer [--host H] [--port P] [--count K] [--model NAME]``
     Connect to a running server, run private inferences, verify logits.
 """
 
@@ -104,8 +109,69 @@ def _cmd_params(args) -> int:
     return 0
 
 
-def _cmd_serve(args) -> int:
+def _demo_schedule(name: str):
     from .core.noise_model import Schedule
+
+    return Schedule.INPUT_ALIGNED if name == "ia" else Schedule.PARTIAL_ALIGNED
+
+
+def _cmd_compile(args) -> int:
+    import time
+
+    from .artifacts import save_artifact, update_manifest
+    from .serving import (
+        DEMO_RESCALE_BITS,
+        ModelRegistry,
+        demo_network,
+        demo_params,
+        demo_weights,
+    )
+
+    params = demo_params(n=args.n)
+    network = demo_network()
+    print(f"compiling model {args.name!r} over {params.describe()} ...")
+    start = time.perf_counter()
+    entry = ModelRegistry().register(
+        args.name,
+        network,
+        demo_weights(seed=args.seed),
+        params,
+        schedule=_demo_schedule(args.schedule),
+        rescale_bits=DEMO_RESCALE_BITS,
+    )
+    compile_s = time.perf_counter() - start
+    tuned = None
+    if args.tune:
+        from .core.ptune import HePTune
+
+        tuned = {
+            t.layer.name: {
+                "n": t.params.n,
+                "plain_bits": t.params.plain_bits,
+                "coeff_bits": t.params.coeff_bits,
+                "w_dcmp_bits": t.params.w_dcmp_bits,
+                "a_dcmp_bits": t.params.a_dcmp_bits,
+            }
+            for t in HePTune().tune_network(network)
+        }
+    path = save_artifact(entry, args.out, tuned=tuned)
+    size = path.stat().st_size
+    print(
+        f"wrote {path} ({size / 1e6:.2f} MB, "
+        f"{len(entry.plans)} compiled plans, "
+        f"{len(entry.rotation_steps)} rotation steps) "
+        f"in {compile_s:.2f}s"
+    )
+    if args.manifest:
+        manifest = update_manifest(path.parent, entry, path.name, tuned=tuned)
+        print(f"updated {manifest}")
+    return 0
+
+
+def _cmd_serve(args) -> int:
+    import signal
+    import threading
+
     from .serving import (
         DEMO_RESCALE_BITS,
         ModelRegistry,
@@ -116,40 +182,53 @@ def _cmd_serve(args) -> int:
         demo_weights,
     )
 
-    params = demo_params(n=args.n)
-    registry = ModelRegistry()
-    schedule = (
-        Schedule.INPUT_ALIGNED if args.schedule == "ia" else Schedule.PARTIAL_ALIGNED
-    )
-    print(f"compiling plans for model 'demo' over {params.describe()} ...")
-    entry = registry.register(
-        "demo",
-        demo_network(),
-        demo_weights(),
-        params,
-        schedule=schedule,
-        rescale_bits=DEMO_RESCALE_BITS,
-    )
+    if args.artifacts:
+        from .artifacts import load_zoo
+
+        registry = load_zoo(args.artifacts)
+        for name in registry.names():
+            entry = registry.get(name)
+            print(
+                f"warm-started model {name!r} from artifacts "
+                f"({len(entry.plans)} plans, {entry.params.describe()})"
+            )
+    else:
+        params = demo_params(n=args.n)
+        registry = ModelRegistry()
+        print(f"compiling plans for model 'demo' over {params.describe()} ...")
+        registry.register(
+            "demo",
+            demo_network(),
+            demo_weights(),
+            params,
+            schedule=_demo_schedule(args.schedule),
+            rescale_bits=DEMO_RESCALE_BITS,
+        )
     engine = ServingEngine(
         registry, max_batch=args.max_batch, batch_window_s=args.batch_window_ms / 1000
     )
     server = SocketServer(engine, host=args.host, port=args.port, workers=args.workers)
     server.start()
     print(
-        f"serving model 'demo' ({len(entry.network.linear_layers)} linear layers, "
-        f"{len(entry.rotation_steps)} rotation steps) on "
+        f"serving {len(registry.names())} model(s) {registry.names()} on "
         f"{server.host}:{server.port} "
         f"(max_batch={engine.max_batch}, workers={args.workers})"
     )
-    print("press Ctrl-C to stop")
-    try:
-        import time
 
-        while True:
-            time.sleep(3600)
-    except KeyboardInterrupt:
-        print("\nshutting down")
-        server.stop()
+    # Graceful shutdown: SIGTERM (fleet orchestrators) and SIGINT both
+    # drain in-flight requests through SocketServer.stop() instead of
+    # killing the accept loop mid-reply.
+    stop_requested = threading.Event()
+
+    def _request_stop(_signum, _frame):
+        stop_requested.set()
+
+    signal.signal(signal.SIGINT, _request_stop)
+    signal.signal(signal.SIGTERM, _request_stop)
+    print("press Ctrl-C (or send SIGTERM) to stop")
+    stop_requested.wait()
+    print("\nshutting down (draining in-flight requests)")
+    server.stop()
     return 0
 
 
@@ -169,12 +248,14 @@ def _cmd_infer(args) -> int:
 
     params = demo_params(n=args.n)
     network = demo_network()
-    runner = PlaintextRunner(network, demo_weights(), rescale_bits=DEMO_RESCALE_BITS)
+    runner = PlaintextRunner(
+        network, demo_weights(seed=args.weights_seed), rescale_bits=DEMO_RESCALE_BITS
+    )
     with SocketTransport(args.host, args.port) as transport:
         session = ClientSession(
             network, params, transport, seed=args.seed, track_noise=args.noise
         )
-        session.connect("demo")
+        session.connect(args.model)
         print(f"session {session.session_id} connected to {args.host}:{args.port}")
         failures = 0
         for index in range(args.count):
@@ -221,6 +302,38 @@ def build_parser() -> argparse.ArgumentParser:
     params.add_argument("plain_bits", type=int)
     params.add_argument("coeff_bits", type=int)
 
+    compile_ = sub.add_parser(
+        "compile",
+        help="compile a model ahead of time into a .rpa artifact",
+    )
+    compile_.add_argument(
+        "model", choices=["demo"],
+        help="deployment to compile (the live-HE demo CNN)",
+    )
+    compile_.add_argument(
+        "-o", "--out", default="demo.rpa", help="artifact output path"
+    )
+    compile_.add_argument(
+        "--name", default="demo", help="model name to register the artifact under"
+    )
+    compile_.add_argument("--n", type=int, default=4096, help="ring dimension")
+    compile_.add_argument(
+        "--schedule", choices=["ia", "pa"], default="ia",
+        help="dot-product schedule to compile the plans with",
+    )
+    compile_.add_argument(
+        "--seed", type=int, default=0, help="synthetic-weight seed"
+    )
+    compile_.add_argument(
+        "--manifest", action="store_true",
+        help="also add/refresh the artifact's entry in the directory's "
+             "manifest.json (the zoo deployment record)",
+    )
+    compile_.add_argument(
+        "--tune", action="store_true",
+        help="stamp HE-PTune per-layer tuned parameters into the artifact",
+    )
+
     serve = sub.add_parser("serve", help="run the private-inference server")
     serve.add_argument("--host", default="127.0.0.1")
     serve.add_argument("--port", type=int, default=7707)
@@ -228,6 +341,11 @@ def build_parser() -> argparse.ArgumentParser:
     serve.add_argument(
         "--schedule", choices=["ia", "pa"], default="ia",
         help="dot-product schedule for the compiled plans",
+    )
+    serve.add_argument(
+        "--artifacts", default=None, metavar="DIR",
+        help="warm-start from a directory of compiled .rpa artifacts "
+             "instead of compiling at startup",
     )
     serve.add_argument("--max-batch", type=int, default=8, dest="max_batch")
     serve.add_argument(
@@ -245,6 +363,14 @@ def build_parser() -> argparse.ArgumentParser:
     infer.add_argument("--count", type=int, default=1)
     infer.add_argument("--seed", type=int, default=0)
     infer.add_argument(
+        "--model", default="demo", help="served model name to connect to"
+    )
+    infer.add_argument(
+        "--weights-seed", type=int, default=0, dest="weights_seed",
+        help="synthetic-weight seed of the served model (for the local "
+             "plaintext check)",
+    )
+    infer.add_argument(
         "--noise", action="store_true", help="report the received noise budget"
     )
 
@@ -258,6 +384,7 @@ _COMMANDS = {
     "speedups": _cmd_speedups,
     "accelerate": _cmd_accelerate,
     "params": _cmd_params,
+    "compile": _cmd_compile,
     "serve": _cmd_serve,
     "infer": _cmd_infer,
 }

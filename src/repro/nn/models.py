@@ -143,6 +143,83 @@ def resnet50() -> Network:
     return Network("ResNet50", layers)
 
 
+def network_to_dict(network: Network) -> dict:
+    """JSON-safe description of a network's architecture.
+
+    Model artifacts (:mod:`repro.artifacts`) persist this alongside the
+    compiled weight stacks so a server can reconstruct the exact layer
+    stack without shipping Python objects; :func:`network_from_dict` is
+    the inverse.
+    """
+    layers = []
+    for layer in network.layers:
+        if isinstance(layer, ConvLayer):
+            layers.append(
+                {
+                    "type": "conv",
+                    "name": layer.name,
+                    "w": layer.w,
+                    "fw": layer.fw,
+                    "ci": layer.ci,
+                    "co": layer.co,
+                    "stride": layer.stride,
+                    "padding": layer.padding,
+                }
+            )
+        elif isinstance(layer, FCLayer):
+            layers.append(
+                {"type": "fc", "name": layer.name, "ni": layer.ni, "no": layer.no}
+            )
+        elif isinstance(layer, ActivationLayer):
+            layers.append(
+                {
+                    "type": "activation",
+                    "name": layer.name,
+                    "kind": layer.kind,
+                    "elements": layer.elements,
+                    "pool_size": layer.pool_size,
+                }
+            )
+        else:
+            raise TypeError(f"cannot serialize layer {layer!r}")
+    return {"name": network.name, "layers": layers}
+
+
+def network_from_dict(data: dict) -> Network:
+    """Inverse of :func:`network_to_dict`."""
+    layers: list = []
+    for spec in data["layers"]:
+        kind = spec.get("type")
+        if kind == "conv":
+            layers.append(
+                ConvLayer(
+                    name=str(spec["name"]),
+                    w=int(spec["w"]),
+                    fw=int(spec["fw"]),
+                    ci=int(spec["ci"]),
+                    co=int(spec["co"]),
+                    stride=int(spec.get("stride", 1)),
+                    padding=int(spec.get("padding", 0)),
+                )
+            )
+        elif kind == "fc":
+            layers.append(
+                FCLayer(name=str(spec["name"]), ni=int(spec["ni"]), no=int(spec["no"]))
+            )
+        elif kind == "activation":
+            layers.append(
+                ActivationLayer(
+                    name=str(spec["name"]),
+                    kind=str(spec["kind"]),
+                    elements=int(spec["elements"]),
+                    pool_size=int(spec.get("pool_size", 1)),
+                )
+            )
+        else:
+            raise ValueError(f"unknown layer type {kind!r} in network description")
+    return Network(str(data["name"]), layers)
+
+
 MODEL_BUILDERS = {
     "LeNet300100": lenet_300_100,
     "LeNet5": lenet5,

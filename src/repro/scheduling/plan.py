@@ -125,8 +125,8 @@ class ConvPlan:
         stacks = encode_weight_rows(scheme, rows)
         k, _, n = stacks.shape
         weight_stacks = stacks.reshape(k, co, fw * fw * ci, n)
-        return cls(
-            scheme=scheme,
+        return cls.from_stacks(
+            scheme,
             schedule=schedule,
             grid_w=grid_w,
             co=co,
@@ -135,6 +135,71 @@ class ConvPlan:
             offsets=offsets,
             weight_stacks=weight_stacks,
         )
+
+    @classmethod
+    def from_stacks(
+        cls,
+        scheme: BfvScheme,
+        *,
+        schedule: Schedule,
+        grid_w: int,
+        co: int,
+        ci: int,
+        fw: int,
+        offsets: list[int],
+        weight_stacks: np.ndarray,
+    ) -> "ConvPlan":
+        """Rebuild a plan from already-encoded eval-domain weight stacks.
+
+        The warm-start constructor: :meth:`compile` pays the offline NTT
+        encoding exactly once and an artifact (:mod:`repro.artifacts`)
+        persists the result; this path performs **zero recompute** -- no
+        NTT calls, no copies (``weight_stacks`` may be a read-only
+        ``np.memmap`` straight off an artifact file).  Shapes are
+        validated against the scheme's parameters so a stack compiled
+        under different ``(n, q)`` is rejected instead of corrupting
+        outputs.
+        """
+        if min(co, ci, fw) < 1:
+            raise ValueError(f"invalid conv geometry co={co}, ci={ci}, fw={fw}")
+        if len(offsets) != fw * fw:
+            raise ValueError(
+                f"expected {fw * fw} tap offsets, got {len(offsets)}"
+            )
+        expected = (
+            scheme.params.coeff_basis.count,
+            co,
+            fw * fw * ci,
+            scheme.params.n,
+        )
+        weight_stacks = np.asarray(weight_stacks)
+        if weight_stacks.shape != expected:
+            raise ValueError(
+                f"conv weight stack has shape {weight_stacks.shape}, "
+                f"parameters require {expected}"
+            )
+        return cls(
+            scheme=scheme,
+            schedule=schedule,
+            grid_w=int(grid_w),
+            co=co,
+            ci=ci,
+            fw=fw,
+            offsets=[int(offset) for offset in offsets],
+            weight_stacks=weight_stacks,
+        )
+
+    def metadata(self) -> dict:
+        """JSON-safe plan facts sufficient for :meth:`from_stacks`."""
+        return {
+            "kind": "conv",
+            "schedule": self.schedule.value,
+            "grid_w": self.grid_w,
+            "co": self.co,
+            "ci": self.ci,
+            "fw": self.fw,
+            "offsets": list(self.offsets),
+        }
 
     @property
     def rotation_steps(self) -> list[int]:
@@ -372,16 +437,69 @@ class FcPlan:
             else:
                 rows[d, s] = values
         weight_stacks = encode_weight_rows(scheme, rows)
-        fold_steps = [no_eff << f for f in range(fold_depth - 1, -1, -1)]
-        return cls(
-            scheme=scheme,
+        return cls.from_stacks(
+            scheme,
             schedule=schedule,
             ni=ni,
             no=no,
             no_eff=no_eff,
+            weight_stacks=weight_stacks,
+        )
+
+    @classmethod
+    def from_stacks(
+        cls,
+        scheme: BfvScheme,
+        *,
+        schedule: Schedule,
+        ni: int,
+        no: int,
+        no_eff: int,
+        weight_stacks: np.ndarray,
+    ) -> "FcPlan":
+        """Rebuild a plan from already-encoded eval-domain diagonal stacks.
+
+        Zero-recompute warm-start path (see :meth:`ConvPlan.from_stacks`):
+        ``weight_stacks`` may be a read-only memmap; fold steps are
+        rederived from ``(ni, no_eff)`` and shapes are validated against
+        the scheme's parameters.
+        """
+        if not (0 < no <= no_eff <= ni):
+            raise ValueError(
+                f"invalid fc geometry ni={ni}, no={no}, no_eff={no_eff}"
+            )
+        if ni % no_eff or (ni // no_eff) & (ni // no_eff - 1):
+            raise ValueError(
+                f"fold factor ni/no_eff = {ni}/{no_eff} must be a power of two"
+            )
+        expected = (scheme.params.coeff_basis.count, no_eff, scheme.params.n)
+        weight_stacks = np.asarray(weight_stacks)
+        if weight_stacks.shape != expected:
+            raise ValueError(
+                f"fc weight stack has shape {weight_stacks.shape}, "
+                f"parameters require {expected}"
+            )
+        fold_depth = (ni // no_eff).bit_length() - 1
+        fold_steps = [no_eff << f for f in range(fold_depth - 1, -1, -1)]
+        return cls(
+            scheme=scheme,
+            schedule=schedule,
+            ni=int(ni),
+            no=int(no),
+            no_eff=int(no_eff),
             fold_steps=fold_steps,
             weight_stacks=weight_stacks,
         )
+
+    def metadata(self) -> dict:
+        """JSON-safe plan facts sufficient for :meth:`from_stacks`."""
+        return {
+            "kind": "fc",
+            "schedule": self.schedule.value,
+            "ni": self.ni,
+            "no": self.no,
+            "no_eff": self.no_eff,
+        }
 
     @property
     def rotation_steps(self) -> list[int]:

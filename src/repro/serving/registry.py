@@ -26,6 +26,52 @@ from ..nn.models import Network
 from ..scheduling.plan import compile_linear_plan
 
 
+def validate_weights(network: Network, weights: dict) -> None:
+    """Check a weights dict against a network *before* any compilation.
+
+    Requires the keys to be exactly the network's linear-layer names and
+    every array to have the layer's shape -- ``(co, ci, fw, fw)`` for a
+    convolution, ``(no, ni)`` for an FC layer -- with an integer dtype
+    (plans quantize offline; float weights are a caller bug).  All
+    problems are reported in one :class:`ValueError` instead of surfacing
+    one at a time mid-compile.
+    """
+    expected_names = [layer.name for layer in network.linear_layers]
+    problems = []
+    missing = [name for name in expected_names if name not in weights]
+    if missing:
+        problems.append(f"missing weights for layer(s) {missing}")
+    unexpected = sorted(set(weights) - set(expected_names))
+    if unexpected:
+        problems.append(
+            f"unexpected weight key(s) {unexpected} "
+            f"(linear layers are {expected_names})"
+        )
+    for layer in network.linear_layers:
+        if layer.name not in weights:
+            continue
+        array = np.asarray(weights[layer.name])
+        if isinstance(layer, ConvLayer):
+            expected_shape = (layer.co, layer.ci, layer.fw, layer.fw)
+        else:
+            expected_shape = (layer.no, layer.ni)
+        if array.shape != expected_shape:
+            problems.append(
+                f"layer {layer.name!r} expects weights of shape "
+                f"{expected_shape}, got {array.shape}"
+            )
+        if array.dtype.kind not in "iu":
+            problems.append(
+                f"layer {layer.name!r} expects integer (quantized) weights, "
+                f"got dtype {array.dtype}"
+            )
+    if problems:
+        raise ValueError(
+            f"invalid weights for network {network.name!r}: "
+            + "; ".join(problems)
+        )
+
+
 @dataclass
 class ModelEntry:
     """One deployed model: params, server scheme, and compiled plans."""
@@ -84,15 +130,12 @@ class ModelRegistry:
         """Deploy a model: compile every linear layer's plan offline.
 
         The returned entry is shared by every future session for ``name``;
-        re-registering a name replaces it.
+        re-registering a name replaces it.  The ``weights`` dict is
+        validated up front (see :func:`validate_weights`), so a missing
+        layer, stray key, or wrong-shaped array raises one clear error
+        here instead of failing partway through plan compilation.
         """
-        missing = [
-            layer.name
-            for layer in network.linear_layers
-            if layer.name not in weights
-        ]
-        if missing:
-            raise ValueError(f"weights missing for layer(s) {missing}")
+        validate_weights(network, weights)
         scheme = BfvScheme(params, seed=seed)
         plans = {
             layer.name: compile_linear_plan(
@@ -114,6 +157,59 @@ class ModelRegistry:
             rotation_steps=sorted(steps),
         )
         self._models[name] = entry
+        return entry
+
+    def register_artifact(
+        self,
+        source,
+        name: str | None = None,
+        verify: bool | str = True,
+        seed: int = 0,
+    ) -> ModelEntry:
+        """Deploy a model from a compiled ``.rpa`` artifact -- zero recompute.
+
+        ``source`` is an artifact path or an already-loaded
+        :class:`~repro.artifacts.store.ModelArtifact`.  The weight stacks
+        stay memmapped read-only (no NTT runs, nothing is copied at
+        load); plans are rebuilt from metadata via ``from_stacks``.  The
+        artifact's recorded rotation-step union is cross-checked against
+        the rebuilt plans so a tampered header cannot under-provision
+        Galois keys.
+
+        ``verify`` only applies when ``source`` is a path: a pre-loaded
+        ``ModelArtifact`` was already checked at whatever level its
+        ``load_artifact`` call requested, and is not re-read here.
+        """
+        from ..artifacts.store import ModelArtifact, load_artifact
+
+        artifact = (
+            source
+            if isinstance(source, ModelArtifact)
+            else load_artifact(source, verify=verify)
+        )
+        scheme = BfvScheme(artifact.params, seed=seed)
+        plans = artifact.build_plans(scheme)
+        steps: set[int] = set()
+        for plan in plans.values():
+            steps.update(plan.rotation_steps)
+        if sorted(steps) != sorted(artifact.rotation_steps):
+            from ..artifacts.format import ArtifactError
+
+            raise ArtifactError(
+                f"artifact rotation steps {sorted(artifact.rotation_steps)} "
+                f"do not match the rebuilt plans' union {sorted(steps)}"
+            )
+        entry = ModelEntry(
+            name=name or artifact.name,
+            network=artifact.network,
+            params=artifact.params,
+            schedule=artifact.schedule,
+            rescale_bits=artifact.rescale_bits,
+            scheme=scheme,
+            plans=plans,
+            rotation_steps=sorted(steps),
+        )
+        self._models[entry.name] = entry
         return entry
 
     def get(self, name: str) -> ModelEntry:

@@ -13,6 +13,7 @@ from __future__ import annotations
 
 import socket
 import threading
+import time
 from concurrent.futures import ThreadPoolExecutor
 from typing import Protocol
 
@@ -99,8 +100,10 @@ class SocketServer:
         host: str = "127.0.0.1",
         port: int = 0,
         workers: int = 16,
+        drain_timeout_s: float = 30.0,
     ):
         self.engine = engine
+        self.drain_timeout_s = drain_timeout_s
         self._listener = socket.create_server((host, port))
         self.host, self.port = self._listener.getsockname()[:2]
         self._pool = ThreadPoolExecutor(
@@ -113,6 +116,16 @@ class SocketServer:
         # on shutdown while any client stays connected).
         self._conn_lock = threading.Lock()
         self._connections: set[socket.socket] = set()
+        # In-flight request accounting: stop() drains active handlers (a
+        # request already being executed gets its reply) before tearing
+        # down connections, instead of racing them mid-computation.
+        # _teardown flips under the same condition lock that guards the
+        # increment, so a frame received concurrently with stop() either
+        # registers as in-flight (and is drained) or is never started --
+        # a handler can't begin while connections are being torn down.
+        self._inflight = 0
+        self._teardown = False
+        self._inflight_cond = threading.Condition()
 
     def start(self) -> "SocketServer":
         self._accept_thread = threading.Thread(
@@ -144,24 +157,41 @@ class SocketServer:
                         return  # corrupted stream or closed by stop()
                     if payload is None:
                         return
+                    with self._inflight_cond:
+                        if self._teardown:
+                            return  # connections are being shut down
+                        self._inflight += 1
                     try:
-                        request = decode_message(payload)
-                    except ValueError as exc:
-                        reply = error_message(f"bad frame: {exc}")
-                    else:
                         try:
-                            reply = self.engine.handle(request)
-                        except Exception as exc:  # keep the connection alive
-                            reply = error_message(f"internal error: {exc}")
-                    try:
-                        send_frame(conn, encode_message(reply))
-                    except OSError:
-                        return
+                            request = decode_message(payload)
+                        except ValueError as exc:
+                            reply = error_message(f"bad frame: {exc}")
+                        else:
+                            try:
+                                reply = self.engine.handle(request)
+                            except Exception as exc:  # keep the connection alive
+                                reply = error_message(f"internal error: {exc}")
+                        try:
+                            send_frame(conn, encode_message(reply))
+                        except OSError:
+                            return
+                    finally:
+                        with self._inflight_cond:
+                            self._inflight -= 1
+                            self._inflight_cond.notify_all()
         finally:
             with self._conn_lock:
                 self._connections.discard(conn)
 
     def stop(self) -> None:
+        """Stop accepting, drain in-flight requests, then tear down.
+
+        A request whose handler is already running (or registered
+        in-flight) when ``stop`` is called receives its reply (bounded by
+        ``drain_timeout_s``); once the drain completes no new handler can
+        start, and connections -- including those parked in ``recv`` --
+        are then shut down.
+        """
         self._stopping.set()
         # Closing a listening socket does not reliably wake a blocked
         # accept(); shut it down and poke it with a throwaway connection.
@@ -175,6 +205,15 @@ class SocketServer:
         except OSError:
             pass
         self._listener.close()
+        # Drain: let handlers that already own a request finish and send
+        # their reply before their connection is shut down under them.
+        # _teardown is set under the same lock, so no handler can slip in
+        # between the drain completing and the connection shutdowns.
+        deadline = time.monotonic() + self.drain_timeout_s
+        with self._inflight_cond:
+            while self._inflight and time.monotonic() < deadline:
+                self._inflight_cond.wait(deadline - time.monotonic())
+            self._teardown = True
         # Shut down live connections so workers blocked in recv() return.
         with self._conn_lock:
             connections = list(self._connections)

@@ -18,6 +18,20 @@ class TestParser:
         with pytest.raises(SystemExit):
             build_parser().parse_args(["tune", "GPT4"])
 
+    def test_compile_defaults(self):
+        args = build_parser().parse_args(["compile", "demo", "-o", "x.rpa"])
+        assert args.model == "demo"
+        assert args.out == "x.rpa"
+        assert args.n == 4096 and not args.manifest and not args.tune
+
+    def test_serve_artifacts_flag(self):
+        args = build_parser().parse_args(["serve", "--artifacts", "zoo/"])
+        assert args.artifacts == "zoo/"
+
+    def test_infer_model_flag(self):
+        args = build_parser().parse_args(["infer", "--model", "alpha"])
+        assert args.model == "alpha"
+
 
 class TestCommands:
     def test_models(self, capsys):
@@ -51,6 +65,29 @@ class TestCommands:
         out = capsys.readouterr().out
         assert "over Gazelle" in out
         assert "speedup needed" in out
+
+    def test_compile_writes_artifact_and_manifest(self, capsys, tmp_path):
+        out_path = tmp_path / "demo.rpa"
+        assert (
+            main(
+                [
+                    "compile", "demo", "--n", "2048",
+                    "-o", str(out_path), "--manifest", "--tune",
+                ]
+            )
+            == 0
+        )
+        printed = capsys.readouterr().out
+        assert "wrote" in printed and "compiled plans" in printed
+        assert out_path.exists()
+        from repro.artifacts import load_artifact, read_manifest
+
+        artifact = load_artifact(out_path)
+        assert artifact.name == "demo"
+        assert artifact.tuned and "conv1" in artifact.tuned
+        manifest = read_manifest(tmp_path)
+        assert manifest["models"][0]["file"] == "demo.rpa"
+        assert manifest["models"][0]["tuned"] == artifact.tuned
 
 
 class TestBatchMode:

@@ -312,6 +312,40 @@ class TestSocketTransport:
                 reply = decode_message(recv_frame(sock))
                 assert reply.kind == "error"
 
+    def test_stop_drains_in_flight_requests(self):
+        """A request already executing when stop() is called gets its reply."""
+        import socket
+        import time
+
+        from repro.serving.wire import encode_message, recv_frame, send_frame
+
+        started = threading.Event()
+
+        class SlowEngine:
+            def handle(self, request):
+                started.set()
+                time.sleep(0.4)
+                return Message("slow_ok", {"echo": request.kind})
+
+        server = SocketServer(SlowEngine(), workers=2).start()
+        replies = []
+
+        def drive():
+            with socket.create_connection((server.host, server.port)) as sock:
+                send_frame(sock, encode_message(Message("ping", {})))
+                replies.append(decode_message(recv_frame(sock)))
+
+        client = threading.Thread(target=drive)
+        client.start()
+        assert started.wait(5), "request never reached the engine"
+        stop_start = time.monotonic()
+        server.stop()
+        stopped_after = time.monotonic() - stop_start
+        client.join(timeout=5)
+        assert replies and replies[0].kind == "slow_ok"
+        # stop() waited for the in-flight handler rather than racing it.
+        assert stopped_after >= 0.2
+
 
 class TestBatchedPrimitives:
     """Bit-exactness of the stacked (k, B, n) execution paths."""
