@@ -12,6 +12,11 @@ and residues are range-checked against the RNS primes -- a malformed or
 truncated blob raises :class:`ValueError` with a reason instead of
 silently corrupting polynomials.  (Residue data is read as explicit
 little-endian ``<i8``, so blobs are portable across host endianness.)
+The header additionally seals the binary body with a CRC-32, so a
+bit-flip *inside* an in-range residue -- which every structural check
+would wave through and which would therefore decrypt to a different
+polynomial -- is rejected too (the property pinned by
+``tests/test_serialize_properties.py``).
 
 A round trip through the wire format preserves ciphertexts exactly:
 
@@ -45,6 +50,7 @@ from __future__ import annotations
 
 import json
 import struct
+import zlib
 
 import numpy as np
 
@@ -83,11 +89,17 @@ def params_from_dict(data: dict, require_security: bool = False) -> BfvParameter
 
 
 def _pack(header: dict, arrays: list[np.ndarray]) -> bytes:
+    body = b"".join(
+        np.ascontiguousarray(array, dtype="<i8").tobytes() for array in arrays
+    )
+    # Seal the body: length + CRC-32 travel inside the (JSON-validated)
+    # header, so any single-byte body corruption fails the checksum and
+    # any truncation/extension fails the length comparison downstream.
+    header = {**header, "body_bytes": len(body), "crc32": zlib.crc32(body)}
     header_bytes = json.dumps(header, sort_keys=True).encode()
-    chunks = [_MAGIC, struct.pack("<I", len(header_bytes)), header_bytes]
-    for array in arrays:
-        chunks.append(np.ascontiguousarray(array, dtype="<i8").tobytes())
-    return b"".join(chunks)
+    return b"".join(
+        [_MAGIC, struct.pack("<I", len(header_bytes)), header_bytes, body]
+    )
 
 
 def _unpack(blob: bytes) -> tuple[dict, memoryview]:
@@ -105,7 +117,18 @@ def _unpack(blob: bytes) -> tuple[dict, memoryview]:
         raise ValueError(f"malformed serialization header: {exc}") from exc
     if not isinstance(header, dict) or "kind" not in header:
         raise ValueError("serialization header missing 'kind'")
-    return header, memoryview(blob)[8 + header_len :]
+    body = memoryview(blob)[8 + header_len :]
+    declared, crc = header.get("body_bytes"), header.get("crc32")
+    if not isinstance(declared, int) or not isinstance(crc, int):
+        raise ValueError("serialization header missing integrity fields")
+    # A size mismatch is left to the kind-specific body checks (their
+    # errors name the expected size); when sizes agree, the checksum is
+    # what catches in-range residue corruption.
+    if len(body) == declared and zlib.crc32(body) != crc:
+        raise ValueError(
+            f"{header['kind']} body fails its CRC-32 (corrupted blob)"
+        )
+    return header, body
 
 
 def _expect_kind(header: dict, kind: str) -> None:

@@ -15,10 +15,12 @@ Commands
 ``compile MODEL -o model.rpa``
     Compile a model ahead of time into a ``.rpa`` artifact (offline
     weight encoding paid once; see :mod:`repro.artifacts`).
-``serve [--host H] [--port P] [--artifacts DIR]``
+``serve [--host H] [--port P] [--artifacts DIR] [--workers N]``
     Run the multi-client private-inference server -- compiling the demo
     deployment at startup, or warm-starting a whole artifact directory
-    with zero recompute.
+    with zero recompute.  ``--workers N`` shards plan execution across
+    N forked worker processes memmapping the same artifacts
+    (bit-identical logits, multi-core throughput).
 ``infer [--host H] [--port P] [--count K] [--model NAME]``
     Connect to a running server, run private inferences, verify logits.
 """
@@ -170,7 +172,9 @@ def _cmd_compile(args) -> int:
 
 def _cmd_serve(args) -> int:
     import signal
+    import tempfile
     import threading
+    from pathlib import Path
 
     from .serving import (
         DEMO_RESCALE_BITS,
@@ -182,10 +186,12 @@ def _cmd_serve(args) -> int:
         demo_weights,
     )
 
+    scratch_dir = None
     if args.artifacts:
         from .artifacts import load_zoo
 
-        registry = load_zoo(args.artifacts)
+        artifact_dir = args.artifacts
+        registry = load_zoo(artifact_dir)
         for name in registry.names():
             entry = registry.get(name)
             print(
@@ -196,7 +202,7 @@ def _cmd_serve(args) -> int:
         params = demo_params(n=args.n)
         registry = ModelRegistry()
         print(f"compiling plans for model 'demo' over {params.describe()} ...")
-        registry.register(
+        entry = registry.register(
             "demo",
             demo_network(),
             demo_weights(),
@@ -204,20 +210,48 @@ def _cmd_serve(args) -> int:
             schedule=_demo_schedule(args.schedule),
             rescale_bits=DEMO_RESCALE_BITS,
         )
+        artifact_dir = None
+        if args.workers > 0:
+            # Shard workers warm-start from artifacts (shared weight
+            # pages); without --artifacts, stage the compiled demo into
+            # a scratch zoo the workers can load.
+            from .artifacts import save_artifact, update_manifest
+
+            scratch_dir = tempfile.TemporaryDirectory(prefix="repro-shards-")
+            artifact_dir = scratch_dir.name
+            save_artifact(entry, Path(artifact_dir) / "demo.rpa")
+            update_manifest(artifact_dir, entry, "demo.rpa")
+
+    pool = None
+    executor = None
+    if args.workers > 0:
+        from .serving import ShardExecutor, ShardPool
+
+        pool = ShardPool(artifact_dir, workers=args.workers).start()
+        executor = ShardExecutor(pool)
+        print(
+            f"shard pool ready: {pool.workers} worker process(es) memmapping "
+            f"{artifact_dir} (models {pool.model_names})"
+        )
     engine = ServingEngine(
-        registry, max_batch=args.max_batch, batch_window_s=args.batch_window_ms / 1000
+        registry,
+        max_batch=args.max_batch,
+        batch_window_s=args.batch_window_ms / 1000,
+        executor=executor,
     )
-    server = SocketServer(engine, host=args.host, port=args.port, workers=args.workers)
+    server = SocketServer(engine, host=args.host, port=args.port, workers=args.threads)
     server.start()
     print(
         f"serving {len(registry.names())} model(s) {registry.names()} on "
         f"{server.host}:{server.port} "
-        f"(max_batch={engine.max_batch}, workers={args.workers})"
+        f"(max_batch={engine.max_batch}, threads={args.threads}, "
+        f"shard_workers={args.workers})"
     )
 
     # Graceful shutdown: SIGTERM (fleet orchestrators) and SIGINT both
     # drain in-flight requests through SocketServer.stop() instead of
-    # killing the accept loop mid-reply.
+    # killing the accept loop mid-reply; the shard pool drains after the
+    # front end (in-flight requests may still need workers).
     stop_requested = threading.Event()
 
     def _request_stop(_signum, _frame):
@@ -229,6 +263,10 @@ def _cmd_serve(args) -> int:
     stop_requested.wait()
     print("\nshutting down (draining in-flight requests)")
     server.stop()
+    if pool is not None:
+        pool.stop()
+    if scratch_dir is not None:
+        scratch_dir.cleanup()
     return 0
 
 
@@ -352,8 +390,13 @@ def build_parser() -> argparse.ArgumentParser:
         "--batch-window-ms", type=float, default=20.0, dest="batch_window_ms"
     )
     serve.add_argument(
-        "--workers", type=int, default=16,
-        help="max concurrently connected clients (one worker per connection)",
+        "--workers", type=int, default=0,
+        help="shard worker processes executing plan layers "
+             "(0 = run plans in the server process)",
+    )
+    serve.add_argument(
+        "--threads", type=int, default=16,
+        help="max concurrently connected clients (one thread per connection)",
     )
 
     infer = sub.add_parser("infer", help="run private inference against a server")

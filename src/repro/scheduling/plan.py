@@ -206,8 +206,22 @@ class ConvPlan:
         """Distinct Galois steps ``execute`` needs keys for."""
         return sorted({offset for offset in self.offsets if offset})
 
+    def _resolve_oc_range(self, oc_range) -> tuple[int, int]:
+        """Validate an output-channel slice request against the layer."""
+        if oc_range is None:
+            return 0, self.co
+        start, stop = int(oc_range[0]), int(oc_range[1])
+        if not 0 <= start < stop <= self.co:
+            raise ValueError(
+                f"oc_range {tuple(oc_range)} outside [0, {self.co}]"
+            )
+        return start, stop
+
     def execute(
-        self, channel_cts: list[Ciphertext], galois_keys: GaloisKeys
+        self,
+        channel_cts: list[Ciphertext],
+        galois_keys: GaloisKeys,
+        oc_range: tuple[int, int] | None = None,
     ) -> list[Ciphertext]:
         """Run the layer: one output ciphertext per output channel.
 
@@ -216,24 +230,35 @@ class ConvPlan:
         :func:`~repro.scheduling.layouts.pack_image`; ``galois_keys``
         must cover :attr:`rotation_steps`.  Output slot layout matches
         the input grid (valid positions carry the dense convolution).
+
+        ``oc_range`` restricts execution to output channels
+        ``[start, stop)`` -- each channel's output ciphertext is
+        bit-identical to the corresponding entry of a full run, so a
+        convolution can be partitioned across execution shards and the
+        slices concatenated (the sharded serving backend's conv split).
         """
+        self._resolve_oc_range(oc_range)
         if len(channel_cts) != self.ci:
             raise ValueError(
                 f"expected {self.ci} channel ciphertexts, got {len(channel_cts)}"
             )
         if self.schedule is Schedule.PARTIAL_ALIGNED:
-            return self._execute_pa(channel_cts, galois_keys)
-        return self._execute_ia(channel_cts, galois_keys)
+            return self._execute_pa(channel_cts, galois_keys, oc_range)
+        return self._execute_ia(channel_cts, galois_keys, oc_range)
 
     def _execute_pa(
-        self, channel_cts: list[Ciphertext], galois_keys: GaloisKeys
+        self,
+        channel_cts: list[Ciphertext],
+        galois_keys: GaloisKeys,
+        oc_range: tuple[int, int] | None = None,
     ) -> list[Ciphertext]:
         scheme = self.scheme
         ci = self.ci
+        oc_start, oc_stop = self._resolve_oc_range(oc_range)
         c0 = np.stack([ct.c0.data for ct in channel_cts], axis=1)
         c1 = np.stack([ct.c1.data for ct in channel_cts], axis=1)
         outputs = []
-        for oc in range(self.co):
+        for oc in range(oc_start, oc_stop):
             wstack = self.weight_stacks[:, oc]
             total: Ciphertext | None = None
             for ti, offset in enumerate(self.offsets):
@@ -251,6 +276,7 @@ class ConvPlan:
         self,
         batch_inputs: list[list[Ciphertext]],
         batch_keys: list[GaloisKeys],
+        oc_range: tuple[int, int] | None = None,
     ) -> list[list[Ciphertext]]:
         """Run the layer for ``B`` independent requests in one stacked pass.
 
@@ -259,7 +285,9 @@ class ConvPlan:
         Galois keys).  The weight multiply-accumulates and key-switching
         digit NTTs for the whole batch run as single ``(k, B*T, n)``
         engine calls; request ``i`` of the result decrypts identically to
-        ``execute(batch_inputs[i], batch_keys[i])``.
+        ``execute(batch_inputs[i], batch_keys[i])``.  ``oc_range``
+        restricts the computed output channels exactly as in
+        :meth:`execute`.
         """
         if len(batch_inputs) != len(batch_keys):
             raise ValueError(
@@ -271,18 +299,20 @@ class ConvPlan:
                     f"expected {self.ci} channel ciphertexts, got {len(cts)}"
                 )
         if len(batch_inputs) == 1:
-            return [self.execute(batch_inputs[0], batch_keys[0])]
+            return [self.execute(batch_inputs[0], batch_keys[0], oc_range)]
         if self.schedule is Schedule.PARTIAL_ALIGNED:
-            return self._execute_batch_pa(batch_inputs, batch_keys)
-        return self._execute_batch_ia(batch_inputs, batch_keys)
+            return self._execute_batch_pa(batch_inputs, batch_keys, oc_range)
+        return self._execute_batch_ia(batch_inputs, batch_keys, oc_range)
 
     def _execute_batch_pa(
         self,
         batch_inputs: list[list[Ciphertext]],
         batch_keys: list[GaloisKeys],
+        oc_range: tuple[int, int] | None = None,
     ) -> list[list[Ciphertext]]:
         scheme = self.scheme
         ci, batch = self.ci, len(batch_inputs)
+        oc_start, oc_stop = self._resolve_oc_range(oc_range)
         # (k, B, ci, n) stacks across requests and input channels.
         c0 = np.stack(
             [np.stack([ct.c0.data for ct in cts], axis=1) for cts in batch_inputs],
@@ -293,7 +323,7 @@ class ConvPlan:
             axis=1,
         )
         outputs: list[list[Ciphertext]] = [[] for _ in range(batch)]
-        for oc in range(self.co):
+        for oc in range(oc_start, oc_stop):
             wstack = self.weight_stacks[:, oc]
             totals: list[Ciphertext | None] = [None] * batch
             for ti, offset in enumerate(self.offsets):
@@ -315,9 +345,11 @@ class ConvPlan:
         self,
         batch_inputs: list[list[Ciphertext]],
         batch_keys: list[GaloisKeys],
+        oc_range: tuple[int, int] | None = None,
     ) -> list[list[Ciphertext]]:
         scheme = self.scheme
         ci, batch = self.ci, len(batch_inputs)
+        oc_start, oc_stop = self._resolve_oc_range(oc_range)
         k, _, _, n = self.weight_stacks.shape
         terms = len(self.offsets) * ci
         # Request-major layout so each request's (k, T, n) slice is one
@@ -342,7 +374,7 @@ class ConvPlan:
         # and a whole-batch (k, B, T, n) reduction would trade cache
         # locality for nothing (the weights broadcast either way).
         outputs: list[list[Ciphertext]] = [[] for _ in range(batch)]
-        for oc in range(self.co):
+        for oc in range(oc_start, oc_stop):
             wstack = self.weight_stacks[:, oc]
             for i in range(batch):
                 outputs[i].append(
@@ -353,9 +385,13 @@ class ConvPlan:
         return outputs
 
     def _execute_ia(
-        self, channel_cts: list[Ciphertext], galois_keys: GaloisKeys
+        self,
+        channel_cts: list[Ciphertext],
+        galois_keys: GaloisKeys,
+        oc_range: tuple[int, int] | None = None,
     ) -> list[Ciphertext]:
         scheme = self.scheme
+        oc_start, oc_stop = self._resolve_oc_range(oc_range)
         k, _, _, n = self.weight_stacks.shape
         terms = len(self.offsets) * self.ci
         rot_c0 = np.empty((k, terms, n), dtype=np.int64)
@@ -381,7 +417,7 @@ class ConvPlan:
             scheme.mul_plain_accumulate_stacked(
                 rot_c0, rot_c1, self.weight_stacks[:, oc]
             )
-            for oc in range(self.co)
+            for oc in range(oc_start, oc_stop)
         ]
 
 

@@ -8,10 +8,14 @@ amortises plan compilation across sessions, and concurrently pending
 requests for the same layer are merged into single stacked ``(k, B, n)``
 engine calls (cross-client batching).  Clients drive sessions with
 :class:`ClientSession` over an in-process :class:`LoopbackTransport` or
-the TCP :class:`SocketTransport` / :class:`SocketServer` pair.
+the TCP :class:`SocketTransport` / :class:`SocketServer` pair.  Plan
+math runs in-process by default (:class:`LocalExecutor`) or across a
+pool of forked worker processes memmapping the same ``.rpa`` artifacts
+(:class:`ShardPool` + :class:`ShardExecutor` -- bit-identical outputs,
+multi-core throughput).
 """
 
-from .engine import ServingEngine
+from .engine import ExecutionBackendError, LocalExecutor, ServingEngine
 from .models import (
     DEMO_RESCALE_BITS,
     demo_image,
@@ -21,11 +25,17 @@ from .models import (
 )
 from .registry import ModelEntry, ModelRegistry
 from .session import ClientSession, ServingResult
+from .shards import ShardError, ShardExecutor, ShardPool
 from .transport import LoopbackTransport, SocketServer, SocketTransport
 from .wire import Message, ServingError, decode_message, encode_message
 
 __all__ = [
     "ServingEngine",
+    "LocalExecutor",
+    "ExecutionBackendError",
+    "ShardPool",
+    "ShardExecutor",
+    "ShardError",
     "ModelRegistry",
     "ModelEntry",
     "ClientSession",

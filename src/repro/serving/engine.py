@@ -42,7 +42,6 @@ from dataclasses import dataclass, field
 
 import numpy as np
 
-from ..bfv.keys import GaloisKeys
 from ..bfv.serialize import deserialize_ciphertext, deserialize_galois_keys, serialize_ciphertext
 from ..nn.layers import ConvLayer
 from ..protocol.gazelle import blind_ciphertext_rows
@@ -54,12 +53,65 @@ from .wire import Message, error_message
 
 @dataclass
 class _Session:
-    """Per-client serving state: model binding, keys, traffic tally."""
+    """Per-client serving state: model binding, keys, traffic tally.
+
+    ``galois_keys`` holds whatever the engine's execution backend
+    returned from ``prepare_keys`` -- the deserialized
+    :class:`~repro.bfv.keys.GaloisKeys` for in-process execution, or an
+    opaque per-session handle for remote/sharded backends.
+    """
 
     session_id: str
     entry: ModelEntry
-    galois_keys: GaloisKeys | None = None
+    galois_keys: object | None = None
     traffic: TrafficLog = field(default_factory=TrafficLog)
+
+
+class ExecutionBackendError(RuntimeError):
+    """A pluggable execution backend failed to run a layer.
+
+    Raised by executors (e.g. the sharded pool) for backend-level
+    failures -- a dead worker, an IPC timeout, a model missing from the
+    workers' artifact set.  The engine converts it into a protocol
+    ``error`` reply instead of letting it tear down the transport.
+    """
+
+
+class LocalExecutor:
+    """The default execution backend: run compiled plans in this process.
+
+    Executors are the engine's seam for *where* plan math runs.  The
+    contract (all three methods):
+
+    ``prepare_keys(entry, key_id, blob, keys)``
+        Called once per session after the engine validated the uploaded
+        Galois keys; returns the object stored as the session's key
+        handle and later passed back to ``execute``.
+    ``release_keys(key_id)``
+        The session closed or was evicted; free anything held for it.
+    ``execute(entry, layer, batch_inputs, batch_handles)``
+        Run one (possibly cross-client batched) layer call.  Returns one
+        ``list[Ciphertext]`` per request -- ``co`` ciphertexts for a
+        convolution, one for an FC layer -- bit-identical to
+        ``plan.execute`` under each request's own keys.
+    """
+
+    def prepare_keys(self, entry, key_id, blob, keys):
+        return keys
+
+    def release_keys(self, key_id):
+        pass
+
+    def execute(self, entry: ModelEntry, layer, batch_inputs, batch_handles):
+        plan = entry.plans[layer.name]
+        if isinstance(layer, ConvLayer):
+            return plan.execute_batch(batch_inputs, batch_handles)
+        return [
+            [ct]
+            for ct in plan.execute_batch(
+                [cts[0] for cts in batch_inputs], batch_handles
+            )
+        ]
 
 
 class _BatchItem:
@@ -156,8 +208,13 @@ class ServingEngine:
         batch_window_s: float = 0.02,
         max_sessions: int = 256,
         seed: int | None = None,
+        executor=None,
     ):
         self.registry = registry
+        #: Where plan math runs: in-process by default, or a pluggable
+        #: backend such as :class:`~repro.serving.shards.ShardExecutor`
+        #: (see :class:`LocalExecutor` for the contract).
+        self.executor = executor if executor is not None else LocalExecutor()
         self.max_batch = max(1, int(max_batch))
         self.batch_window_s = batch_window_s
         #: Session-table bound: clients that vanish without sending ``close``
@@ -190,7 +247,7 @@ class ServingEngine:
             return error_message(f"unknown request kind {request.kind!r}")
         try:
             return handler(request)
-        except (KeyError, ValueError, TypeError) as exc:
+        except (KeyError, ValueError, TypeError, ExecutionBackendError) as exc:
             return error_message(str(exc))
 
     def session_traffic(self, session_id: str) -> TrafficLog:
@@ -216,7 +273,8 @@ class ServingEngine:
             return error_message(reason)
         with self._lock:
             while len(self._sessions) >= self.max_sessions:
-                self._sessions.popitem(last=False)
+                evicted_id, _evicted = self._sessions.popitem(last=False)
+                self.executor.release_keys(evicted_id)
             session_id = f"s{self._next_session}"
             self._next_session += 1
             self._sessions[session_id] = _Session(session_id, entry)
@@ -238,14 +296,18 @@ class ServingEngine:
             return error_message(
                 f"uploaded Galois keys missing rotation step(s) {missing}"
             )
-        session.galois_keys = keys
+        session.galois_keys = self.executor.prepare_keys(
+            session.entry, session.session_id, blob, keys
+        )
         session.traffic.send_to_cloud(len(blob), "galois_keys")
         return Message("keys_ok", {"session": session.session_id})
 
     def _handle_close(self, request: Message) -> Message:
         session_id = request.require("session")
         with self._lock:
-            self._sessions.pop(session_id, None)
+            session = self._sessions.pop(session_id, None)
+        if session is not None:
+            self.executor.release_keys(session_id)
         return Message("close_ok", {"session": session_id})
 
     # -- linear rounds -------------------------------------------------------
@@ -324,16 +386,7 @@ class ServingEngine:
 
     def _execute_layer(self, entry: ModelEntry, layer, batch_inputs, batch_keys):
         """One stacked plan execution + blinding for B pending requests."""
-        plan = entry.plans[layer.name]
-        if isinstance(layer, ConvLayer):
-            outputs = plan.execute_batch(batch_inputs, batch_keys)
-        else:
-            outputs = [
-                [ct]
-                for ct in plan.execute_batch(
-                    [cts[0] for cts in batch_inputs], batch_keys
-                )
-            ]
+        outputs = self.executor.execute(entry, layer, batch_inputs, batch_keys)
         # One blinding pass over every output of the whole batch: the mask
         # encode + eval-domain lift run as a single (k, B*co, n) call.
         flat = [ct for request_cts in outputs for ct in request_cts]

@@ -1,0 +1,654 @@
+"""Multi-process sharded execution backend for the serving engine.
+
+One Python process cannot use more than one core for the plan math, so
+the lock-free native NTT and the memmapped ``.rpa`` artifacts (whose
+weight pages N processes share through the OS page cache) are scaling
+enablers the single-process :class:`~repro.serving.engine.ServingEngine`
+never cashes in.  This module adds the missing piece:
+
+* :class:`ShardPool` forks ``N`` worker processes.  Each worker
+  ``load_zoo``'s the same artifact directory -- memmapped weight stacks,
+  zero plan recompilation, shared pages -- reports readiness, then pulls
+  work from one shared task queue (idle workers self-balance; there is
+  no static request-to-worker pinning).
+* :class:`ShardExecutor` plugs into the engine's execution-backend seam
+  (:class:`~repro.serving.engine.LocalExecutor` documents the contract).
+  A batched ``(k, B, n)`` layer call is split into per-shard sub-batches
+  by request rows -- and, when a single request meets a wide convolution,
+  by output-channel ranges (``ConvPlan.execute(..., oc_range=...)``) --
+  shipped over the IPC queues, and the partial outputs are merged back
+  in order.  Every ciphertext crosses the process boundary through
+  :mod:`repro.bfv.serialize` inside a :mod:`repro.serving.wire` frame,
+  so the IPC path is the *same* validated wire format the network uses.
+
+Bit-identity is the invariant that makes the split safe: plan execution
+is deterministic and independent per request and per output channel, so
+any partition of the batch produces ciphertexts byte-identical to a
+single-process run (pinned by ``tests/test_conformance.py``).  Blinding
+stays in the coordinator -- workers never see masks -- and each worker
+ships back its HE op-counter delta, which the executor folds into the
+coordinator's :data:`~repro.bfv.counters.GLOBAL_COUNTERS` so accounting
+matches single-process execution exactly.
+
+Galois keys are too large to ship per task: the executor broadcasts each
+session's key blob once to every worker (workers cache them, dropping
+them on session close/eviction), so a task only references a ``key_id``.
+Ids are scoped per executor and per upload -- multiprocessing queue
+feeders give no cross-queue ordering guarantee, so correctness rests on
+"cache hit implies exactly the right keys": a worker that sees an
+unknown id blocks draining its own (FIFO) key channel until the
+broadcast lands; it can never *mistake* stale keys for current ones.
+"""
+
+from __future__ import annotations
+
+import multiprocessing
+import os
+import queue
+import threading
+import time
+import uuid
+from dataclasses import dataclass
+
+from ..bfv.counters import GLOBAL_COUNTERS
+from ..bfv.serialize import deserialize_ciphertext, serialize_ciphertext
+from ..nn.layers import ConvLayer
+from .engine import ExecutionBackendError
+from .wire import Message, decode_message, encode_message
+
+
+class ShardError(ExecutionBackendError):
+    """A shard pool failure: dead worker, startup error, or task failure."""
+
+
+# -- worker process -----------------------------------------------------------
+
+
+def _force_ntt_backend(native: bool) -> None:
+    """Pin this worker's NTT backend regardless of what the parent chose.
+
+    A forked child inherits the parent's already-loaded kernel state and
+    memoized engines, so forcing a backend means resetting both and
+    letting ``load_zoo`` rebuild engines lazily.  The two backends are
+    bit-identical, so mixed coordinator/worker backends stay correct --
+    this hook exists so the conformance suite can pin each side.
+    """
+    from ..bfv import native as native_mod
+    from ..bfv import ntt_batch
+
+    os.environ[native_mod.NATIVE_ENV_VAR] = "1" if native else "0"
+    with native_mod._LOCK:
+        native_mod._KERNEL = None
+        native_mod._TRIED = False
+    ntt_batch._get_engine_cached.cache_clear()
+
+
+def _drain_key_queue(key_queue, key_cache, params_by_model, block_for=None,
+                     timeout_s: float = 30.0):
+    """Apply pending key broadcasts; optionally block until one arrives.
+
+    ``block_for`` is a key id the caller needs *now* (its task references
+    it); because broadcasts are enqueued before any task that uses them,
+    a bounded blocking drain is guaranteed to find it unless the
+    coordinator died.
+    """
+    from ..bfv.serialize import deserialize_galois_keys
+
+    deadline = time.monotonic() + timeout_s
+    while True:
+        try:
+            if block_for is not None and block_for not in key_cache:
+                remaining = deadline - time.monotonic()
+                if remaining <= 0:
+                    raise ShardError(
+                        f"timed out waiting for Galois keys {block_for!r}"
+                    )
+                payload = key_queue.get(timeout=remaining)
+            else:
+                payload = key_queue.get_nowait()
+        except queue.Empty:
+            if block_for is not None and block_for not in key_cache:
+                continue
+            return
+        message = decode_message(payload)
+        if message.kind == "keys":
+            key_id, model = message.require("key_id", "model")
+            key_cache[key_id] = deserialize_galois_keys(
+                message.blobs[0], params_by_model[model]
+            )
+        elif message.kind == "drop_keys":
+            key_cache.pop(message.require("key_id"), None)
+        if block_for is not None and block_for in key_cache:
+            return
+
+
+def _run_task(registry, key_cache, request: Message) -> Message:
+    """Execute one layer sub-batch; reply with outputs + counter delta."""
+    model, layer_name, task_id = request.require("model", "layer", "task")
+    key_ids = request.require("key_ids")
+    counts = [int(c) for c in request.require("cts_per_request")]
+    oc_range = request.meta.get("oc_range")
+    entry = registry.get(model)
+    layer = entry.layer(layer_name)
+    plan = entry.plans[layer_name]
+    batch_inputs, offset = [], 0
+    for count in counts:
+        batch_inputs.append(
+            [
+                deserialize_ciphertext(blob, entry.params)
+                for blob in request.blobs[offset : offset + count]
+            ]
+        )
+        offset += count
+    batch_keys = [key_cache[key_id] for key_id in key_ids]
+    before = GLOBAL_COUNTERS.snapshot()
+    if isinstance(layer, ConvLayer):
+        outputs = plan.execute_batch(
+            batch_inputs,
+            batch_keys,
+            oc_range=tuple(int(v) for v in oc_range) if oc_range else None,
+        )
+    else:
+        outputs = [
+            [ct]
+            for ct in plan.execute_batch(
+                [cts[0] for cts in batch_inputs], batch_keys
+            )
+        ]
+    delta = GLOBAL_COUNTERS.diff(before)
+    blobs = [
+        serialize_ciphertext(ct, entry.params)
+        for request_cts in outputs
+        for ct in request_cts
+    ]
+    return Message(
+        "result",
+        {
+            "task": task_id,
+            "status": "ok",
+            "outputs_per_request": [len(cts) for cts in outputs],
+            "counters": {
+                "he_mult": delta.he_mult,
+                "he_add": delta.he_add,
+                "he_rotate": delta.he_rotate,
+                "ntt": delta.ntt,
+                "modmuls": delta.modmuls,
+                "butterflies": delta.butterflies,
+            },
+        },
+        blobs,
+    )
+
+
+def _worker_main(
+    worker_id, artifact_dir, verify, ntt_native, task_queue, key_queue,
+    result_queue, ready_queue,
+):
+    """Worker entry point: warm-start from artifacts, then serve tasks."""
+    try:
+        if ntt_native is not None:
+            _force_ntt_backend(bool(ntt_native))
+        from ..artifacts.zoo import load_zoo
+
+        registry = load_zoo(artifact_dir, verify=verify)
+        params_by_model = {
+            name: registry.get(name).params for name in registry.names()
+        }
+    except BaseException as exc:
+        ready_queue.put(("error", worker_id, f"{type(exc).__name__}: {exc}"))
+        return
+    ready_queue.put(("ready", worker_id, registry.names()))
+    key_cache: dict[str, object] = {}
+    while True:
+        payload = task_queue.get()
+        if payload is None:  # stop sentinel from ShardPool.stop()
+            return
+        task_id = None
+        try:
+            request = decode_message(payload)
+            # Opportunistically apply key broadcasts/drops queued since
+            # the last task (drops must not wait for a blocking need).
+            _drain_key_queue(key_queue, key_cache, params_by_model)
+            if request.kind == "ping":
+                reply = Message(
+                    "result",
+                    {
+                        "task": request.require("task"),
+                        "status": "ok",
+                        "worker": worker_id,
+                        "models": registry.names(),
+                        "cached_keys": sorted(key_cache),
+                        "pid": os.getpid(),
+                    },
+                )
+            elif request.kind == "task":
+                task_id = request.require("task")
+                for key_id in request.require("key_ids"):
+                    if key_id not in key_cache:
+                        _drain_key_queue(
+                            key_queue, key_cache, params_by_model,
+                            block_for=key_id,
+                        )
+                reply = _run_task(registry, key_cache, request)
+            else:
+                reply = Message(
+                    "result",
+                    {
+                        "task": request.meta.get("task", "?"),
+                        "status": "error",
+                        "reason": f"unknown shard request {request.kind!r}",
+                    },
+                )
+        except Exception as exc:  # keep the worker alive for the next task
+            reply = Message(
+                "result",
+                {
+                    "task": task_id if task_id is not None else "?",
+                    "status": "error",
+                    "reason": f"worker {worker_id}: {type(exc).__name__}: {exc}",
+                },
+            )
+        result_queue.put(encode_message(reply))
+
+
+# -- coordinator --------------------------------------------------------------
+
+
+class _PendingTask:
+    __slots__ = ("event", "reply")
+
+    def __init__(self):
+        self.event = threading.Event()
+        self.reply: Message | None = None
+
+
+class ShardPool:
+    """A pool of forked worker processes executing plan layers.
+
+    Workers warm-start by ``load_zoo``-ing ``artifact_dir`` (memmapped
+    stacks -> the weight pages of all workers are shared through the OS
+    page cache) and pull :class:`~repro.serving.wire.Message` tasks from
+    one shared queue.  ``ntt_native`` optionally pins the workers' NTT
+    backend (``None`` inherits the parent's); backends are bit-identical
+    either way.
+
+    The pool is transport-agnostic -- :class:`ShardExecutor` adapts it to
+    the serving engine, and tests/benchmarks drive :meth:`execute`
+    directly.
+    """
+
+    def __init__(
+        self,
+        artifact_dir,
+        workers: int = 2,
+        verify: bool | str = True,
+        ntt_native: bool | None = None,
+        start_timeout_s: float = 120.0,
+        task_timeout_s: float = 300.0,
+    ):
+        if workers < 1:
+            raise ValueError(f"need at least one worker, got {workers}")
+        self.artifact_dir = str(artifact_dir)
+        self.workers = int(workers)
+        self.verify = verify
+        self.ntt_native = ntt_native
+        self.start_timeout_s = start_timeout_s
+        self.task_timeout_s = task_timeout_s
+        # fork keeps startup cheap (no re-import of numpy per worker) and
+        # lets children inherit the already-built twiddle tables; workers
+        # still load_zoo their own registry, per the artifact discipline.
+        methods = multiprocessing.get_all_start_methods()
+        self._ctx = multiprocessing.get_context(
+            "fork" if "fork" in methods else "spawn"
+        )
+        self._processes: list = []
+        self._key_queues: list = []
+        self._task_queue = None
+        self._result_queue = None
+        self.model_names: list[str] = []
+        self._pending: dict[str, _PendingTask] = {}
+        self._lock = threading.Lock()
+        self._next_task = 0
+        self._collector: threading.Thread | None = None
+        self._stopping = threading.Event()
+
+    # -- lifecycle ----------------------------------------------------------
+
+    def start(self) -> "ShardPool":
+        """Fork the workers and block until every one reports ready."""
+        ctx = self._ctx
+        self._task_queue = ctx.Queue()
+        self._result_queue = ctx.Queue()
+        ready_queue = ctx.Queue()
+        for worker_id in range(self.workers):
+            key_queue = ctx.Queue()
+            process = ctx.Process(
+                target=_worker_main,
+                args=(
+                    worker_id, self.artifact_dir, self.verify, self.ntt_native,
+                    self._task_queue, key_queue, self._result_queue, ready_queue,
+                ),
+                name=f"repro-shard-{worker_id}",
+                daemon=True,
+            )
+            process.start()
+            self._processes.append(process)
+            self._key_queues.append(key_queue)
+        deadline = time.monotonic() + self.start_timeout_s
+        for _ in range(self.workers):
+            try:
+                status, worker_id, detail = ready_queue.get(
+                    timeout=max(0.0, deadline - time.monotonic())
+                )
+            except queue.Empty:
+                self.stop()
+                raise ShardError(
+                    f"shard worker(s) did not report ready within "
+                    f"{self.start_timeout_s:.0f}s"
+                ) from None
+            if status != "ready":
+                self.stop()
+                raise ShardError(f"shard worker {worker_id} failed: {detail}")
+            self.model_names = list(detail)
+        self._collector = threading.Thread(
+            target=self._collect_results, name="repro-shard-collect", daemon=True
+        )
+        self._collector.start()
+        return self
+
+    def stop(self, timeout_s: float = 10.0) -> None:
+        """Drain-stop the pool: workers finish their current task and exit."""
+        if self._stopping.is_set():
+            return
+        self._stopping.set()
+        if self._task_queue is not None:
+            for _ in self._processes:
+                self._task_queue.put(None)
+        deadline = time.monotonic() + timeout_s
+        for process in self._processes:
+            process.join(timeout=max(0.1, deadline - time.monotonic()))
+            if process.is_alive():
+                process.terminate()
+                process.join(timeout=1.0)
+        if self._result_queue is not None:
+            self._result_queue.put(None)  # unblock the collector
+        if self._collector is not None:
+            self._collector.join(timeout=2.0)
+        # Fail anything still pending so no submitter blocks forever.
+        with self._lock:
+            pending, self._pending = self._pending, {}
+        for task in pending.values():
+            task.event.set()
+
+    def __enter__(self) -> "ShardPool":
+        return self.start()
+
+    def __exit__(self, *_exc) -> None:
+        self.stop()
+
+    def alive_workers(self) -> int:
+        return sum(1 for process in self._processes if process.is_alive())
+
+    # -- key distribution ---------------------------------------------------
+
+    def broadcast_keys(self, key_id: str, model: str, blob: bytes) -> None:
+        """Ship one session's Galois keys to every worker (cached there)."""
+        payload = encode_message(
+            Message("keys", {"key_id": key_id, "model": model}, [blob])
+        )
+        for key_queue in self._key_queues:
+            key_queue.put(payload)
+
+    def drop_keys(self, key_id: str) -> None:
+        """Tell every worker to forget a session's keys (close/eviction)."""
+        payload = encode_message(Message("drop_keys", {"key_id": key_id}))
+        for key_queue in self._key_queues:
+            key_queue.put(payload)
+
+    # -- task execution -----------------------------------------------------
+
+    def _collect_results(self) -> None:
+        while True:
+            payload = self._result_queue.get()
+            if payload is None:
+                return
+            reply = decode_message(payload)
+            task_id = str(reply.meta.get("task"))
+            with self._lock:
+                pending = self._pending.pop(task_id, None)
+            if pending is not None:
+                pending.reply = reply
+                pending.event.set()
+
+    def execute(self, requests: list[Message]) -> list[Message]:
+        """Run task messages on the pool; blocks until all replies arrive.
+
+        Thread-safe (the engine calls this from many transport threads).
+        Task ids are assigned here; replies are returned in request
+        order.  A worker-reported failure, a dead worker, or a timeout
+        raises :class:`ShardError`.
+
+        Worker death is treated as pool failure: workers are never
+        respawned, and a task a dead worker had already pulled would
+        otherwise stall its request for the whole ``task_timeout_s``
+        while the engine's transport thread (and any batcher followers
+        behind it) hang with it.  Failing fast the moment the pool is
+        degraded keeps the error at protocol level -- restart the pool.
+        """
+        if self._task_queue is None or self._stopping.is_set():
+            raise ShardError("shard pool is not running")
+        if self.alive_workers() < len(self._processes):
+            raise ShardError(
+                f"shard pool degraded: only {self.alive_workers()} of "
+                f"{len(self._processes)} workers alive"
+            )
+        pendings = []
+        with self._lock:
+            for request in requests:
+                task_id = f"t{self._next_task}"
+                self._next_task += 1
+                request.meta["task"] = task_id
+                pending = _PendingTask()
+                self._pending[task_id] = pending
+                pendings.append((task_id, pending))
+        for request, _ in zip(requests, pendings):
+            self._task_queue.put(encode_message(request))
+        deadline = time.monotonic() + self.task_timeout_s
+        replies = []
+        for task_id, pending in pendings:
+            while not pending.event.wait(timeout=0.5):
+                if time.monotonic() >= deadline:
+                    self._abandon(pendings)
+                    raise ShardError(
+                        f"shard task {task_id} timed out after "
+                        f"{self.task_timeout_s:.0f}s"
+                    )
+                if (
+                    self.alive_workers() < len(self._processes)
+                    or self._stopping.is_set()
+                ):
+                    self._abandon(pendings)
+                    raise ShardError(
+                        "shard worker(s) died with tasks in flight"
+                    )
+            if pending.reply is None:  # pool stopped under us
+                raise ShardError("shard pool stopped with tasks in flight")
+            if pending.reply.meta.get("status") != "ok":
+                self._abandon(pendings)
+                raise ShardError(
+                    str(pending.reply.meta.get("reason", "unknown shard error"))
+                )
+            replies.append(pending.reply)
+        return replies
+
+    def _abandon(self, pendings) -> None:
+        with self._lock:
+            for task_id, _ in pendings:
+                self._pending.pop(task_id, None)
+
+    def ping(self, count: int | None = None) -> list[Message]:
+        """Round-trip ``count`` no-op tasks (worker/model/key introspection).
+
+        Tasks come off a shared queue, so pings land on *some* workers --
+        with a single-worker pool this is deterministic, which is what
+        the tests use it for.
+        """
+        count = self.workers if count is None else count
+        return self.execute([Message("ping", {}) for _ in range(count)])
+
+
+@dataclass
+class _ShardKeyHandle:
+    """What a sharded session stores instead of deserialized Galois keys."""
+
+    key_id: str
+
+
+class ShardExecutor:
+    """Adapt a :class:`ShardPool` to the engine's execution-backend seam.
+
+    Splitting policy (always bit-identical, see module docstring):
+
+    * ``B`` batched requests are split into ``min(B, workers)``
+      contiguous row chunks -- zero duplicated work.
+    * A *single* request hitting a convolution with
+      ``co >= oc_split_min_co`` is instead split by output-channel
+      ranges across workers.  This cuts latency but duplicates the
+      per-input hoist/rotate work in every shard, so it is off for
+      narrow layers (and the demo model) by default -- row-split tasks
+      keep HE op counters identical to single-process execution, which
+      the conformance suite asserts.
+    """
+
+    def __init__(self, pool: ShardPool, oc_split_min_co: int = 8):
+        self.pool = pool
+        self.oc_split_min_co = int(oc_split_min_co)
+        # Key ids on the wire are scoped per executor *and* per upload:
+        # several engines may share one pool, and their session ids all
+        # start at "s0".  Scoping makes every broadcast's id unique, so
+        # a worker can never serve a task with a stale cache entry -- an
+        # id it has not seen yet blocks on its key channel until the
+        # broadcast lands (queue feeder threads give no cross-queue
+        # ordering guarantee, so "already cached" must imply "exactly
+        # the right keys").
+        self._scope = uuid.uuid4().hex[:12]
+        self._scoped: dict[str, str] = {}
+        self._uploads = 0
+        self._lock = threading.Lock()
+
+    # -- executor contract --------------------------------------------------
+
+    def prepare_keys(self, entry, key_id, blob, keys):
+        if entry.name not in self.pool.model_names:
+            raise ShardError(
+                f"model {entry.name!r} is not in the shard workers' artifact "
+                f"set {self.pool.model_names} -- sharded serving requires the "
+                f"registry and the pool to load the same artifact directory"
+            )
+        with self._lock:
+            self._uploads += 1
+            scoped = f"{self._scope}:{key_id}:{self._uploads}"
+            previous = self._scoped.get(key_id)
+            self._scoped[key_id] = scoped
+        if previous is not None:
+            self.pool.drop_keys(previous)
+        self.pool.broadcast_keys(scoped, entry.name, blob)
+        return _ShardKeyHandle(scoped)
+
+    def release_keys(self, key_id):
+        with self._lock:
+            scoped = self._scoped.pop(key_id, None)
+        if scoped is not None and not self.pool._stopping.is_set():
+            self.pool.drop_keys(scoped)
+
+    def execute(self, entry, layer, batch_inputs, batch_handles):
+        batch = len(batch_inputs)
+        workers = max(1, self.pool.workers)
+        key_ids = [handle.key_id for handle in batch_handles]
+        if (
+            batch == 1
+            and workers > 1
+            and isinstance(layer, ConvLayer)
+            and layer.co >= self.oc_split_min_co
+        ):
+            return self._execute_oc_split(
+                entry, layer, batch_inputs[0], key_ids[0], workers
+            )
+        return self._execute_row_split(
+            entry, layer, batch_inputs, key_ids, workers
+        )
+
+    # -- splitting ----------------------------------------------------------
+
+    def _task(self, entry, layer, chunk_inputs, chunk_key_ids, oc_range=None):
+        meta = {
+            "model": entry.name,
+            "layer": layer.name,
+            "key_ids": list(chunk_key_ids),
+            "cts_per_request": [len(cts) for cts in chunk_inputs],
+        }
+        if oc_range is not None:
+            meta["oc_range"] = [int(oc_range[0]), int(oc_range[1])]
+        blobs = [
+            serialize_ciphertext(ct, entry.params)
+            for cts in chunk_inputs
+            for ct in cts
+        ]
+        return Message("task", meta, blobs)
+
+    def _execute_row_split(self, entry, layer, batch_inputs, key_ids, workers):
+        batch = len(batch_inputs)
+        shards = min(batch, workers)
+        bounds = [round(i * batch / shards) for i in range(shards + 1)]
+        tasks = [
+            self._task(
+                entry, layer,
+                batch_inputs[bounds[i] : bounds[i + 1]],
+                key_ids[bounds[i] : bounds[i + 1]],
+            )
+            for i in range(shards)
+            if bounds[i] < bounds[i + 1]
+        ]
+        replies = self.pool.execute(tasks)
+        outputs = []
+        for reply in replies:
+            outputs.extend(self._parse_outputs(entry, reply))
+        return outputs
+
+    def _execute_oc_split(self, entry, layer, cts, key_id, workers):
+        shards = min(workers, layer.co)
+        bounds = [round(i * layer.co / shards) for i in range(shards + 1)]
+        tasks = [
+            self._task(
+                entry, layer, [cts], [key_id],
+                oc_range=(bounds[i], bounds[i + 1]),
+            )
+            for i in range(shards)
+            if bounds[i] < bounds[i + 1]
+        ]
+        replies = self.pool.execute(tasks)
+        merged: list = []
+        for reply in replies:
+            merged.extend(self._parse_outputs(entry, reply)[0])
+        return [merged]
+
+    def _parse_outputs(self, entry, reply: Message):
+        """Deserialize a reply's ciphertexts and fold in its op counters."""
+        counters = reply.meta.get("counters", {})
+        GLOBAL_COUNTERS.he_mult += int(counters.get("he_mult", 0))
+        GLOBAL_COUNTERS.he_add += int(counters.get("he_add", 0))
+        GLOBAL_COUNTERS.he_rotate += int(counters.get("he_rotate", 0))
+        GLOBAL_COUNTERS.ntt += int(counters.get("ntt", 0))
+        GLOBAL_COUNTERS.modmuls += int(counters.get("modmuls", 0))
+        GLOBAL_COUNTERS.butterflies += int(counters.get("butterflies", 0))
+        outputs, offset = [], 0
+        for count in reply.meta.get("outputs_per_request", []):
+            count = int(count)
+            outputs.append(
+                [
+                    deserialize_ciphertext(blob, entry.params)
+                    for blob in reply.blobs[offset : offset + count]
+                ]
+            )
+            offset += count
+        return outputs

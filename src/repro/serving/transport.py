@@ -11,6 +11,7 @@ requests pending at once).
 
 from __future__ import annotations
 
+import errno
 import socket
 import threading
 import time
@@ -104,7 +105,16 @@ class SocketServer:
     ):
         self.engine = engine
         self.drain_timeout_s = drain_timeout_s
-        self._listener = socket.create_server((host, port))
+        # Ephemeral binds (port 0) retry the rare EADDRINUSE race (an
+        # exhausted ephemeral range on a busy host); an explicit port is
+        # the operator's claim and fails immediately.
+        for attempt in range(5):
+            try:
+                self._listener = socket.create_server((host, port))
+                break
+            except OSError as exc:  # pragma: no cover - needs port exhaustion
+                if port != 0 or exc.errno != errno.EADDRINUSE or attempt == 4:
+                    raise
         self.host, self.port = self._listener.getsockname()[:2]
         self._pool = ThreadPoolExecutor(
             max_workers=workers, thread_name_prefix="repro-serve"
@@ -113,8 +123,11 @@ class SocketServer:
         self._stopping = threading.Event()
         # Live connections, so stop() can unblock workers parked in recv()
         # (pool threads are non-daemon; without this the process would hang
-        # on shutdown while any client stays connected).
+        # on shutdown while any client stays connected).  The condition
+        # doubles as a readiness event: tests wait on it instead of
+        # sleeping a fixed interval and hoping the accept loop won.
         self._conn_lock = threading.Lock()
+        self._conn_cond = threading.Condition(self._conn_lock)
         self._connections: set[socket.socket] = set()
         # In-flight request accounting: stop() drains active handlers (a
         # request already being executed gets its reply) before tearing
@@ -142,12 +155,30 @@ class SocketServer:
                 return  # listener closed by stop()
             self._pool.submit(self._serve_connection, conn)
 
+    def wait_for_connections(self, count: int, timeout_s: float = 5.0) -> bool:
+        """Block until ``count`` connections are owned by workers.
+
+        The readiness event for tests and orchestration: a client that
+        just connected is not *served* until the accept loop handed its
+        socket to a pooled worker, and polling/sleeping for that is
+        exactly the flake this method removes.
+        """
+        deadline = time.monotonic() + timeout_s
+        with self._conn_cond:
+            while len(self._connections) < count:
+                remaining = deadline - time.monotonic()
+                if remaining <= 0:
+                    return False
+                self._conn_cond.wait(remaining)
+            return True
+
     def _serve_connection(self, conn: socket.socket) -> None:
-        with self._conn_lock:
+        with self._conn_cond:
             if self._stopping.is_set():
                 conn.close()
                 return
             self._connections.add(conn)
+            self._conn_cond.notify_all()
         try:
             with conn:
                 while not self._stopping.is_set():
@@ -180,8 +211,9 @@ class SocketServer:
                             self._inflight -= 1
                             self._inflight_cond.notify_all()
         finally:
-            with self._conn_lock:
+            with self._conn_cond:
                 self._connections.discard(conn)
+                self._conn_cond.notify_all()
 
     def stop(self) -> None:
         """Stop accepting, drain in-flight requests, then tear down.

@@ -28,6 +28,16 @@ class TestParser:
         args = build_parser().parse_args(["serve", "--artifacts", "zoo/"])
         assert args.artifacts == "zoo/"
 
+    def test_serve_shard_flags(self):
+        args = build_parser().parse_args(
+            ["serve", "--workers", "2", "--threads", "8"]
+        )
+        assert args.workers == 2 and args.threads == 8
+        # In-process execution stays the default; connection threads
+        # are a separate knob from shard worker processes.
+        defaults = build_parser().parse_args(["serve"])
+        assert defaults.workers == 0 and defaults.threads == 16
+
     def test_infer_model_flag(self):
         args = build_parser().parse_args(["infer", "--model", "alpha"])
         assert args.model == "alpha"

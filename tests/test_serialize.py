@@ -149,13 +149,45 @@ class TestMalformedBlobs:
         with pytest.raises(ValueError, match="malformed"):
             deserialize_ciphertext(blob, small_params)
 
+    @staticmethod
+    def _patch_body(blob: bytes, offset: int, value: bytes) -> bytes:
+        """Overwrite body bytes and re-seal the header CRC.
+
+        Lets tests exercise the *semantic* validators (residue ranges)
+        behind the checksum, the way an attacker -- not line noise --
+        would have to.
+        """
+        import json
+        import struct
+        import zlib
+
+        header_len = int.from_bytes(blob[4:8], "little")
+        body = bytearray(blob[8 + header_len :])
+        body[offset : offset + len(value)] = value
+        header = json.loads(blob[8 : 8 + header_len].decode())
+        header["crc32"] = zlib.crc32(bytes(body))
+        new_header = json.dumps(header, sort_keys=True).encode()
+        return (
+            blob[:4] + struct.pack("<I", len(new_header)) + new_header + bytes(body)
+        )
+
     def test_out_of_range_residues_rejected(self, ct_blob, small_params):
         """Residues >= p_i would be silently reduced downstream; reject them."""
-        header_len = int.from_bytes(ct_blob[4:8], "little")
-        body_start = 8 + header_len
-        bad = bytearray(ct_blob)
-        bad[body_start : body_start + 8] = (2**62).to_bytes(8, "little")
+        bad = self._patch_body(ct_blob, 0, (2**62).to_bytes(8, "little"))
         with pytest.raises(ValueError, match="residues outside"):
+            deserialize_ciphertext(bad, small_params)
+
+    def test_in_range_body_corruption_fails_crc(self, ct_blob, small_params):
+        """A bit-flip landing inside a valid residue range must not decode.
+
+        Every structural check would pass (right size, right header,
+        residues in [0, p_i)); only the body CRC stands between this
+        blob and a silently different polynomial.
+        """
+        header_len = int.from_bytes(ct_blob[4:8], "little")
+        bad = bytearray(ct_blob)
+        bad[8 + header_len] ^= 0x01  # LSB of the first residue: stays in range
+        with pytest.raises(ValueError, match="CRC"):
             deserialize_ciphertext(bytes(bad), small_params)
 
     def test_wrong_n_rejected(self, small_scheme, small_keys):

@@ -36,6 +36,8 @@ from repro.serving import (
     encode_message,
 )
 
+
+
 SERVE_SCHEDULE = Schedule.INPUT_ALIGNED
 
 
@@ -295,7 +297,9 @@ class TestSocketTransport:
         engine = ServingEngine(registry, max_batch=1)
         server = SocketServer(engine, workers=2).start()
         idle = socket.create_connection((server.host, server.port))
-        time.sleep(0.1)
+        # Readiness event, not a fixed sleep: the connection only
+        # matters to stop() once a pooled worker owns it.
+        assert server.wait_for_connections(1, timeout_s=5)
         start = time.monotonic()
         server.stop()
         assert time.monotonic() - start < 5
