@@ -40,6 +40,7 @@ from repro.serving import (
     LoopbackTransport,
     ModelRegistry,
     ServingEngine,
+    ShardError,
     ShardExecutor,
     ShardPool,
     demo_image,
@@ -77,6 +78,20 @@ def _stage_artifact(tmp_dir, params):
     save_artifact(entry, Path(tmp_dir) / "demo.rpa")
     update_manifest(tmp_dir, entry, "demo.rpa")
     return load_zoo(tmp_dir)
+
+
+def _start_pool(artifact_dir, workers: int) -> ShardPool:
+    """Start a pool, absorbing one transient startup failure.
+
+    A loaded CI host can OOM-kill or starve a forking worker once; a
+    single retry keeps the benchmark about throughput, not about the
+    host's worst moment.  A second failure is a real problem and raises.
+    """
+    try:
+        return ShardPool(artifact_dir, workers=workers).start()
+    except ShardError as exc:
+        print(f"pool startup failed once ({exc}); retrying")
+        return ShardPool(artifact_dir, workers=workers).start()
 
 
 def _drive_clients(registry, params, images, executor):
@@ -156,10 +171,13 @@ def test_sharding_throughput(tmp_path):
 
     by_workers = {}
     for workers in WORKER_COUNTS:
-        with ShardPool(tmp_path, workers=workers) as pool:
+        pool = _start_pool(tmp_path, workers)
+        try:
             elapsed, lat, logits = _drive_clients(
                 registry, params, images, ShardExecutor(pool)
             )
+        finally:
+            pool.stop()
         check(logits, f"{workers} workers")
         by_workers[workers] = _stats(elapsed, lat, len(images))
 

@@ -227,17 +227,21 @@ def _cmd_serve(args) -> int:
     if args.workers > 0:
         from .serving import ShardExecutor, ShardPool
 
-        pool = ShardPool(artifact_dir, workers=args.workers).start()
+        pool = ShardPool(
+            artifact_dir, workers=args.workers, max_attempts=args.max_attempts
+        ).start()
         executor = ShardExecutor(pool)
         print(
             f"shard pool ready: {pool.workers} worker process(es) memmapping "
-            f"{artifact_dir} (models {pool.model_names})"
+            f"{artifact_dir} (models {pool.model_names}, "
+            f"max_attempts={pool.max_attempts})"
         )
     engine = ServingEngine(
         registry,
         max_batch=args.max_batch,
         batch_window_s=args.batch_window_ms / 1000,
         executor=executor,
+        request_deadline_s=args.request_deadline_s or None,
     )
     server = SocketServer(engine, host=args.host, port=args.port, workers=args.threads)
     server.start()
@@ -263,7 +267,17 @@ def _cmd_serve(args) -> int:
     stop_requested.wait()
     print("\nshutting down (draining in-flight requests)")
     server.stop()
+    if engine.backend_failures:
+        print(
+            f"backend failures: {engine.backend_failures} "
+            f"(degraded layer calls served locally: {engine.degraded_calls})"
+        )
     if pool is not None:
+        if pool.respawns_total or pool.retries_total:
+            print(
+                f"shard supervision: {pool.respawns_total} respawn(s), "
+                f"{pool.retries_total} task retry(ies)"
+            )
         pool.stop()
     if scratch_dir is not None:
         scratch_dir.cleanup()
@@ -289,7 +303,15 @@ def _cmd_infer(args) -> int:
     runner = PlaintextRunner(
         network, demo_weights(seed=args.weights_seed), rescale_bits=DEMO_RESCALE_BITS
     )
-    with SocketTransport(args.host, args.port) as transport:
+    from .serving.faults import ConnectionFaults
+
+    conn_faults = ConnectionFaults.from_env()
+    if conn_faults is not None:
+        print("connection fault injection active (REPRO_FAULT_CONN_*)")
+    with SocketTransport(
+        args.host, args.port,
+        socket_factory=None if conn_faults is None else conn_faults.connect,
+    ) as transport:
         session = ClientSession(
             network, params, transport, seed=args.seed, track_noise=args.noise
         )
@@ -310,6 +332,8 @@ def _cmd_infer(args) -> int:
                 f"(matches plaintext: {match}{budget})"
             )
         session.close()
+        if getattr(transport, "retries", 0):
+            print(f"transport retries: {transport.retries}")
     return 1 if failures else 0
 
 
@@ -397,6 +421,18 @@ def build_parser() -> argparse.ArgumentParser:
     serve.add_argument(
         "--threads", type=int, default=16,
         help="max concurrently connected clients (one thread per connection)",
+    )
+    serve.add_argument(
+        "--max-attempts", type=int, default=3, dest="max_attempts",
+        help="attempts per shard task before the engine degrades the "
+             "layer call to in-process execution",
+    )
+    serve.add_argument(
+        "--request-deadline-s", type=float, default=0.0,
+        dest="request_deadline_s",
+        help="soft per-round deadline in seconds (0 = no deadline); a "
+             "shard backend that cannot meet it degrades to in-process "
+             "execution",
     )
 
     infer = sub.add_parser("infer", help="run private inference against a server")

@@ -16,6 +16,7 @@ multi-core throughput).
 """
 
 from .engine import ExecutionBackendError, LocalExecutor, ServingEngine
+from .faults import ConnectionFaults, WorkerFaults
 from .models import (
     DEMO_RESCALE_BITS,
     demo_image,
@@ -45,6 +46,8 @@ __all__ = [
     "SocketTransport",
     "Message",
     "ServingError",
+    "WorkerFaults",
+    "ConnectionFaults",
     "encode_message",
     "decode_message",
     "DEMO_RESCALE_BITS",

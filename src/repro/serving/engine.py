@@ -35,6 +35,7 @@ labels, round counts), matching the accounting of the in-process
 
 from __future__ import annotations
 
+import logging
 import threading
 import time
 from collections import OrderedDict
@@ -50,6 +51,8 @@ from ..scheduling.layouts import unpack_image
 from .registry import ModelEntry, ModelRegistry
 from .wire import Message, error_message
 
+logger = logging.getLogger(__name__)
+
 
 @dataclass
 class _Session:
@@ -59,11 +62,16 @@ class _Session:
     returned from ``prepare_keys`` -- the deserialized
     :class:`~repro.bfv.keys.GaloisKeys` for in-process execution, or an
     opaque per-session handle for remote/sharded backends.
+    ``fallback_keys`` always holds the deserialized keys themselves, so
+    the engine can degrade a layer call to its in-process
+    :class:`LocalExecutor` when the backend fails (remote handles are
+    opaque and useless to the local path).
     """
 
     session_id: str
     entry: ModelEntry
     galois_keys: object | None = None
+    fallback_keys: object | None = None
     traffic: TrafficLog = field(default_factory=TrafficLog)
 
 
@@ -89,11 +97,14 @@ class LocalExecutor:
         handle and later passed back to ``execute``.
     ``release_keys(key_id)``
         The session closed or was evicted; free anything held for it.
-    ``execute(entry, layer, batch_inputs, batch_handles)``
+    ``execute(entry, layer, batch_inputs, batch_handles, deadline=None)``
         Run one (possibly cross-client batched) layer call.  Returns one
         ``list[Ciphertext]`` per request -- ``co`` ciphertexts for a
         convolution, one for an FC layer -- bit-identical to
-        ``plan.execute`` under each request's own keys.
+        ``plan.execute`` under each request's own keys.  ``deadline`` is
+        an absolute ``time.monotonic()`` instant (or ``None``); remote
+        backends enforce it, the in-process path ignores it (a started
+        plan execution is never abandoned half-way).
     """
 
     def prepare_keys(self, entry, key_id, blob, keys):
@@ -102,7 +113,10 @@ class LocalExecutor:
     def release_keys(self, key_id):
         pass
 
-    def execute(self, entry: ModelEntry, layer, batch_inputs, batch_handles):
+    def execute(
+        self, entry: ModelEntry, layer, batch_inputs, batch_handles,
+        deadline=None,
+    ):
         plan = entry.plans[layer.name]
         if isinstance(layer, ConvLayer):
             return plan.execute_batch(batch_inputs, batch_handles)
@@ -117,11 +131,14 @@ class LocalExecutor:
 class _BatchItem:
     """One pending layer request inside a :class:`_LayerBatcher`."""
 
-    __slots__ = ("cts", "keys", "event", "output", "error")
+    __slots__ = ("cts", "keys", "fallback_keys", "deadline", "event", "output",
+                 "error")
 
-    def __init__(self, cts, keys):
+    def __init__(self, cts, keys, fallback_keys=None, deadline=None):
         self.cts = cts
         self.keys = keys
+        self.fallback_keys = fallback_keys
+        self.deadline = deadline
         self.event = threading.Event()
         self.output = None
         self.error: BaseException | None = None
@@ -153,8 +170,8 @@ class _LayerBatcher:
         self._cond = threading.Condition()
         self._pending: list[_BatchItem] = []
 
-    def submit(self, cts, keys):
-        item = _BatchItem(cts, keys)
+    def submit(self, cts, keys, fallback_keys=None, deadline=None):
+        item = _BatchItem(cts, keys, fallback_keys, deadline)
         with self._cond:
             self._pending.append(item)
             leader = len(self._pending) == 1
@@ -185,8 +202,14 @@ class _LayerBatcher:
 
     def _run(self, batch: list[_BatchItem]) -> None:
         try:
+            deadlines = [
+                item.deadline for item in batch if item.deadline is not None
+            ]
             outputs = self._execute(
-                [item.cts for item in batch], [item.keys for item in batch]
+                [item.cts for item in batch],
+                [item.keys for item in batch],
+                [item.fallback_keys for item in batch],
+                min(deadlines) if deadlines else None,
             )
             for item, output in zip(batch, outputs):
                 item.output = output
@@ -209,6 +232,8 @@ class ServingEngine:
         max_sessions: int = 256,
         seed: int | None = None,
         executor=None,
+        request_deadline_s: float | None = None,
+        fallback_local: bool = True,
     ):
         self.registry = registry
         #: Where plan math runs: in-process by default, or a pluggable
@@ -217,6 +242,29 @@ class ServingEngine:
         self.executor = executor if executor is not None else LocalExecutor()
         self.max_batch = max(1, int(max_batch))
         self.batch_window_s = batch_window_s
+        #: Soft per-request deadline (seconds per linear round), or
+        #: ``None``.  Propagated into the backend as an absolute
+        #: monotonic instant; a backend that cannot meet it fails the
+        #: call and the engine degrades to the local executor.
+        self.request_deadline_s = (
+            None if not request_deadline_s else float(request_deadline_s)
+        )
+        #: When the execution backend fails a layer call
+        #: (:class:`ExecutionBackendError`: pool below quorum, task out
+        #: of attempts, deadline missed), re-run it on the in-process
+        #: :class:`LocalExecutor` instead of failing the session.
+        self.fallback_local = bool(fallback_local)
+        self._local = (
+            self.executor
+            if isinstance(self.executor, LocalExecutor)
+            else LocalExecutor()
+        )
+        self._stats_lock = threading.Lock()
+        #: Layer calls served by the local fallback after a backend failure.
+        self.degraded_calls = 0
+        #: Backend failures observed (== degraded_calls unless fallback
+        #: is off or the fallback itself failed).
+        self.backend_failures = 0
         #: Session-table bound: clients that vanish without sending ``close``
         #: (crashes, dropped connections) must not leak their multi-MB Galois
         #: key sets forever, so the least-recently-used session is evicted
@@ -299,6 +347,7 @@ class ServingEngine:
         session.galois_keys = self.executor.prepare_keys(
             session.entry, session.session_id, blob, keys
         )
+        session.fallback_keys = keys
         session.traffic.send_to_cloud(len(blob), "galois_keys")
         return Message("keys_ok", {"session": session.session_id})
 
@@ -332,7 +381,15 @@ class ServingEngine:
         session.traffic.send_to_cloud(
             sum(len(blob) for blob in request.blobs), layer_name
         )
-        masked_cts, mask = self._run_layer(entry, layer, cts, session.galois_keys)
+        deadline = (
+            time.monotonic() + self.request_deadline_s
+            if self.request_deadline_s is not None
+            else None
+        )
+        masked_cts, mask = self._run_layer(
+            entry, layer, cts, session.galois_keys, session.fallback_keys,
+            deadline,
+        )
         ct_blobs = [serialize_ciphertext(ct, entry.params) for ct in masked_cts]
         mask_blob = np.ascontiguousarray(mask, dtype="<i8").tobytes()
         session.traffic.send_to_client(
@@ -346,13 +403,18 @@ class ServingEngine:
             [*ct_blobs, mask_blob],
         )
 
-    def _run_layer(self, entry: ModelEntry, layer, cts, galois_keys):
+    def _run_layer(
+        self, entry: ModelEntry, layer, cts, galois_keys, fallback_keys=None,
+        deadline=None,
+    ):
         """Execute one layer, batched across clients when possible.
 
         Returns this request's ``(masked_cts, mask_view)``.
         """
         if self.max_batch <= 1:
-            return self._execute_layer(entry, layer, [cts], [galois_keys])[0]
+            return self._execute_layer(
+                entry, layer, [cts], [galois_keys], [fallback_keys], deadline
+            )[0]
         # Keyed by entry *identity*: re-registering a model name creates a
         # fresh ModelEntry, and sessions opened before and after must not
         # share a batch (their plans and weights differ).  Sessions keep
@@ -363,15 +425,16 @@ class ServingEngine:
             if batcher is None:
                 self._prune_stale_batchers()
                 batcher = _LayerBatcher(
-                    lambda inputs, keys, e=entry, l=layer: self._execute_layer(
-                        e, l, inputs, keys
+                    lambda inputs, keys, fallback, batch_deadline,
+                    e=entry, l=layer: self._execute_layer(
+                        e, l, inputs, keys, fallback, batch_deadline
                     ),
                     self.max_batch,
                     self.batch_window_s,
                 )
                 batcher.entry = entry
                 self._batchers[key] = batcher
-        return batcher.submit(cts, galois_keys)
+        return batcher.submit(cts, galois_keys, fallback_keys, deadline)
 
     def _prune_stale_batchers(self) -> None:
         """Drop idle batchers for replaced model entries (holds self._lock)."""
@@ -384,9 +447,40 @@ class ServingEngine:
         for key in stale:
             del self._batchers[key]
 
-    def _execute_layer(self, entry: ModelEntry, layer, batch_inputs, batch_keys):
-        """One stacked plan execution + blinding for B pending requests."""
-        outputs = self.executor.execute(entry, layer, batch_inputs, batch_keys)
+    def _execute_layer(
+        self, entry: ModelEntry, layer, batch_inputs, batch_keys,
+        batch_fallback=None, deadline=None,
+    ):
+        """One stacked plan execution + blinding for B pending requests.
+
+        A backend failure degrades to the in-process executor (when
+        ``fallback_local`` and the raw Galois keys are at hand) instead
+        of failing every session in the batch: plan execution is
+        deterministic, so the local replay is bit-identical to what the
+        backend would have produced.
+        """
+        try:
+            outputs = self.executor.execute(
+                entry, layer, batch_inputs, batch_keys, deadline=deadline
+            )
+        except ExecutionBackendError as exc:
+            with self._stats_lock:
+                self.backend_failures += 1
+            fallback = batch_fallback or []
+            if (
+                not self.fallback_local
+                or self.executor is self._local
+                or len(fallback) != len(batch_inputs)
+                or any(keys is None for keys in fallback)
+            ):
+                raise
+            logger.warning(
+                "execution backend failed for layer %r (%s); degrading "
+                "this call to the in-process executor", layer.name, exc,
+            )
+            outputs = self._local.execute(entry, layer, batch_inputs, fallback)
+            with self._stats_lock:
+                self.degraded_calls += 1
         # One blinding pass over every output of the whole batch: the mask
         # encode + eval-domain lift run as a single (k, B*co, n) call.
         flat = [ct for request_cts in outputs for ct in request_cts]

@@ -1,0 +1,259 @@
+"""Deterministic, seedable fault injection for the serving stack.
+
+The robustness claims of :mod:`repro.serving` -- a supervised shard pool
+that requeues the work of dead workers, an engine that degrades to
+in-process execution, a client transport that reconnects and replays --
+are only claims until something actually kills a worker mid-task.  This
+module is that something.  Every fault is *counted*, not random: "crash
+worker 0 on the 2nd task it claims" fires at exactly one point in the
+protocol, so a chaos test (``tests/test_faults.py``) can assert
+bit-identical logits and exact op-counter accounting after recovery.
+
+Two planes are injectable:
+
+:class:`WorkerFaults`
+    Shard-worker faults, evaluated inside the worker process (the plan
+    is picklable and crosses the fork): SIGKILL on startup, SIGKILL when
+    claiming the Nth task (mid-task from the coordinator's view -- the
+    claim is already on the wire), or a stall of ``stall_s`` seconds
+    before executing the Nth task.  By default a fault fires only in a
+    worker's first incarnation, so a respawned worker is healthy;
+    ``every_incarnation=True`` models a permanently-crashing worker.
+
+:class:`ConnectionFaults`
+    Client-transport faults, applied by wrapping the TCP socket
+    (:meth:`ConnectionFaults.connect` is a drop-in
+    ``socket_factory`` for :class:`~repro.serving.transport
+    .SocketTransport`): drop or truncate the Nth request frame sent, cut
+    the connection on the Nth reply read, or flip one seeded byte in the
+    reply to the Nth request.  Counters are shared across reconnects, so
+    "the Nth frame" means the Nth over the transport's lifetime.
+
+Both planes also parse ``REPRO_FAULT_*`` environment variables (see
+:meth:`WorkerFaults.from_env` / :meth:`ConnectionFaults.from_env`), so
+an unmodified ``repro serve`` / ``repro infer`` pair can be driven
+through injected faults by CI:
+
+.. code-block:: text
+
+    REPRO_FAULT_WORKER_CRASH=0:1      worker 0, SIGKILL on its 1st task
+    REPRO_FAULT_TASK_STALL=1:2:5.0    worker 1, 5s stall on its 2nd task
+    REPRO_FAULT_STARTUP_CRASH=0       worker 0 dies before readiness
+    REPRO_FAULT_CONN_DROP=3           drop the 3rd request frame sent
+    REPRO_FAULT_CONN_TRUNCATE=3       truncate the 3rd request frame
+    REPRO_FAULT_CONN_CUT_RECV=3       cut the link on the 3rd reply read
+    REPRO_FAULT_FRAME_CORRUPT=3       flip a byte in the 3rd reply
+    REPRO_FAULT_SEED=7                seeds the corrupted-byte choice
+"""
+
+from __future__ import annotations
+
+import os
+import random
+import signal
+import socket
+import time
+from dataclasses import dataclass
+
+#: Prefix of every fault-injection environment hook.
+ENV_PREFIX = "REPRO_FAULT_"
+
+
+def _sigkill_self() -> None:  # pragma: no cover - the process dies here
+    os.kill(os.getpid(), signal.SIGKILL)
+
+
+# -- worker-side faults -------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class WorkerFaults:
+    """A deterministic fault plan evaluated inside shard workers.
+
+    Task indices are 1-based and counted per worker incarnation over
+    ``task``-kind frames only (pings and key traffic never trigger
+    faults).  Faults fire in incarnation 0 only unless
+    ``every_incarnation`` is set.
+    """
+
+    #: Worker id to SIGKILL, or ``-1`` for no crash fault.
+    crash_worker: int = -1
+    #: Crash when claiming this (1-based) task.
+    crash_on_task: int = 1
+    #: Worker id to stall, or ``-1`` for no stall fault.
+    stall_worker: int = -1
+    #: Stall before executing this (1-based) task.
+    stall_on_task: int = 1
+    #: Stall duration in seconds.
+    stall_s: float = 0.0
+    #: Worker id to SIGKILL before it reports ready, or ``-1``.
+    startup_crash_worker: int = -1
+    #: Apply the crash/stall faults in every incarnation, not just the
+    #: first (models a permanently-crashing worker).
+    every_incarnation: bool = False
+
+    @classmethod
+    def from_env(cls, env=None) -> "WorkerFaults | None":
+        """Parse ``REPRO_FAULT_*`` hooks; ``None`` when none are set."""
+        env = os.environ if env is None else env
+        crash = _split_ints(env.get(ENV_PREFIX + "WORKER_CRASH"), 2)
+        stall = _split_ints(env.get(ENV_PREFIX + "TASK_STALL"), 3)
+        startup = env.get(ENV_PREFIX + "STARTUP_CRASH")
+        if crash is None and stall is None and not startup:
+            return None
+        kwargs: dict = {
+            "every_incarnation": env.get(ENV_PREFIX + "EVERY_INCARNATION", "") == "1"
+        }
+        if crash is not None:
+            kwargs["crash_worker"], kwargs["crash_on_task"] = (
+                int(crash[0]), int(crash[1]),
+            )
+        if stall is not None:
+            kwargs["stall_worker"] = int(stall[0])
+            kwargs["stall_on_task"] = int(stall[1])
+            kwargs["stall_s"] = float(stall[2])
+        if startup:
+            kwargs["startup_crash_worker"] = int(startup)
+        return cls(**kwargs)
+
+    def _applies(self, incarnation: int) -> bool:
+        return incarnation == 0 or self.every_incarnation
+
+    def on_worker_start(self, worker_id: int, incarnation: int) -> None:
+        """Hook run before a worker loads its registry (pre-readiness)."""
+        if worker_id == self.startup_crash_worker and self._applies(incarnation):
+            _sigkill_self()
+
+    def on_task(self, worker_id: int, incarnation: int, task_index: int) -> None:
+        """Hook run after a worker claims its ``task_index``-th task."""
+        if not self._applies(incarnation):
+            return
+        if worker_id == self.crash_worker and task_index >= self.crash_on_task:
+            _sigkill_self()
+        if (
+            worker_id == self.stall_worker
+            and task_index == self.stall_on_task
+            and self.stall_s > 0
+        ):
+            time.sleep(self.stall_s)
+
+
+def _split_ints(value: str | None, count: int) -> list[str] | None:
+    if not value:
+        return None
+    parts = value.split(":")
+    if len(parts) != count:
+        raise ValueError(
+            f"malformed {ENV_PREFIX} fault spec {value!r}: expected "
+            f"{count} colon-separated field(s)"
+        )
+    return parts
+
+
+# -- client-transport faults --------------------------------------------------
+
+
+class ConnectionFaults:
+    """Counted connection faults, shared across a transport's reconnects.
+
+    Frame counters are 1-based and advance once per frame (one
+    ``sendall`` per request frame, one 4-byte length-prefix read per
+    reply frame), so a fault like ``drop_on_send=3`` names one exact
+    protocol step: the third request the client ever sends.
+    """
+
+    def __init__(
+        self,
+        drop_on_send: int = 0,
+        truncate_on_send: int = 0,
+        cut_on_recv: int = 0,
+        corrupt_reply_to: int = 0,
+        seed: int = 0,
+    ):
+        self.drop_on_send = int(drop_on_send)
+        self.truncate_on_send = int(truncate_on_send)
+        self.cut_on_recv = int(cut_on_recv)
+        self.corrupt_reply_to = int(corrupt_reply_to)
+        self._rng = random.Random(seed)
+        self.frames_sent = 0
+        self.frames_read = 0
+        #: Tally of faults actually fired, for test assertions.
+        self.fired: list[str] = []
+
+    @classmethod
+    def from_env(cls, env=None) -> "ConnectionFaults | None":
+        """Parse ``REPRO_FAULT_CONN_*`` hooks; ``None`` when unset."""
+        env = os.environ if env is None else env
+        kwargs = {
+            "drop_on_send": env.get(ENV_PREFIX + "CONN_DROP", 0),
+            "truncate_on_send": env.get(ENV_PREFIX + "CONN_TRUNCATE", 0),
+            "cut_on_recv": env.get(ENV_PREFIX + "CONN_CUT_RECV", 0),
+            "corrupt_reply_to": env.get(ENV_PREFIX + "FRAME_CORRUPT", 0),
+        }
+        if not any(int(value) for value in kwargs.values()):
+            return None
+        return cls(seed=int(env.get(ENV_PREFIX + "SEED", 0)), **{
+            key: int(value) for key, value in kwargs.items()
+        })
+
+    def connect(self, address, timeout=None) -> "FaultySocket":
+        """``socket_factory`` drop-in: a wrapped ``create_connection``."""
+        return FaultySocket(socket.create_connection(address, timeout=timeout), self)
+
+
+class FaultySocket:
+    """A socket wrapper that applies one :class:`ConnectionFaults` plan."""
+
+    def __init__(self, sock: socket.socket, plan: ConnectionFaults):
+        self._sock = sock
+        self._plan = plan
+        self._corrupt_next_recv = False
+
+    def __getattr__(self, name):
+        return getattr(self._sock, name)
+
+    def sendall(self, data: bytes) -> None:
+        plan = self._plan
+        plan.frames_sent += 1
+        if plan.frames_sent == plan.drop_on_send:
+            plan.fired.append(f"drop_on_send:{plan.frames_sent}")
+            self._sock.close()
+            raise ConnectionResetError("injected connection drop on send")
+        if plan.frames_sent == plan.truncate_on_send:
+            plan.fired.append(f"truncate_on_send:{plan.frames_sent}")
+            self._sock.sendall(data[: max(1, len(data) // 2)])
+            self._sock.close()
+            raise ConnectionResetError("injected frame truncation on send")
+        if plan.frames_sent == plan.corrupt_reply_to:
+            self._corrupt_next_recv = True
+        self._sock.sendall(data)
+
+    def recv(self, bufsize: int) -> bytes:
+        plan = self._plan
+        if bufsize == 4:  # a frame-length prefix read starts a new frame
+            plan.frames_read += 1
+            if plan.frames_read == plan.cut_on_recv:
+                plan.fired.append(f"cut_on_recv:{plan.frames_read}")
+                self._sock.close()
+                raise ConnectionResetError("injected connection cut on recv")
+        data = self._sock.recv(bufsize)
+        if self._corrupt_next_recv and len(data) > 4:
+            # Flip a byte in the frame magic: the one region decoding
+            # always validates, so the corruption is deterministically
+            # *detected* (ValueError -> replay) rather than sometimes
+            # landing in a ciphertext blob and silently corrupting
+            # logits -- the wire format carries no payload checksum.
+            self._corrupt_next_recv = False
+            plan.fired.append(f"corrupt_reply:{plan.frames_read}")
+            index = plan._rng.randrange(0, 4)
+            data = data[:index] + bytes([data[index] ^ 0x40]) + data[index + 1 :]
+        return data
+
+    def close(self) -> None:
+        self._sock.close()
+
+    def shutdown(self, how: int) -> None:
+        self._sock.shutdown(how)
+
+    def settimeout(self, value) -> None:
+        self._sock.settimeout(value)

@@ -59,6 +59,10 @@ class ServingResult:
     #: Minimum invariant noise budget observed across received ciphertexts
     #: (``inf`` when ``track_noise`` is off -- measuring costs a decrypt).
     min_noise_budget: float
+    #: Rounds this inference re-issued after a transport failure (0 on
+    #: transports without retry support).  Replays are bit-identical, so
+    #: a non-zero count changes nothing about the logits.
+    transport_retries: int = 0
 
 
 class ClientSession:
@@ -120,6 +124,7 @@ class ClientSession:
         t = self.params.plain_modulus
         evaluator = GarbledEvaluator(t, bit_width=t.bit_length())
         self._min_budget = float("inf")
+        retries_before = getattr(self.transport, "retries", 0)
         current = np.asarray(image, dtype=np.int64)
         layers = list(self.network.layers)
         index = 0
@@ -145,6 +150,9 @@ class ClientSession:
             rounds=rounds,
             gc_cost=evaluator.total_cost,
             min_noise_budget=self._min_budget,
+            transport_retries=(
+                getattr(self.transport, "retries", 0) - retries_before
+            ),
         )
 
     def _linear_round(self, layer, activations):

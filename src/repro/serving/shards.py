@@ -9,8 +9,14 @@ never cashes in.  This module adds the missing piece:
 * :class:`ShardPool` forks ``N`` worker processes.  Each worker
   ``load_zoo``'s the same artifact directory -- memmapped weight stacks,
   zero plan recompilation, shared pages -- reports readiness, then pulls
-  work from one shared task queue (idle workers self-balance; there is
-  no static request-to-worker pinning).
+  work from its own task queue.  The coordinator dispatches each task to
+  the least-loaded live worker, so idle workers still balance the load
+  -- but no IPC queue ever has two consumer processes.  That queue
+  topology is a *fault-tolerance* decision: a ``multiprocessing.Queue``
+  reader holds a shared lock while blocked, so a worker SIGKILLed
+  mid-``get`` on a shared queue would wedge every sibling forever.
+  With per-worker queues a corpse corrupts only its own channels, which
+  are discarded and rebuilt on respawn.
 * :class:`ShardExecutor` plugs into the engine's execution-backend seam
   (:class:`~repro.serving.engine.LocalExecutor` documents the contract).
   A batched ``(k, B, n)`` layer call is split into per-shard sub-batches
@@ -38,10 +44,42 @@ feeders give no cross-queue ordering guarantee, so correctness rests on
 "cache hit implies exactly the right keys": a worker that sees an
 unknown id blocks draining its own (FIFO) key channel until the
 broadcast lands; it can never *mistake* stale keys for current ones.
+
+Fault tolerance
+---------------
+
+The pool is *supervised*: a monitor thread watches worker liveness and
+pending-task progress, and a crashed or stalled worker costs a retry,
+not the request.
+
+* Every task is dispatched to exactly one worker incarnation, and the
+  worker announces it with a ``claimed`` frame before executing, so the
+  coordinator knows both where every in-flight task lives and whether
+  execution started.  When a worker dies, everything assigned to the
+  dead incarnation is requeued onto the survivors immediately; a task
+  making no progress for ``attempt_timeout_s`` (hung worker, lost
+  reply) is requeued by the stall check.
+* Each requeue bumps the task's ``attempt`` counter; after
+  ``max_attempts`` the task fails with a :class:`ShardError` and the
+  engine degrades to its in-process executor rather than failing the
+  session.
+* Dead workers are respawned (fresh ``load_zoo`` from the same
+  memmapped artifact dir) with exponential backoff; the coordinator
+  keeps every live key blob and replays it into the fresh worker's key
+  channel, so respawned workers serve existing sessions without client
+  involvement.  After ``max_respawns`` deaths a slot is abandoned and
+  the survivors carry the load; when every slot is abandoned the pool
+  fails all pending and future work fast (the engine's local fallback
+  takes over).
+* Exactly-once accounting holds under retries because op-counter deltas
+  travel inside result frames and are folded only from the single
+  *accepted* reply per task (first ``ok`` wins; duplicates from
+  spurious requeues and stale attempts are dropped on the floor).
 """
 
 from __future__ import annotations
 
+import logging
 import multiprocessing
 import os
 import queue
@@ -54,11 +92,33 @@ from ..bfv.counters import GLOBAL_COUNTERS
 from ..bfv.serialize import deserialize_ciphertext, serialize_ciphertext
 from ..nn.layers import ConvLayer
 from .engine import ExecutionBackendError
-from .wire import Message, decode_message, encode_message
+from .faults import WorkerFaults
+from .wire import Message, attempt_of, decode_message, encode_message
+
+logger = logging.getLogger(__name__)
 
 
 class ShardError(ExecutionBackendError):
     """A shard pool failure: dead worker, startup error, or task failure."""
+
+
+def _retire_queue(q) -> None:
+    """Release a coordinator-owned queue that may never be drained.
+
+    A ``multiprocessing.Queue`` write is asynchronous: a feeder thread
+    moves buffered items into the pipe.  When the consumer is gone (a
+    dead or stopped worker) and the pipe is full -- easy with multi-MB
+    Galois key blobs -- that feeder blocks forever, and the interpreter's
+    multiprocessing atexit hook would then hang *process shutdown*
+    joining it.  ``cancel_join_thread`` forfeits the undelivered items
+    (they have no reader anyway) so exit never blocks on a corpse's
+    queue.
+    """
+    if q is not None:
+        try:
+            q.cancel_join_thread()
+        except (AttributeError, OSError):  # pragma: no cover - defensive
+            pass
 
 
 # -- worker process -----------------------------------------------------------
@@ -88,9 +148,10 @@ def _drain_key_queue(key_queue, key_cache, params_by_model, block_for=None,
     """Apply pending key broadcasts; optionally block until one arrives.
 
     ``block_for`` is a key id the caller needs *now* (its task references
-    it); because broadcasts are enqueued before any task that uses them,
-    a bounded blocking drain is guaranteed to find it unless the
-    coordinator died.
+    it); because broadcasts are enqueued before any task that uses them
+    -- and replayed into a respawned worker's fresh channel before it is
+    handed tasks -- a bounded blocking drain is guaranteed to find it
+    unless the coordinator died.
     """
     from ..bfv.serialize import deserialize_galois_keys
 
@@ -166,6 +227,7 @@ def _run_task(registry, key_cache, request: Message) -> Message:
         {
             "task": task_id,
             "status": "ok",
+            "attempt": attempt_of(request),
             "outputs_per_request": [len(cts) for cts in outputs],
             "counters": {
                 "he_mult": delta.he_mult,
@@ -181,11 +243,13 @@ def _run_task(registry, key_cache, request: Message) -> Message:
 
 
 def _worker_main(
-    worker_id, artifact_dir, verify, ntt_native, task_queue, key_queue,
-    result_queue, ready_queue,
+    worker_id, incarnation, artifact_dir, verify, ntt_native, task_queue,
+    key_queue, result_queue, ready_queue, fault_plan,
 ):
     """Worker entry point: warm-start from artifacts, then serve tasks."""
     try:
+        if fault_plan is not None:
+            fault_plan.on_worker_start(worker_id, incarnation)
         if ntt_native is not None:
             _force_ntt_backend(bool(ntt_native))
         from ..artifacts.zoo import load_zoo
@@ -199,6 +263,7 @@ def _worker_main(
         return
     ready_queue.put(("ready", worker_id, registry.names()))
     key_cache: dict[str, object] = {}
+    tasks_claimed = 0
     while True:
         payload = task_queue.get()
         if payload is None:  # stop sentinel from ShardPool.stop()
@@ -206,6 +271,24 @@ def _worker_main(
         task_id = None
         try:
             request = decode_message(payload)
+            attempt = attempt_of(request)
+            task_id = request.meta.get("task")
+            # Claim before executing: claims tell the coordinator that
+            # execution started (refreshing the stall clock) and carry
+            # this incarnation, pinning the task to this process.
+            result_queue.put(
+                encode_message(
+                    Message(
+                        "claimed",
+                        {
+                            "task": task_id,
+                            "attempt": attempt,
+                            "worker": worker_id,
+                            "incarnation": incarnation,
+                        },
+                    )
+                )
+            )
             # Opportunistically apply key broadcasts/drops queued since
             # the last task (drops must not wait for a blocking need).
             _drain_key_queue(key_queue, key_cache, params_by_model)
@@ -215,13 +298,26 @@ def _worker_main(
                     {
                         "task": request.require("task"),
                         "status": "ok",
+                        "attempt": attempt,
                         "worker": worker_id,
+                        "incarnation": incarnation,
                         "models": registry.names(),
                         "cached_keys": sorted(key_cache),
                         "pid": os.getpid(),
                     },
                 )
             elif request.kind == "task":
+                tasks_claimed += 1
+                if fault_plan is not None:
+                    fault_plan.on_task(worker_id, incarnation, tasks_claimed)
+                deadline_mono = request.meta.get("deadline_mono")
+                if (
+                    deadline_mono is not None
+                    and time.monotonic() > float(deadline_mono)
+                ):
+                    raise ShardError(
+                        "request deadline exceeded before execution"
+                    )
                 task_id = request.require("task")
                 for key_id in request.require("key_ids"):
                     if key_id not in key_cache:
@@ -236,6 +332,7 @@ def _worker_main(
                     {
                         "task": request.meta.get("task", "?"),
                         "status": "error",
+                        "attempt": attempt,
                         "reason": f"unknown shard request {request.kind!r}",
                     },
                 )
@@ -245,6 +342,7 @@ def _worker_main(
                 {
                     "task": task_id if task_id is not None else "?",
                     "status": "error",
+                    "attempt": attempt_of(request) if task_id is not None else 0,
                     "reason": f"worker {worker_id}: {type(exc).__name__}: {exc}",
                 },
             )
@@ -255,22 +353,66 @@ def _worker_main(
 
 
 class _PendingTask:
-    __slots__ = ("event", "reply")
+    """Coordinator-side state for one in-flight task (guarded by pool lock).
 
-    def __init__(self):
+    The un-encoded request :class:`~repro.serving.wire.Message` is kept
+    so a retry can re-dispatch it with a bumped ``attempt`` -- tasks are
+    deterministic, so a replay is bit-identical.
+    """
+
+    __slots__ = (
+        "request", "event", "reply", "attempt", "assigned", "claimed_at",
+        "dispatched_at",
+    )
+
+    def __init__(self, request: Message):
+        self.request = request
         self.event = threading.Event()
         self.reply: Message | None = None
+        self.attempt = 0
+        #: ``(worker_id, incarnation)`` this attempt was dispatched to,
+        #: or ``None`` while parked waiting for a live worker.
+        self.assigned: tuple[int, int] | None = None
+        self.claimed_at: float | None = None
+        self.dispatched_at: float | None = None
+
+
+@dataclass
+class _Slot:
+    """One supervised worker position in the pool."""
+
+    worker_id: int
+    process: object = None
+    task_queue: object = None
+    result_queue: object = None
+    key_queue: object = None
+    incarnation: int = 0
+    ready: bool = False
+    abandoned: bool = False
+    respawn_at: float | None = None
+    deaths: int = 0
+    last_error: str = ""
 
 
 class ShardPool:
-    """A pool of forked worker processes executing plan layers.
+    """A supervised pool of forked worker processes executing plan layers.
 
     Workers warm-start by ``load_zoo``-ing ``artifact_dir`` (memmapped
     stacks -> the weight pages of all workers are shared through the OS
-    page cache) and pull :class:`~repro.serving.wire.Message` tasks from
-    one shared queue.  ``ntt_native`` optionally pins the workers' NTT
-    backend (``None`` inherits the parent's); backends are bit-identical
-    either way.
+    page cache); the coordinator dispatches each
+    :class:`~repro.serving.wire.Message` task to the least-loaded live
+    worker's private queue.  ``ntt_native`` optionally pins the workers'
+    NTT backend (``None`` inherits the parent's); backends are
+    bit-identical either way.
+
+    A monitor thread supervises the pool (see the module docstring):
+    dead workers have their in-flight tasks requeued (at most
+    ``max_attempts`` attempts per task, ``attempt_timeout_s`` per
+    attempt before a stalled attempt is retried) and are respawned with
+    backoff up to ``max_respawns`` times before their slot is abandoned.
+    ``fault_plan`` injects deterministic worker faults for tests
+    (defaults to :meth:`WorkerFaults.from_env`, so ``REPRO_FAULT_*``
+    environment hooks reach unmodified servers).
 
     The pool is transport-agnostic -- :class:`ShardExecutor` adapts it to
     the serving engine, and tests/benchmarks drive :meth:`execute`
@@ -285,15 +427,29 @@ class ShardPool:
         ntt_native: bool | None = None,
         start_timeout_s: float = 120.0,
         task_timeout_s: float = 300.0,
+        max_attempts: int = 3,
+        attempt_timeout_s: float = 60.0,
+        max_respawns: int = 3,
+        respawn_backoff_s: float = 0.2,
+        fault_plan: WorkerFaults | None = None,
     ):
         if workers < 1:
             raise ValueError(f"need at least one worker, got {workers}")
+        if max_attempts < 1:
+            raise ValueError(f"need at least one attempt, got {max_attempts}")
         self.artifact_dir = str(artifact_dir)
         self.workers = int(workers)
         self.verify = verify
         self.ntt_native = ntt_native
         self.start_timeout_s = start_timeout_s
         self.task_timeout_s = task_timeout_s
+        self.max_attempts = int(max_attempts)
+        self.attempt_timeout_s = float(attempt_timeout_s)
+        self.max_respawns = int(max_respawns)
+        self.respawn_backoff_s = float(respawn_backoff_s)
+        self.fault_plan = (
+            WorkerFaults.from_env() if fault_plan is None else fault_plan
+        )
         # fork keeps startup cheap (no re-import of numpy per worker) and
         # lets children inherit the already-built twiddle tables; workers
         # still load_zoo their own registry, per the artifact discipline.
@@ -301,79 +457,166 @@ class ShardPool:
         self._ctx = multiprocessing.get_context(
             "fork" if "fork" in methods else "spawn"
         )
-        self._processes: list = []
-        self._key_queues: list = []
-        self._task_queue = None
-        self._result_queue = None
+        self._slots: list[_Slot] = []
+        self._ready_queue = None
         self.model_names: list[str] = []
         self._pending: dict[str, _PendingTask] = {}
         self._lock = threading.Lock()
         self._next_task = 0
-        self._collector: threading.Thread | None = None
+        self._monitor: threading.Thread | None = None
         self._stopping = threading.Event()
+        # Live key blobs (key_id -> encoded broadcast frame), replayed
+        # into the fresh key channel of every respawned worker.
+        self._key_lock = threading.Lock()
+        self._key_blobs: dict[str, bytes] = {}
+        self._fatal: str | None = None
+        self.retries_total = 0
+        self.respawns_total = 0
 
     # -- lifecycle ----------------------------------------------------------
 
     def start(self) -> "ShardPool":
-        """Fork the workers and block until every one reports ready."""
-        ctx = self._ctx
-        self._task_queue = ctx.Queue()
-        self._result_queue = ctx.Queue()
-        ready_queue = ctx.Queue()
+        """Fork the workers and block until every one reports ready.
+
+        A worker that dies *during* startup (before readiness) is
+        detected via its dead sentinel immediately: all sibling
+        processes are terminated and :class:`ShardError` raised at once
+        rather than waiting out ``start_timeout_s``.
+        """
+        if self._ready_queue is not None:
+            raise ShardError("shard pool already started")
+        self._ready_queue = self._ctx.Queue()
         for worker_id in range(self.workers):
-            key_queue = ctx.Queue()
-            process = ctx.Process(
-                target=_worker_main,
-                args=(
-                    worker_id, self.artifact_dir, self.verify, self.ntt_native,
-                    self._task_queue, key_queue, self._result_queue, ready_queue,
-                ),
-                name=f"repro-shard-{worker_id}",
-                daemon=True,
-            )
-            process.start()
-            self._processes.append(process)
-            self._key_queues.append(key_queue)
+            slot = _Slot(worker_id=worker_id)
+            self._slots.append(slot)
+            self._spawn(slot)
         deadline = time.monotonic() + self.start_timeout_s
-        for _ in range(self.workers):
+        ready = 0
+        while ready < self.workers:
             try:
-                status, worker_id, detail = ready_queue.get(
-                    timeout=max(0.0, deadline - time.monotonic())
-                )
+                status, worker_id, detail = self._ready_queue.get(timeout=0.1)
             except queue.Empty:
-                self.stop()
-                raise ShardError(
-                    f"shard worker(s) did not report ready within "
-                    f"{self.start_timeout_s:.0f}s"
-                ) from None
+                dead = [
+                    slot for slot in self._slots
+                    if not slot.ready and not slot.process.is_alive()
+                ]
+                # A dead worker may have reported before dying; only
+                # abort once its sentinel is dead AND its message is not
+                # waiting in the (just-polled) ready queue.
+                if dead:
+                    try:
+                        status, worker_id, detail = self._ready_queue.get(
+                            timeout=0.25
+                        )
+                    except queue.Empty:
+                        self._abort_start()
+                        raise ShardError(
+                            f"shard worker {dead[0].worker_id} died during "
+                            f"startup (before readiness)"
+                        ) from None
+                elif time.monotonic() >= deadline:
+                    self._abort_start()
+                    raise ShardError(
+                        f"shard worker(s) did not report ready within "
+                        f"{self.start_timeout_s:.0f}s"
+                    ) from None
+                else:
+                    continue
             if status != "ready":
-                self.stop()
+                self._abort_start()
                 raise ShardError(f"shard worker {worker_id} failed: {detail}")
             self.model_names = list(detail)
-        self._collector = threading.Thread(
-            target=self._collect_results, name="repro-shard-collect", daemon=True
+            self._slots[worker_id].ready = True
+            ready += 1
+        self._monitor = threading.Thread(
+            target=self._supervise, name="repro-shard-monitor", daemon=True
         )
-        self._collector.start()
+        self._monitor.start()
         return self
+
+    def _spawn(self, slot: _Slot) -> None:
+        """Fork one worker into ``slot`` (first start or respawn).
+
+        Every incarnation gets fresh task/result/key queues: a SIGKILLed
+        process can die holding a queue's internal lock or mid-write, so
+        the old incarnation's channels are never reused.  A collector
+        thread per incarnation drains its result queue (and any leftover
+        replies after a respawn supersedes it).
+        """
+        ctx = self._ctx
+        for old in (slot.task_queue, slot.result_queue, slot.key_queue):
+            _retire_queue(old)
+        task_queue = ctx.Queue()
+        result_queue = ctx.Queue()
+        key_queue = ctx.Queue()
+        # Replay every live key blob into the fresh channel *before* the
+        # queue becomes visible to broadcast_keys, so the new worker's
+        # FIFO key channel is complete: replayed history, then whatever
+        # is broadcast from now on.
+        with self._key_lock:
+            for payload in self._key_blobs.values():
+                key_queue.put(payload)
+            slot.key_queue = key_queue
+        process = ctx.Process(
+            target=_worker_main,
+            args=(
+                slot.worker_id, slot.incarnation, self.artifact_dir,
+                self.verify, self.ntt_native, task_queue, key_queue,
+                result_queue, self._ready_queue, self.fault_plan,
+            ),
+            name=f"repro-shard-{slot.worker_id}",
+            daemon=True,
+        )
+        process.start()
+        with self._lock:
+            slot.task_queue = task_queue
+            slot.result_queue = result_queue
+            slot.process = process
+            slot.ready = False
+            slot.respawn_at = None
+        threading.Thread(
+            target=self._collect_slot,
+            args=(slot, result_queue),
+            name=f"repro-shard-collect-{slot.worker_id}.{slot.incarnation}",
+            daemon=True,
+        ).start()
+
+    def _abort_start(self) -> None:
+        """Kill every process immediately (startup failed; no drain)."""
+        self._stopping.set()
+        for slot in self._slots:
+            if slot.process is not None and slot.process.is_alive():
+                slot.process.terminate()
+        for slot in self._slots:
+            if slot.process is not None:
+                slot.process.join(timeout=5.0)
+            for q in (slot.task_queue, slot.result_queue, slot.key_queue):
+                _retire_queue(q)
 
     def stop(self, timeout_s: float = 10.0) -> None:
         """Drain-stop the pool: workers finish their current task and exit."""
         if self._stopping.is_set():
             return
         self._stopping.set()
-        if self._task_queue is not None:
-            for _ in self._processes:
-                self._task_queue.put(None)
+        if self._monitor is not None:
+            self._monitor.join(timeout=2.0)
+        for slot in self._slots:
+            if slot.process is not None and slot.task_queue is not None:
+                slot.task_queue.put(None)
         deadline = time.monotonic() + timeout_s
-        for process in self._processes:
-            process.join(timeout=max(0.1, deadline - time.monotonic()))
-            if process.is_alive():
-                process.terminate()
-                process.join(timeout=1.0)
-        if self._result_queue is not None:
-            self._result_queue.put(None)  # unblock the collector
-        if self._collector is not None:
-            self._collector.join(timeout=2.0)
+        for slot in self._slots:
+            if slot.process is not None:
+                slot.process.join(
+                    timeout=max(0.1, deadline - time.monotonic())
+                )
+                if slot.process.is_alive():
+                    slot.process.terminate()
+                    slot.process.join(timeout=1.0)
+            # Undrained queue contents (e.g. key broadcasts a quorum-
+            # starved worker never consumed) must not hang interpreter
+            # shutdown on their feeder threads.
+            for q in (slot.task_queue, slot.result_queue, slot.key_queue):
+                _retire_queue(q)
         # Fail anything still pending so no submitter blocks forever.
         with self._lock:
             pending, self._pending = self._pending, {}
@@ -387,90 +630,343 @@ class ShardPool:
         self.stop()
 
     def alive_workers(self) -> int:
-        return sum(1 for process in self._processes if process.is_alive())
+        return sum(
+            1
+            for slot in self._slots
+            if slot.process is not None and slot.process.is_alive()
+        )
+
+    def available_workers(self) -> int:
+        """Worker slots still in service (alive or pending respawn)."""
+        return sum(1 for slot in self._slots if not slot.abandoned)
+
+    # -- supervision --------------------------------------------------------
+
+    def _supervise(self) -> None:
+        """Monitor loop: detect deaths, requeue work, respawn, un-stall."""
+        while not self._stopping.is_set():
+            self._drain_ready()
+            now = time.monotonic()
+            for slot in self._slots:
+                if slot.abandoned:
+                    continue
+                if slot.process is not None and not slot.process.is_alive():
+                    self._handle_death(slot, now)
+                elif (
+                    slot.process is None
+                    and slot.respawn_at is not None
+                    and now >= slot.respawn_at
+                ):
+                    self.respawns_total += 1
+                    logger.warning(
+                        "respawning shard worker %d (incarnation %d)",
+                        slot.worker_id, slot.incarnation,
+                    )
+                    self._spawn(slot)
+            self._check_stalls(now)
+            self._dispatch_parked()
+            if self._fatal is None and all(
+                slot.abandoned for slot in self._slots
+            ):
+                self._fatal = (
+                    "all shard workers failed permanently "
+                    f"(each died > {self.max_respawns} times)"
+                )
+                logger.error("%s", self._fatal)
+            if self._fatal is not None:
+                self._fail_all_pending(self._fatal)
+            self._stopping.wait(0.05)
+
+    def _drain_ready(self) -> None:
+        """Consume readiness/error reports from respawned workers."""
+        while True:
+            try:
+                status, worker_id, detail = self._ready_queue.get_nowait()
+            except queue.Empty:
+                return
+            slot = self._slots[worker_id]
+            if status == "ready":
+                slot.ready = True
+            else:
+                # Startup failure of a respawn: the process exits right
+                # after reporting; _handle_death picks up the corpse.
+                slot.last_error = str(detail)
+
+    def _handle_death(self, slot: _Slot, now: float) -> None:
+        """A worker died: requeue its assigned tasks, schedule a respawn."""
+        slot.process.join(timeout=0)
+        dead = (slot.worker_id, slot.incarnation)
+        with self._lock:
+            slot.process = None
+            slot.deaths += 1
+            orphans = [
+                pending
+                for pending in self._pending.values()
+                if pending.assigned == dead and not pending.event.is_set()
+            ]
+        logger.warning(
+            "shard worker %d (incarnation %d) died%s; requeueing %d task(s)",
+            slot.worker_id, slot.incarnation,
+            f": {slot.last_error}" if slot.last_error else "",
+            len(orphans),
+        )
+        for pending in orphans:
+            self._retry(pending, f"worker {slot.worker_id} died mid-task")
+        if slot.deaths > self.max_respawns:
+            with self._lock:
+                slot.abandoned = True
+            for q in (slot.task_queue, slot.result_queue, slot.key_queue):
+                _retire_queue(q)
+            logger.error(
+                "abandoning shard worker slot %d after %d deaths",
+                slot.worker_id, slot.deaths,
+            )
+            return
+        with self._lock:
+            slot.incarnation += 1
+            slot.respawn_at = now + self.respawn_backoff_s * (
+                2 ** (slot.deaths - 1)
+            )
+
+    def _check_stalls(self, now: float) -> None:
+        """Retry attempts that have made no progress for attempt_timeout_s.
+
+        Covers the claim-gap race (a worker killed between dequeue and
+        claim), hung workers, and replies lost to a corpse's result
+        queue.  A spurious retry is safe: replays are bit-identical, the
+        first ``ok`` reply wins, and later duplicates are dropped
+        without folding their counters.
+        """
+        with self._lock:
+            stalled = [
+                pending
+                for pending in self._pending.values()
+                if not pending.event.is_set()
+                and (pending.claimed_at or pending.dispatched_at) is not None
+                and now - (pending.claimed_at or pending.dispatched_at)
+                > self.attempt_timeout_s
+            ]
+        for pending in stalled:
+            self._retry(pending, "attempt stalled")
+
+    def _eligible_slot(self) -> _Slot | None:
+        """The least-loaded live worker slot (requires ``self._lock``)."""
+        counts: dict[tuple[int, int], int] = {}
+        for pending in self._pending.values():
+            if pending.assigned is not None and not pending.event.is_set():
+                key = pending.assigned
+                counts[key] = counts.get(key, 0) + 1
+        best = None
+        best_count = None
+        for slot in self._slots:
+            if (
+                slot.abandoned
+                or slot.process is None
+                or not slot.process.is_alive()
+            ):
+                continue
+            count = counts.get((slot.worker_id, slot.incarnation), 0)
+            if best is None or count < best_count:
+                best, best_count = slot, count
+        return best
+
+    def _dispatch_locked(self, pending: _PendingTask) -> bool:
+        """Dispatch (requires ``self._lock``); parks when no worker is live."""
+        pending.claimed_at = None
+        pending.dispatched_at = time.monotonic()
+        slot = self._eligible_slot()
+        if slot is None:
+            pending.assigned = None  # parked; the supervisor re-dispatches
+            return False
+        pending.assigned = (slot.worker_id, slot.incarnation)
+        pending.request.meta["attempt"] = pending.attempt
+        slot.task_queue.put(encode_message(pending.request))
+        return True
+
+    def _dispatch_parked(self) -> None:
+        with self._lock:
+            for pending in self._pending.values():
+                if pending.assigned is None and not pending.event.is_set():
+                    self._dispatch_locked(pending)
+
+    def _retry(self, pending: _PendingTask, reason: str) -> None:
+        """Requeue one task with a bumped attempt, or fail it out."""
+        with self._lock:
+            if pending.event.is_set():
+                return
+            pending.attempt += 1
+            if pending.attempt >= self.max_attempts:
+                task_id = pending.request.meta.get("task", "?")
+                self._pending.pop(str(task_id), None)
+                pending.reply = Message(
+                    "result",
+                    {
+                        "task": task_id,
+                        "status": "error",
+                        "reason": (
+                            f"shard task {task_id} exhausted "
+                            f"{self.max_attempts} attempts ({reason})"
+                        ),
+                    },
+                )
+                pending.event.set()
+                return
+            self.retries_total += 1
+            logger.warning(
+                "requeueing shard task %s (attempt %d/%d): %s",
+                pending.request.meta.get("task"), pending.attempt + 1,
+                self.max_attempts, reason,
+            )
+            self._dispatch_locked(pending)
+
+    def _fail_all_pending(self, reason: str) -> None:
+        with self._lock:
+            pending, self._pending = self._pending, {}
+        for task in pending.values():
+            if task.event.is_set():
+                continue
+            task.reply = Message(
+                "result",
+                {
+                    "task": task.request.meta.get("task", "?"),
+                    "status": "error",
+                    "reason": reason,
+                },
+            )
+            task.event.set()
 
     # -- key distribution ---------------------------------------------------
 
     def broadcast_keys(self, key_id: str, model: str, blob: bytes) -> None:
-        """Ship one session's Galois keys to every worker (cached there)."""
+        """Ship one session's Galois keys to every worker (cached there).
+
+        The blob is retained coordinator-side until :meth:`drop_keys` so
+        it can be replayed to respawned workers.
+        """
         payload = encode_message(
             Message("keys", {"key_id": key_id, "model": model}, [blob])
         )
-        for key_queue in self._key_queues:
-            key_queue.put(payload)
+        with self._key_lock:
+            self._key_blobs[key_id] = payload
+            for slot in self._slots:
+                if not slot.abandoned and slot.key_queue is not None:
+                    slot.key_queue.put(payload)
 
     def drop_keys(self, key_id: str) -> None:
         """Tell every worker to forget a session's keys (close/eviction)."""
         payload = encode_message(Message("drop_keys", {"key_id": key_id}))
-        for key_queue in self._key_queues:
-            key_queue.put(payload)
+        with self._key_lock:
+            self._key_blobs.pop(key_id, None)
+            for slot in self._slots:
+                if not slot.abandoned and slot.key_queue is not None:
+                    slot.key_queue.put(payload)
 
     # -- task execution -----------------------------------------------------
 
-    def _collect_results(self) -> None:
-        while True:
-            payload = self._result_queue.get()
-            if payload is None:
-                return
-            reply = decode_message(payload)
-            task_id = str(reply.meta.get("task"))
+    def _collect_slot(self, slot: _Slot, result_queue) -> None:
+        """Drain one incarnation's result queue (one thread per incarnation).
+
+        After a respawn supersedes this queue, the thread drains any
+        leftover replies (a worker may have answered right before a
+        different task killed it) and exits.
+        """
+        while not self._stopping.is_set():
+            try:
+                payload = result_queue.get(timeout=0.2)
+            except queue.Empty:
+                if slot.result_queue is not result_queue:
+                    return  # superseded by a respawn, leftovers drained
+                continue
+            try:
+                self._handle_reply(decode_message(payload))
+            except Exception:  # never let a bad frame kill collection
+                logger.exception("discarding malformed shard reply")
+
+    def _handle_reply(self, reply: Message) -> None:
+        task_id = str(reply.meta.get("task"))
+        if reply.kind == "claimed":
             with self._lock:
-                pending = self._pending.pop(task_id, None)
-            if pending is not None:
+                pending = self._pending.get(task_id)
+                if pending is not None and attempt_of(reply) == pending.attempt:
+                    pending.claimed_at = time.monotonic()
+            return
+        with self._lock:
+            pending = self._pending.get(task_id)
+            if pending is None:
+                # Duplicate of an already-accepted task (spurious
+                # requeue) or a reply to an abandoned one: dropped, its
+                # counters never folded twice.
+                return
+            if reply.meta.get("status") == "ok":
+                # First ok reply wins, whatever attempt produced it --
+                # replays are bit-identical by construction.
+                self._pending.pop(task_id, None)
                 pending.reply = reply
                 pending.event.set()
+                return
+            if attempt_of(reply) != pending.attempt:
+                # A stale attempt failing is not news: its replacement
+                # is already dispatched.
+                return
+            self._pending.pop(task_id, None)
+            pending.reply = reply
+            pending.event.set()
 
-    def execute(self, requests: list[Message]) -> list[Message]:
+    def execute(
+        self, requests: list[Message], deadline: float | None = None
+    ) -> list[Message]:
         """Run task messages on the pool; blocks until all replies arrive.
 
         Thread-safe (the engine calls this from many transport threads).
         Task ids are assigned here; replies are returned in request
-        order.  A worker-reported failure, a dead worker, or a timeout
-        raises :class:`ShardError`.
+        order.  ``deadline`` is an absolute ``time.monotonic()`` instant
+        propagated into task frames (workers skip expired work) and
+        enforced here.
 
-        Worker death is treated as pool failure: workers are never
-        respawned, and a task a dead worker had already pulled would
-        otherwise stall its request for the whole ``task_timeout_s``
-        while the engine's transport thread (and any batcher followers
-        behind it) hang with it.  Failing fast the moment the pool is
-        degraded keeps the error at protocol level -- restart the pool.
+        Worker death no longer fails the call: the supervisor requeues
+        the dead worker's tasks onto the survivors (or the respawned
+        worker) and only a task that exhausts ``max_attempts`` -- or a
+        pool whose every slot is abandoned -- raises
+        :class:`ShardError`.
         """
-        if self._task_queue is None or self._stopping.is_set():
+        if self._ready_queue is None or self._stopping.is_set():
             raise ShardError("shard pool is not running")
-        if self.alive_workers() < len(self._processes):
-            raise ShardError(
-                f"shard pool degraded: only {self.alive_workers()} of "
-                f"{len(self._processes)} workers alive"
-            )
+        if self._fatal is not None:
+            raise ShardError(self._fatal)
+        now = time.monotonic()
         pendings = []
         with self._lock:
             for request in requests:
                 task_id = f"t{self._next_task}"
                 self._next_task += 1
                 request.meta["task"] = task_id
-                pending = _PendingTask()
+                request.meta["attempt"] = 0
+                if deadline is not None:
+                    request.meta["deadline_mono"] = float(deadline)
+                pending = _PendingTask(request)
                 self._pending[task_id] = pending
                 pendings.append((task_id, pending))
-        for request, _ in zip(requests, pendings):
-            self._task_queue.put(encode_message(request))
-        deadline = time.monotonic() + self.task_timeout_s
+                self._dispatch_locked(pending)
+        hard_deadline = now + self.task_timeout_s
+        if deadline is not None:
+            hard_deadline = min(hard_deadline, deadline)
         replies = []
         for task_id, pending in pendings:
-            while not pending.event.wait(timeout=0.5):
-                if time.monotonic() >= deadline:
+            while not pending.event.wait(timeout=0.1):
+                if time.monotonic() >= hard_deadline:
                     self._abandon(pendings)
                     raise ShardError(
-                        f"shard task {task_id} timed out after "
-                        f"{self.task_timeout_s:.0f}s"
+                        f"shard task {task_id} timed out"
+                        + (
+                            " (request deadline exceeded)"
+                            if deadline is not None
+                            and hard_deadline == deadline
+                            else f" after {self.task_timeout_s:.0f}s"
+                        )
                     )
-                if (
-                    self.alive_workers() < len(self._processes)
-                    or self._stopping.is_set()
-                ):
+                if self._stopping.is_set():
                     self._abandon(pendings)
-                    raise ShardError(
-                        "shard worker(s) died with tasks in flight"
-                    )
+                    raise ShardError("shard pool stopped with tasks in flight")
             if pending.reply is None:  # pool stopped under us
                 raise ShardError("shard pool stopped with tasks in flight")
             if pending.reply.meta.get("status") != "ok":
@@ -489,9 +985,9 @@ class ShardPool:
     def ping(self, count: int | None = None) -> list[Message]:
         """Round-trip ``count`` no-op tasks (worker/model/key introspection).
 
-        Tasks come off a shared queue, so pings land on *some* workers --
-        with a single-worker pool this is deterministic, which is what
-        the tests use it for.
+        Dispatch is least-loaded, so ``count`` concurrent pings spread
+        across ``count`` live workers -- with a single-worker pool this
+        is deterministic, which is what the tests use it for.
         """
         count = self.workers if count is None else count
         return self.execute([Message("ping", {}) for _ in range(count)])
@@ -518,11 +1014,19 @@ class ShardExecutor:
       narrow layers (and the demo model) by default -- row-split tasks
       keep HE op counters identical to single-process execution, which
       the conformance suite asserts.
+
+    ``quorum`` is the minimum number of in-service worker slots this
+    executor requires: when attrition drops the pool below it, every
+    ``execute`` raises :class:`ShardError` up front so the engine can
+    degrade to its in-process executor instead of queueing onto a husk.
     """
 
-    def __init__(self, pool: ShardPool, oc_split_min_co: int = 8):
+    def __init__(
+        self, pool: ShardPool, oc_split_min_co: int = 8, quorum: int = 1
+    ):
         self.pool = pool
         self.oc_split_min_co = int(oc_split_min_co)
+        self.quorum = int(quorum)
         # Key ids on the wire are scoped per executor *and* per upload:
         # several engines may share one pool, and their session ids all
         # start at "s0".  Scoping makes every broadcast's id unique, so
@@ -561,7 +1065,13 @@ class ShardExecutor:
         if scoped is not None and not self.pool._stopping.is_set():
             self.pool.drop_keys(scoped)
 
-    def execute(self, entry, layer, batch_inputs, batch_handles):
+    def execute(self, entry, layer, batch_inputs, batch_handles, deadline=None):
+        available = self.pool.available_workers()
+        if available < self.quorum:
+            raise ShardError(
+                f"shard pool below quorum: {available} worker slot(s) in "
+                f"service, need {self.quorum}"
+            )
         batch = len(batch_inputs)
         workers = max(1, self.pool.workers)
         key_ids = [handle.key_id for handle in batch_handles]
@@ -572,10 +1082,10 @@ class ShardExecutor:
             and layer.co >= self.oc_split_min_co
         ):
             return self._execute_oc_split(
-                entry, layer, batch_inputs[0], key_ids[0], workers
+                entry, layer, batch_inputs[0], key_ids[0], workers, deadline
             )
         return self._execute_row_split(
-            entry, layer, batch_inputs, key_ids, workers
+            entry, layer, batch_inputs, key_ids, workers, deadline
         )
 
     # -- splitting ----------------------------------------------------------
@@ -596,7 +1106,9 @@ class ShardExecutor:
         ]
         return Message("task", meta, blobs)
 
-    def _execute_row_split(self, entry, layer, batch_inputs, key_ids, workers):
+    def _execute_row_split(
+        self, entry, layer, batch_inputs, key_ids, workers, deadline=None
+    ):
         batch = len(batch_inputs)
         shards = min(batch, workers)
         bounds = [round(i * batch / shards) for i in range(shards + 1)]
@@ -609,13 +1121,15 @@ class ShardExecutor:
             for i in range(shards)
             if bounds[i] < bounds[i + 1]
         ]
-        replies = self.pool.execute(tasks)
+        replies = self.pool.execute(tasks, deadline=deadline)
         outputs = []
         for reply in replies:
             outputs.extend(self._parse_outputs(entry, reply))
         return outputs
 
-    def _execute_oc_split(self, entry, layer, cts, key_id, workers):
+    def _execute_oc_split(
+        self, entry, layer, cts, key_id, workers, deadline=None
+    ):
         shards = min(workers, layer.co)
         bounds = [round(i * layer.co / shards) for i in range(shards + 1)]
         tasks = [
@@ -626,14 +1140,19 @@ class ShardExecutor:
             for i in range(shards)
             if bounds[i] < bounds[i + 1]
         ]
-        replies = self.pool.execute(tasks)
+        replies = self.pool.execute(tasks, deadline=deadline)
         merged: list = []
         for reply in replies:
             merged.extend(self._parse_outputs(entry, reply)[0])
         return [merged]
 
     def _parse_outputs(self, entry, reply: Message):
-        """Deserialize a reply's ciphertexts and fold in its op counters."""
+        """Deserialize a reply's ciphertexts and fold in its op counters.
+
+        Only *accepted* replies reach this point (the pool's collectors
+        drop duplicates and stale attempts), so each task's counter
+        delta is folded exactly once no matter how many attempts ran.
+        """
         counters = reply.meta.get("counters", {})
         GLOBAL_COUNTERS.he_mult += int(counters.get("he_mult", 0))
         GLOBAL_COUNTERS.he_add += int(counters.get("he_add", 0))

@@ -12,6 +12,8 @@ requests pending at once).
 from __future__ import annotations
 
 import errno
+import logging
+import random
 import socket
 import threading
 import time
@@ -27,6 +29,8 @@ from .wire import (
     recv_frame,
     send_frame,
 )
+
+logger = logging.getLogger(__name__)
 
 
 class Transport(Protocol):
@@ -55,26 +59,123 @@ class LoopbackTransport:
 
 
 class SocketTransport:
-    """Client side of the TCP transport: one persistent framed connection."""
+    """Client side of the TCP transport: one persistent framed connection.
 
-    def __init__(self, host: str, port: int, timeout: float | None = 60.0):
-        self._sock = socket.create_connection((host, port), timeout=timeout)
+    The transport is *resilient*: ``timeout`` bounds every read (a
+    server that accepts and then dies mid-frame cannot hang the client
+    forever), and a failed round -- connection refused, reset, dropped,
+    or a corrupted reply frame -- is retried up to ``max_retries`` times
+    over a fresh connection with exponential backoff plus jitter.  The
+    retry re-issues the *exact* request bytes: protocol rounds are
+    deterministic functions of session state, so a replay is
+    bit-identical, and the serving engine treats a re-sent round
+    idempotently (the session state a ``linear`` round reads is not
+    advanced by serving it).
+
+    ``socket_factory`` is the fault-injection seam: anything with the
+    ``create_connection(address, timeout)`` shape (see
+    :meth:`repro.serving.faults.ConnectionFaults.connect`).
+    """
+
+    def __init__(
+        self,
+        host: str,
+        port: int,
+        timeout: float | None = 60.0,
+        connect_timeout_s: float | None = None,
+        max_retries: int = 2,
+        backoff_base_s: float = 0.05,
+        backoff_max_s: float = 2.0,
+        retry_jitter_seed: int | None = None,
+        socket_factory=None,
+    ):
+        self._address = (host, port)
+        self._timeout = timeout
+        self._connect_timeout_s = (
+            timeout if connect_timeout_s is None else connect_timeout_s
+        )
+        self.max_retries = int(max_retries)
+        self.backoff_base_s = float(backoff_base_s)
+        self.backoff_max_s = float(backoff_max_s)
+        self._rng = random.Random(retry_jitter_seed)
+        self._factory = (
+            socket.create_connection if socket_factory is None
+            else socket_factory
+        )
         self._lock = threading.Lock()
+        self._sock: socket.socket | None = None
+        #: Lifetime count of retried rounds (reconnect + replay).
+        self.retries = 0
+        self._sock = self._connect()
+
+    def _connect(self) -> socket.socket:
+        """Open one configured connection; never leaks a half-open socket."""
+        sock = self._factory(self._address, timeout=self._connect_timeout_s)
+        try:
+            # The connect timeout did its job; from here on the socket
+            # timeout is the per-read bound.
+            sock.settimeout(self._timeout)
+        except BaseException:
+            sock.close()
+            raise
+        return sock
 
     def request(self, message: Message) -> Message:
+        payload = encode_message(message)
         with self._lock:
-            send_frame(self._sock, encode_message(message))
-            payload = recv_frame(self._sock)
-        if payload is None:
-            raise ConnectionError("server closed the connection")
-        return decode_message(payload)
+            last_error: Exception | None = None
+            for attempt in range(self.max_retries + 1):
+                if attempt:
+                    self._backoff(attempt)
+                try:
+                    if self._sock is None:
+                        self._sock = self._connect()
+                    send_frame(self._sock, payload)
+                    reply = recv_frame(self._sock)
+                    if reply is None:
+                        raise ConnectionError("server closed the connection")
+                    return decode_message(reply)
+                except (OSError, ValueError, ConnectionError) as exc:
+                    # OSError covers resets/timeouts/refused connections;
+                    # ValueError covers corrupted or truncated frames.
+                    # Either way the stream is unusable: drop it and
+                    # replay the round over a fresh connection.
+                    last_error = exc
+                    if self._sock is not None:
+                        try:
+                            self._sock.close()
+                        except OSError:
+                            pass
+                        self._sock = None
+                    if attempt < self.max_retries:
+                        self.retries += 1
+                        logger.warning(
+                            "transport round failed (%s: %s); retrying "
+                            "(%d/%d)", type(exc).__name__, exc, attempt + 1,
+                            self.max_retries,
+                        )
+            raise ConnectionError(
+                f"request failed after {self.max_retries + 1} attempt(s): "
+                f"{type(last_error).__name__}: {last_error}"
+            ) from last_error
+
+    def _backoff(self, attempt: int) -> None:
+        delay = min(
+            self.backoff_max_s, self.backoff_base_s * (2 ** (attempt - 1))
+        )
+        # Full jitter in [0.5, 1.5)x keeps reconnect stampedes apart.
+        time.sleep(delay * (0.5 + self._rng.random()))
 
     def close(self) -> None:
-        try:
-            self._sock.shutdown(socket.SHUT_RDWR)
-        except OSError:
-            pass
-        self._sock.close()
+        with self._lock:
+            if self._sock is None:
+                return
+            try:
+                self._sock.shutdown(socket.SHUT_RDWR)
+            except OSError:
+                pass
+            self._sock.close()
+            self._sock = None
 
     def __enter__(self) -> "SocketTransport":
         return self

@@ -108,6 +108,17 @@ def decode_message(payload: bytes) -> Message:
     )
 
 
+def attempt_of(message: Message) -> int:
+    """The retry attempt a task/claim/result frame belongs to (0-based).
+
+    The shard pool stamps ``meta["attempt"]`` on every dispatched task
+    and workers echo it in claims and replies, so the coordinator can
+    tell a stale attempt's error from the current one.  Frames predating
+    a retry (or external callers that never set it) count as attempt 0.
+    """
+    return int(message.meta.get("attempt", 0))
+
+
 def error_message(reason: str) -> Message:
     """The uniform failure reply; ``reason`` is a human-readable sentence."""
     return Message("error", {"reason": reason})

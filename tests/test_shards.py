@@ -102,31 +102,64 @@ class TestPoolLifecycle:
         with pytest.raises(ShardError, match="not running"):
             pool.execute([Message("ping", {})])
 
-    def test_dead_worker_fails_fast(self, artifact_dir):
-        """A degraded pool raises immediately instead of stalling requests.
+    def test_dead_worker_is_respawned_and_pool_keeps_serving(self, artifact_dir):
+        """Supervision: a SIGKILLed worker is respawned, requests survive.
 
-        Workers are never respawned, so a killed worker means any task
-        it had pulled would otherwise block its request (and everything
-        queued behind it) for the full task timeout.
+        The monitor thread must notice the corpse, fork a replacement
+        incarnation from the same artifact dir, and keep the pool
+        serving -- the request issued right after the kill lands on the
+        survivor or the respawn, never on an error.
         """
         import os
         import signal
         import time
 
-        pool = ShardPool(artifact_dir, workers=2).start()
+        pool = ShardPool(
+            artifact_dir, workers=2, respawn_backoff_s=0.05,
+        ).start()
         try:
-            victim = pool._processes[0]
+            victim = pool._slots[0].process
             os.kill(victim.pid, signal.SIGKILL)
-            deadline = time.monotonic() + 10.0
-            while pool.alive_workers() == 2 and time.monotonic() < deadline:
+            # The pool answers even while one worker is down ...
+            assert pool.ping(1)[0].meta["status"] == "ok"
+            # ... and the supervisor restores full strength.
+            deadline = time.monotonic() + 15.0
+            while pool.alive_workers() < 2 and time.monotonic() < deadline:
                 time.sleep(0.05)
-            assert pool.alive_workers() == 1
-            start = time.monotonic()
-            with pytest.raises(ShardError, match="degraded|died"):
-                pool.execute([Message("ping", {})])
-            assert time.monotonic() - start < 5
+            assert pool.alive_workers() == 2
+            assert pool.respawns_total >= 1
+            assert pool.available_workers() == 2
+            replies = pool.ping(4)
+            assert all(r.meta["status"] == "ok" for r in replies)
+            incarnations = {
+                (r.meta["worker"], r.meta["incarnation"]) for r in replies
+            }
+            assert any(inc > 0 for _w, inc in incarnations)
         finally:
             pool.stop()
+
+    def test_worker_death_during_startup_raises_fast_without_leaks(
+        self, artifact_dir
+    ):
+        """Satellite: a pre-readiness death aborts start() immediately.
+
+        Without early dead-sentinel detection, start() would sit out the
+        full start_timeout_s and could leave the live sibling running
+        after the raise.
+        """
+        import time
+
+        from repro.serving import WorkerFaults
+
+        pool = ShardPool(
+            artifact_dir, workers=2, start_timeout_s=60.0,
+            fault_plan=WorkerFaults(startup_crash_worker=0),
+        )
+        start = time.monotonic()
+        with pytest.raises(ShardError, match="died during startup"):
+            pool.start()
+        assert time.monotonic() - start < 30  # never waits out the timeout
+        assert pool.alive_workers() == 0  # the sibling was cleaned up too
 
     def test_worker_error_propagates_without_killing_worker(self, pool):
         with pytest.raises(ShardError, match="no model"):
