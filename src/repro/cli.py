@@ -20,7 +20,12 @@ Commands
     deployment at startup, or warm-starting a whole artifact directory
     with zero recompute.  ``--workers N`` shards plan execution across
     N forked worker processes memmapping the same artifacts
-    (bit-identical logits, multi-core throughput).
+    (bit-identical logits, multi-core throughput).  The front end is the
+    event-driven asyncio gateway by default (``--frontend threaded``
+    keeps the thread-per-connection server); ``--quota-rps``,
+    ``--max-queue-depth``, ``--session-ttl-s`` and ``--stats-interval``
+    control admission, session lifetime, and observability, and ``GET
+    /metrics`` on the serving port returns the live metrics snapshot.
 ``infer [--host H] [--port P] [--count K] [--model NAME]``
     Connect to a running server, run private inferences, verify logits.
 """
@@ -171,6 +176,7 @@ def _cmd_compile(args) -> int:
 
 
 def _cmd_serve(args) -> int:
+    import json
     import signal
     import tempfile
     import threading
@@ -178,6 +184,9 @@ def _cmd_serve(args) -> int:
 
     from .serving import (
         DEMO_RESCALE_BITS,
+        AdmissionController,
+        AsyncGateway,
+        MetricsRegistry,
         ModelRegistry,
         ServingEngine,
         SocketServer,
@@ -236,21 +245,53 @@ def _cmd_serve(args) -> int:
             f"{artifact_dir} (models {pool.model_names}, "
             f"max_attempts={pool.max_attempts})"
         )
+    metrics = MetricsRegistry()
+    admission = AdmissionController(
+        rate_per_tenant=args.quota_rps,
+        burst=args.quota_burst,
+        max_queue_depth=args.max_queue_depth,
+    )
     engine = ServingEngine(
         registry,
         max_batch=args.max_batch,
         batch_window_s=args.batch_window_ms / 1000,
         executor=executor,
         request_deadline_s=args.request_deadline_s or None,
+        session_ttl_s=args.session_ttl_s or None,
+        metrics=metrics,
+        admission=admission,
     )
-    server = SocketServer(engine, host=args.host, port=args.port, workers=args.threads)
+    max_frame_bytes = (
+        int(args.max_frame_mb * (1 << 20)) if args.max_frame_mb else None
+    )
+    if args.frontend == "async":
+        server = AsyncGateway(
+            engine,
+            host=args.host,
+            port=args.port,
+            executor_threads=args.threads,
+            max_frame_bytes=max_frame_bytes,
+        )
+    else:
+        server = SocketServer(
+            engine,
+            host=args.host,
+            port=args.port,
+            workers=args.threads,
+            max_frame_bytes=max_frame_bytes,
+        )
     server.start()
     print(
         f"serving {len(registry.names())} model(s) {registry.names()} on "
         f"{server.host}:{server.port} "
-        f"(max_batch={engine.max_batch}, threads={args.threads}, "
-        f"shard_workers={args.workers})"
+        f"(frontend={args.frontend}, max_batch={engine.max_batch}, "
+        f"threads={args.threads}, shard_workers={args.workers})"
     )
+    if args.frontend == "async":
+        print(
+            f"metrics: curl http://{server.host}:{server.port}/metrics "
+            "(same snapshot as the wire 'metrics' message)"
+        )
 
     # Graceful shutdown: SIGTERM (fleet orchestrators) and SIGINT both
     # drain in-flight requests through SocketServer.stop() instead of
@@ -263,6 +304,14 @@ def _cmd_serve(args) -> int:
 
     signal.signal(signal.SIGINT, _request_stop)
     signal.signal(signal.SIGTERM, _request_stop)
+    if args.stats_interval > 0:
+        def _print_stats() -> None:
+            while not stop_requested.wait(args.stats_interval):
+                print("stats: " + json.dumps(metrics.snapshot(), sort_keys=True))
+
+        threading.Thread(
+            target=_print_stats, name="repro-serve-stats", daemon=True
+        ).start()
     print("press Ctrl-C (or send SIGTERM) to stop")
     stop_requested.wait()
     print("\nshutting down (draining in-flight requests)")
@@ -313,7 +362,8 @@ def _cmd_infer(args) -> int:
         socket_factory=None if conn_faults is None else conn_faults.connect,
     ) as transport:
         session = ClientSession(
-            network, params, transport, seed=args.seed, track_noise=args.noise
+            network, params, transport, seed=args.seed,
+            track_noise=args.noise, tenant=args.tenant,
         )
         session.connect(args.model)
         print(f"session {session.session_id} connected to {args.host}:{args.port}")
@@ -334,6 +384,8 @@ def _cmd_infer(args) -> int:
         session.close()
         if getattr(transport, "retries", 0):
             print(f"transport retries: {transport.retries}")
+        if session._busy_retries:
+            print(f"busy retries (server backpressure): {session._busy_retries}")
     return 1 if failures else 0
 
 
@@ -420,7 +472,10 @@ def build_parser() -> argparse.ArgumentParser:
     )
     serve.add_argument(
         "--threads", type=int, default=16,
-        help="max concurrently connected clients (one thread per connection)",
+        help="engine thread budget: executor threads for the async "
+             "gateway (connections are unbounded), or max concurrently "
+             "connected clients for --frontend threaded (one thread per "
+             "connection)",
     )
     serve.add_argument(
         "--max-attempts", type=int, default=3, dest="max_attempts",
@@ -433,6 +488,40 @@ def build_parser() -> argparse.ArgumentParser:
         help="soft per-round deadline in seconds (0 = no deadline); a "
              "shard backend that cannot meet it degrades to in-process "
              "execution",
+    )
+    serve.add_argument(
+        "--frontend", choices=["async", "threaded"], default="async",
+        help="TCP front end: the event-driven asyncio gateway (default; "
+             "sessions multiplex onto --threads executor threads, metrics "
+             "served on the same port) or the thread-per-connection server",
+    )
+    serve.add_argument(
+        "--session-ttl-s", type=float, default=0.0, dest="session_ttl_s",
+        help="evict sessions idle longer than this (seconds), reclaiming "
+             "their Galois keys and traffic logs (0 = LRU eviction only)",
+    )
+    serve.add_argument(
+        "--quota-rps", type=float, default=0.0, dest="quota_rps",
+        help="per-tenant sustained linear-rounds/sec quota (0 = unlimited); "
+             "a tenant over quota gets BUSY replies with a retry hint",
+    )
+    serve.add_argument(
+        "--quota-burst", type=float, default=0.0, dest="quota_burst",
+        help="per-tenant token-bucket burst capacity (0 = 2x --quota-rps)",
+    )
+    serve.add_argument(
+        "--max-queue-depth", type=int, default=0, dest="max_queue_depth",
+        help="bound on linear rounds in flight across all tenants "
+             "(0 = unbounded); excess load gets BUSY replies",
+    )
+    serve.add_argument(
+        "--stats-interval", type=float, default=0.0, dest="stats_interval",
+        help="print the metrics snapshot as JSON every N seconds (0 = off)",
+    )
+    serve.add_argument(
+        "--max-frame-mb", type=float, default=0.0, dest="max_frame_mb",
+        help="request-frame size cap in MiB, enforced from the length "
+             "prefix before any buffering (0 = the 1 GiB wire default)",
     )
 
     infer = sub.add_parser("infer", help="run private inference against a server")
@@ -451,6 +540,10 @@ def build_parser() -> argparse.ArgumentParser:
     )
     infer.add_argument(
         "--noise", action="store_true", help="report the received noise budget"
+    )
+    infer.add_argument(
+        "--tenant", default="default",
+        help="tenant label for the server's per-tenant rate limits",
     )
 
     return parser

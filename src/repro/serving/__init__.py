@@ -13,10 +13,26 @@ math runs in-process by default (:class:`LocalExecutor`) or across a
 pool of forked worker processes memmapping the same ``.rpa`` artifacts
 (:class:`ShardPool` + :class:`ShardExecutor` -- bit-identical outputs,
 multi-core throughput).
+
+Two front ends terminate TCP: the thread-per-connection
+:class:`SocketServer` and the event-driven :class:`AsyncGateway`, which
+multiplexes sessions onto an asyncio loop, bridges engine calls through
+a small executor pool, enforces admission (:class:`AdmissionController`)
+and serves a metrics snapshot (:class:`MetricsRegistry`) over HTTP on
+the same port.  Both speak identical wire frames and are pinned to
+bit-identical outputs by the conformance suite.
 """
 
-from .engine import ExecutionBackendError, LocalExecutor, ServingEngine
+from .admission import AdmissionController, TokenBucket, busy_message
+from .engine import (
+    ExecutionBackendError,
+    LocalExecutor,
+    ServingEngine,
+    SessionState,
+)
 from .faults import ConnectionFaults, WorkerFaults
+from .gateway import AsyncGateway
+from .metrics import MetricsRegistry, noise_floor_bits
 from .models import (
     DEMO_RESCALE_BITS,
     demo_image,
@@ -32,8 +48,15 @@ from .wire import Message, ServingError, decode_message, encode_message
 
 __all__ = [
     "ServingEngine",
+    "SessionState",
     "LocalExecutor",
     "ExecutionBackendError",
+    "AsyncGateway",
+    "MetricsRegistry",
+    "noise_floor_bits",
+    "AdmissionController",
+    "TokenBucket",
+    "busy_message",
     "ShardPool",
     "ShardExecutor",
     "ShardError",

@@ -40,6 +40,7 @@ import threading
 import time
 from collections import OrderedDict
 from dataclasses import dataclass, field
+from enum import Enum
 
 import numpy as np
 
@@ -48,10 +49,29 @@ from ..nn.layers import ConvLayer
 from ..protocol.gazelle import blind_ciphertext_rows
 from ..protocol.messages import TrafficLog
 from ..scheduling.layouts import unpack_image
+from .admission import busy_message
 from .registry import ModelEntry, ModelRegistry
 from .wire import Message, error_message
 
 logger = logging.getLogger(__name__)
+
+
+class SessionState(Enum):
+    """Explicit per-session protocol state.
+
+    The lifecycle is ``AWAIT_KEYS -> READY`` (``close`` removes the
+    session from the table entirely, so there is no terminal state to
+    represent).  ``galois_keys`` is accepted in *either* state -- a
+    re-upload in ``READY`` replaces the key handle idempotently, which is
+    what makes the transport's replay-on-reconnect safe -- while
+    ``linear`` requires ``READY``.  Because the state lives on the
+    session (keyed by id in the engine) and not on a connection or a
+    thread, a session survives its transport: a client may reconnect, or
+    hop between the threaded and async front ends, mid-inference.
+    """
+
+    AWAIT_KEYS = "await_keys"
+    READY = "ready"
 
 
 @dataclass
@@ -73,6 +93,10 @@ class _Session:
     galois_keys: object | None = None
     fallback_keys: object | None = None
     traffic: TrafficLog = field(default_factory=TrafficLog)
+    state: SessionState = SessionState.AWAIT_KEYS
+    tenant: str = "default"
+    #: Last request instant (``time.monotonic()``); drives the idle TTL.
+    last_used: float = field(default_factory=time.monotonic)
 
 
 class ExecutionBackendError(RuntimeError):
@@ -158,12 +182,14 @@ class _LayerBatcher:
     """
 
     def __init__(
-        self, execute, max_batch: int, window_s: float, idle_gap_s: float = 0.005
+        self, execute, max_batch: int, window_s: float, idle_gap_s: float = 0.005,
+        metrics=None,
     ):
         self._execute = execute
         self.max_batch = max(1, int(max_batch))
         self.window_s = window_s
         self.idle_gap_s = idle_gap_s
+        self._metrics = metrics
         #: The ModelEntry this batcher executes against (set by the engine;
         #: used to prune batchers of replaced models).
         self.entry = None
@@ -201,6 +227,8 @@ class _LayerBatcher:
         return item.output
 
     def _run(self, batch: list[_BatchItem]) -> None:
+        if self._metrics is not None:
+            self._metrics.record_batch(len(batch))
         try:
             deadlines = [
                 item.deadline for item in batch if item.deadline is not None
@@ -234,6 +262,9 @@ class ServingEngine:
         executor=None,
         request_deadline_s: float | None = None,
         fallback_local: bool = True,
+        session_ttl_s: float | None = None,
+        metrics=None,
+        admission=None,
     ):
         self.registry = registry
         #: Where plan math runs: in-process by default, or a pluggable
@@ -280,23 +311,68 @@ class ServingEngine:
         # (predictable masks let a client unmask the withheld slots).
         self._rng = np.random.default_rng(seed)
         self._next_session = 0
+        #: Idle session TTL (seconds), or ``None`` to keep the pure-LRU
+        #: behaviour.  A session idle longer than this has its Galois
+        #: keys and TrafficLog dropped; the client simply re-handshakes.
+        self.session_ttl_s = (
+            None if not session_ttl_s else float(session_ttl_s)
+        )
+        self._last_sweep = time.monotonic()
+        #: Optional :class:`~repro.serving.metrics.MetricsRegistry` and
+        #: :class:`~repro.serving.admission.AdmissionController`; both
+        #: default to off so library users and tests pay nothing.
+        self.metrics = metrics
+        self.admission = admission
+        if metrics is not None:
+            from .metrics import noise_floor_bits
+
+            metrics.add_gauge("sessions", lambda: len(self._sessions))
+            metrics.add_gauge("max_batch", lambda: self.max_batch)
+            metrics.add_gauge("degraded_calls", lambda: self.degraded_calls)
+            metrics.add_gauge(
+                "backend_failures", lambda: self.backend_failures
+            )
+            metrics.add_gauge(
+                "noise_headroom_bits",
+                lambda: {
+                    entry.name: noise_floor_bits(entry)
+                    for entry in self.registry.entries()
+                },
+            )
+            if admission is not None:
+                metrics.add_gauge("admission", admission.stats)
 
     # -- dispatch -----------------------------------------------------------
 
     def handle(self, request: Message) -> Message:
         """Process one request message; always returns a reply message."""
+        if self.session_ttl_s is not None:
+            self._sweep_idle()
         handler = {
             "hello": self._handle_hello,
             "galois_keys": self._handle_galois_keys,
             "linear": self._handle_linear,
             "close": self._handle_close,
+            "metrics": self._handle_metrics,
         }.get(request.kind)
         if handler is None:
             return error_message(f"unknown request kind {request.kind!r}")
+        start = time.monotonic()
         try:
-            return handler(request)
+            reply = handler(request)
         except (KeyError, ValueError, TypeError, ExecutionBackendError) as exc:
-            return error_message(str(exc))
+            reply = error_message(str(exc))
+        if self.metrics is not None:
+            self.metrics.record_request(
+                request.kind, time.monotonic() - start, reply.kind
+            )
+        return reply
+
+    def _handle_metrics(self, request: Message) -> Message:
+        """The wire-level metrics scrape (same snapshot as HTTP /metrics)."""
+        if self.metrics is None:
+            return error_message("metrics are not enabled on this server")
+        return Message("metrics_ok", {"metrics": self.metrics.snapshot()})
 
     def session_traffic(self, session_id: str) -> TrafficLog:
         """The per-session byte/round tally (server-side view)."""
@@ -309,7 +385,56 @@ class ServingEngine:
             except KeyError:
                 raise KeyError(f"unknown session {session_id!r}") from None
             self._sessions.move_to_end(session_id)
+            session.last_used = time.monotonic()
             return session
+
+    # -- session lifecycle ---------------------------------------------------
+
+    def _release_session(self, session_id: str) -> None:
+        """Free everything held for a session outside the table itself."""
+        self.executor.release_keys(session_id)
+        if self.admission is not None:
+            self.admission.unbind(session_id)
+
+    def evict_idle_sessions(self, ttl_s: float | None = None) -> list[str]:
+        """Drop sessions idle longer than the TTL; returns evicted ids.
+
+        Safe to call from any thread (the gateway runs it on a timer; the
+        engine itself calls it lazily from :meth:`handle`).  Eviction
+        releases the session's Galois keys -- both the executor handle and
+        the in-process fallback copy -- and its TrafficLog; a client whose
+        session was evicted gets "unknown session" on its next round and
+        recovers by re-handshaking.
+        """
+        ttl = self.session_ttl_s if ttl_s is None else float(ttl_s)
+        if ttl is None:
+            return []
+        now = time.monotonic()
+        with self._lock:
+            expired = [
+                session_id
+                for session_id, session in self._sessions.items()
+                if now - session.last_used > ttl
+            ]
+            for session_id in expired:
+                del self._sessions[session_id]
+        for session_id in expired:
+            self._release_session(session_id)
+        if expired:
+            logger.info(
+                "evicted %d idle session(s) past the %.3gs TTL: %s",
+                len(expired), ttl, ", ".join(expired),
+            )
+        return expired
+
+    def _sweep_idle(self) -> None:
+        """Rate-limited lazy TTL sweep, piggybacked on request handling."""
+        now = time.monotonic()
+        with self._lock:
+            if now - self._last_sweep < min(1.0, self.session_ttl_s):
+                return
+            self._last_sweep = now
+        self.evict_idle_sessions()
 
     # -- handshake ----------------------------------------------------------
 
@@ -319,13 +444,21 @@ class ServingEngine:
         reason = self.registry.params_compatible(entry, client_params)
         if reason is not None:
             return error_message(reason)
+        tenant = str(request.meta.get("tenant", "default"))
+        evicted = []
         with self._lock:
             while len(self._sessions) >= self.max_sessions:
                 evicted_id, _evicted = self._sessions.popitem(last=False)
-                self.executor.release_keys(evicted_id)
+                evicted.append(evicted_id)
             session_id = f"s{self._next_session}"
             self._next_session += 1
-            self._sessions[session_id] = _Session(session_id, entry)
+            self._sessions[session_id] = _Session(
+                session_id, entry, tenant=tenant
+            )
+        for evicted_id in evicted:
+            self._release_session(evicted_id)
+        if self.admission is not None:
+            self.admission.bind(session_id, tenant)
         meta = {"session": session_id, **entry.handshake_meta()}
         return Message("hello_ok", meta)
 
@@ -348,6 +481,7 @@ class ServingEngine:
             session.entry, session.session_id, blob, keys
         )
         session.fallback_keys = keys
+        session.state = SessionState.READY
         session.traffic.send_to_cloud(len(blob), "galois_keys")
         return Message("keys_ok", {"session": session.session_id})
 
@@ -356,7 +490,7 @@ class ServingEngine:
         with self._lock:
             session = self._sessions.pop(session_id, None)
         if session is not None:
-            self.executor.release_keys(session_id)
+            self._release_session(session_id)
         return Message("close_ok", {"session": session_id})
 
     # -- linear rounds -------------------------------------------------------
@@ -364,10 +498,24 @@ class ServingEngine:
     def _handle_linear(self, request: Message) -> Message:
         session_id, layer_name = request.require("session", "layer")
         session = self._session(session_id)
-        if session.galois_keys is None:
+        if session.state is not SessionState.READY:
             return error_message(
                 f"session {session_id!r} has not uploaded Galois keys"
             )
+        if self.admission is not None:
+            wait = self.admission.try_admit(session_id)
+            if wait is not None:
+                return busy_message(wait, "server at capacity")
+            try:
+                return self._linear_round(session, layer_name, request)
+            finally:
+                self.admission.release()
+        return self._linear_round(session, layer_name, request)
+
+    def _linear_round(
+        self, session: _Session, layer_name: str, request: Message
+    ) -> Message:
+        session_id = session.session_id
         entry = session.entry
         layer = entry.layer(layer_name)
         plan = entry.plans[layer_name]
@@ -381,8 +529,9 @@ class ServingEngine:
         session.traffic.send_to_cloud(
             sum(len(blob) for blob in request.blobs), layer_name
         )
+        start = time.monotonic()
         deadline = (
-            time.monotonic() + self.request_deadline_s
+            start + self.request_deadline_s
             if self.request_deadline_s is not None
             else None
         )
@@ -390,6 +539,8 @@ class ServingEngine:
             entry, layer, cts, session.galois_keys, session.fallback_keys,
             deadline,
         )
+        if self.metrics is not None:
+            self.metrics.record_layer(layer_name, time.monotonic() - start)
         ct_blobs = [serialize_ciphertext(ct, entry.params) for ct in masked_cts]
         mask_blob = np.ascontiguousarray(mask, dtype="<i8").tobytes()
         session.traffic.send_to_client(
@@ -412,6 +563,8 @@ class ServingEngine:
         Returns this request's ``(masked_cts, mask_view)``.
         """
         if self.max_batch <= 1:
+            if self.metrics is not None:
+                self.metrics.record_batch(1)
             return self._execute_layer(
                 entry, layer, [cts], [galois_keys], [fallback_keys], deadline
             )[0]
@@ -431,6 +584,7 @@ class ServingEngine:
                     ),
                     self.max_batch,
                     self.batch_window_s,
+                    metrics=self.metrics,
                 )
                 batcher.entry = entry
                 self._batchers[key] = batcher

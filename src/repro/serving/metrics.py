@@ -1,0 +1,237 @@
+"""Serving observability: one registry, every layer reports into it.
+
+The gateway, the engine, and the batcher all share a single
+:class:`MetricsRegistry`.  Each records what only it can see -- the
+gateway its queue depth and connection count, the engine per-request and
+per-layer latencies, the batcher how full each flushed batch was -- and
+``snapshot()`` folds everything into one JSON-safe dict that is served
+three ways: over HTTP (``GET /metrics`` on the gateway port), as a wire
+``Message("metrics")`` round, and periodically on stdout via
+``repro serve --stats-interval``.
+
+Percentiles come from bounded ring buffers (the last ``reservoir_size``
+observations per series), req/s from a timestamp deque over a sliding
+window -- both O(1) per observation, so recording is cheap enough to sit
+on the request path.  HE-op counters are read straight from
+:data:`repro.bfv.counters.GLOBAL_COUNTERS`; they are process-wide
+totals, exact when the engine runs serially and a close running tally
+under concurrency (the counters are deliberately unlocked).
+
+Noise headroom is *analytic*, not measured: the server never sees a
+secret key, so it cannot measure invariant noise.  Instead
+:func:`noise_floor_bits` re-derives the Table III worst-case budget
+floor for each registered model (same proxy convention as the
+conformance suite) -- the number of bits of budget a client is
+guaranteed to have left after the deepest layer, i.e. how much margin
+the deployment has before decryption failures.
+"""
+
+from __future__ import annotations
+
+import math
+import threading
+import time
+from collections import deque
+
+from ..bfv.counters import GLOBAL_COUNTERS
+
+__all__ = ["MetricsRegistry", "noise_floor_bits"]
+
+
+def noise_floor_bits(entry) -> float:
+    """Worst-case Table III noise-budget floor for one registered model.
+
+    Mirrors the conformance suite's ``_table3_min_budget_bound``: the
+    analytic minimum over the model's linear layers of the budget left
+    after a worst-case evaluation (slot-encoded weight plaintexts with
+    coefficients bounded by t: one window of base Wdcmp = t, l_pt = 1).
+    Cached on the entry -- the bound is a pure function of (params,
+    network, schedule), all frozen after registration.
+    """
+    cached = getattr(entry, "_noise_floor_bits", None)
+    if cached is not None:
+        return cached
+    from ..core.noise_model import (
+        NoiseMode,
+        Schedule,
+        eta_mult,
+        eta_rotate,
+        fresh_noise,
+    )
+    from ..core.ptune import ModelParams
+    from ..nn.layers import ConvLayer
+
+    params = entry.params
+    t_bits = params.plain_modulus.bit_length()
+    proxy = ModelParams(
+        n=params.n, plain_bits=t_bits, coeff_bits=params.coeff_bits,
+        w_dcmp_bits=t_bits, a_dcmp_bits=params.a_dcmp_bits,
+    )
+    v0 = fresh_noise(proxy, NoiseMode.WORST)
+    eta_m = eta_mult(proxy, NoiseMode.WORST, l_pt=1)
+    eta_a = eta_rotate(proxy, NoiseMode.WORST)
+    bounds = []
+    for layer in entry.network.linear_layers:
+        if isinstance(layer, ConvLayer):
+            mult_terms = layer.ci * layer.fw**2
+            rot_terms = layer.ci * (layer.fw**2 - 1)
+        else:
+            mult_terms = layer.ni
+            rot_terms = layer.ni - 1
+        if entry.schedule is Schedule.PARTIAL_ALIGNED:
+            noise = mult_terms * eta_m * v0 + rot_terms * eta_a
+        else:
+            noise = mult_terms * eta_m * (v0 + eta_a) + rot_terms * eta_a
+        bounds.append(params.noise_capacity_bits - math.log2(noise))
+    floor = round(min(bounds), 3)
+    entry._noise_floor_bits = floor
+    return floor
+
+
+class _Series:
+    """Bounded latency series: count/total plus a percentile ring buffer."""
+
+    __slots__ = ("count", "total_s", "samples")
+
+    def __init__(self, reservoir_size: int):
+        self.count = 0
+        self.total_s = 0.0
+        self.samples: deque[float] = deque(maxlen=reservoir_size)
+
+    def record(self, seconds: float) -> None:
+        self.count += 1
+        self.total_s += seconds
+        self.samples.append(seconds)
+
+    def summary(self) -> dict:
+        samples = sorted(self.samples)
+        out = {"count": self.count}
+        if samples:
+            def pct(q: float) -> float:
+                idx = min(len(samples) - 1, int(round(q * (len(samples) - 1))))
+                return round(samples[idx] * 1e3, 3)
+
+            out["p50_ms"] = pct(0.50)
+            out["p95_ms"] = pct(0.95)
+            out["mean_ms"] = round(self.total_s / self.count * 1e3, 3)
+        return out
+
+
+class MetricsRegistry:
+    """Thread-safe sink for serving metrics; ``snapshot()`` is JSON-safe.
+
+    All mutation paths take one short lock; gauges are pull-based
+    callables evaluated only at snapshot time, so a gauge can close over
+    live server state (queue depth, session count) without the server
+    pushing updates.
+    """
+
+    def __init__(self, window_s: float = 60.0, reservoir_size: int = 512):
+        self.window_s = float(window_s)
+        self.reservoir_size = int(reservoir_size)
+        self._lock = threading.Lock()
+        self._started = time.monotonic()
+        self._requests = _Series(self.reservoir_size)
+        self._by_kind: dict[str, int] = {}
+        self._outcomes = {"ok": 0, "error": 0, "busy": 0}
+        self._completions: deque[float] = deque()
+        self._layers: dict[str, _Series] = {}
+        self._batch_fill: dict[int, int] = {}
+        self._batch_requests = 0
+        self._gauges: dict[str, object] = {}
+
+    # -- recording -----------------------------------------------------
+
+    def record_request(self, kind: str, seconds: float, reply_kind: str) -> None:
+        """One protocol round completed: ``reply_kind`` decides the outcome."""
+        if reply_kind == "busy":
+            outcome = "busy"
+        elif reply_kind == "error":
+            outcome = "error"
+        else:
+            outcome = "ok"
+        now = time.monotonic()
+        with self._lock:
+            self._requests.record(seconds)
+            self._by_kind[kind] = self._by_kind.get(kind, 0) + 1
+            self._outcomes[outcome] += 1
+            self._completions.append(now)
+            horizon = now - self.window_s
+            while self._completions and self._completions[0] < horizon:
+                self._completions.popleft()
+
+    def record_layer(self, layer: str, seconds: float) -> None:
+        """One linear layer evaluated (HE compute + masking, per request)."""
+        with self._lock:
+            series = self._layers.get(layer)
+            if series is None:
+                series = self._layers[layer] = _Series(self.reservoir_size)
+            series.record(seconds)
+
+    def record_batch(self, size: int) -> None:
+        """One batch flushed through the executor with ``size`` requests."""
+        with self._lock:
+            self._batch_fill[size] = self._batch_fill.get(size, 0) + 1
+            self._batch_requests += size
+
+    def add_gauge(self, name: str, fn) -> None:
+        """Register a pull-based gauge; ``fn()`` runs at snapshot time."""
+        with self._lock:
+            self._gauges[name] = fn
+
+    # -- reporting -----------------------------------------------------
+
+    def requests_per_second(self) -> float:
+        now = time.monotonic()
+        with self._lock:
+            horizon = now - self.window_s
+            while self._completions and self._completions[0] < horizon:
+                self._completions.popleft()
+            window = min(self.window_s, max(now - self._started, 1e-9))
+            return len(self._completions) / window
+
+    def snapshot(self) -> dict:
+        """Everything, as one JSON-serialisable dict."""
+        rps = self.requests_per_second()
+        he = GLOBAL_COUNTERS.snapshot()
+        with self._lock:
+            fills = dict(self._batch_fill)
+            batches = sum(fills.values())
+            batch = {
+                "histogram": {str(k): v for k, v in sorted(fills.items())},
+                "batches": batches,
+                "requests": self._batch_requests,
+                "mean_fill": round(self._batch_requests / batches, 3) if batches else 0.0,
+            }
+            out = {
+                "uptime_s": round(time.monotonic() - self._started, 3),
+                "requests": {
+                    **self._requests.summary(),
+                    "per_second": round(rps, 3),
+                    "window_s": self.window_s,
+                    "by_kind": dict(self._by_kind),
+                    **{k: v for k, v in self._outcomes.items()},
+                },
+                "layers": {
+                    name: series.summary()
+                    for name, series in sorted(self._layers.items())
+                },
+                "batch_fill": batch,
+                "he_ops": {
+                    "he_mult": he.he_mult,
+                    "he_add": he.he_add,
+                    "he_rotate": he.he_rotate,
+                    "ntt": he.ntt,
+                    "modmuls": he.modmuls,
+                    "butterflies": he.butterflies,
+                },
+                "gauges": {},
+            }
+            gauges = dict(self._gauges)
+        # Gauges run unlocked: they may touch other subsystems' locks.
+        for name, fn in sorted(gauges.items()):
+            try:
+                out["gauges"][name] = fn()
+            except Exception as exc:  # pragma: no cover - defensive
+                out["gauges"][name] = f"error: {exc}"
+        return out

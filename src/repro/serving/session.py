@@ -22,6 +22,7 @@ logits bit-identical to :meth:`GazelleProtocol.run
 
 from __future__ import annotations
 
+import time
 from dataclasses import dataclass
 
 import numpy as np
@@ -46,7 +47,7 @@ from ..protocol.gazelle import (
 from ..scheduling.fc import pack_fc_input
 from ..scheduling.layouts import pack_image
 from .transport import Transport
-from .wire import Message, raise_on_error
+from .wire import Message, ServingError, raise_on_error
 
 
 @dataclass
@@ -63,6 +64,9 @@ class ServingResult:
     #: transports without retry support).  Replays are bit-identical, so
     #: a non-zero count changes nothing about the logits.
     transport_retries: int = 0
+    #: Rounds re-issued after a server ``busy`` (backpressure) reply.
+    #: Like transport replays, busy retries never change the logits.
+    busy_retries: int = 0
 
 
 class ClientSession:
@@ -75,16 +79,24 @@ class ClientSession:
         transport: Transport,
         seed: int = 0,
         track_noise: bool = False,
+        tenant: str = "default",
+        busy_retry_limit: int = 64,
     ):
         self.network = network
         self.params = params
         self.transport = transport
         self.track_noise = track_noise
+        #: Tenant label sent in the handshake; the server's admission
+        #: controller rate-limits per tenant.
+        self.tenant = tenant
+        #: Consecutive ``busy`` replies tolerated per round before giving up.
+        self.busy_retry_limit = int(busy_retry_limit)
         self.scheme = BfvScheme(params, seed=seed)
         self.secret, self.public = self.scheme.keygen()
         self.session_id: str | None = None
         self.rescale_bits: int = 0
         self._layer_meta: dict = {}
+        self._busy_retries = 0
 
     # -- setup --------------------------------------------------------------
 
@@ -92,7 +104,14 @@ class ClientSession:
         """Handshake and Galois-key upload; raises ServingError on rejection."""
         reply = raise_on_error(
             self.transport.request(
-                Message("hello", {"model": model, "params": params_to_dict(self.params)})
+                Message(
+                    "hello",
+                    {
+                        "model": model,
+                        "params": params_to_dict(self.params),
+                        "tenant": self.tenant,
+                    },
+                )
             )
         )
         self.session_id = reply.require("session")
@@ -125,6 +144,7 @@ class ClientSession:
         evaluator = GarbledEvaluator(t, bit_width=t.bit_length())
         self._min_budget = float("inf")
         retries_before = getattr(self.transport, "retries", 0)
+        busy_before = self._busy_retries
         current = np.asarray(image, dtype=np.int64)
         layers = list(self.network.layers)
         index = 0
@@ -153,6 +173,7 @@ class ClientSession:
             transport_retries=(
                 getattr(self.transport, "retries", 0) - retries_before
             ),
+            busy_retries=self._busy_retries - busy_before,
         )
 
     def _linear_round(self, layer, activations):
@@ -193,9 +214,28 @@ class ClientSession:
         )
         return slots[: layer.no], mask
 
+    def _request_busy_retry(self, message: Message) -> Message:
+        """Issue one round, honouring server backpressure.
+
+        A ``busy`` reply is the admission layer shedding load, not a
+        failure: sleep for the server's ``retry_after_s`` hint and
+        re-issue the identical round.  The protocol is deterministic and
+        replayable, so the eventual reply is bit-identical to what an
+        immediately admitted request would have received.
+        """
+        for _attempt in range(self.busy_retry_limit + 1):
+            reply = self.transport.request(message)
+            if reply.kind != "busy":
+                return reply
+            self._busy_retries += 1
+            time.sleep(min(float(reply.meta.get("retry_after_s", 0.05)), 5.0))
+        raise ServingError(
+            f"server still busy after {self.busy_retry_limit} retries"
+        )
+
     def _request_linear(self, layer, cts):
         reply = raise_on_error(
-            self.transport.request(
+            self._request_busy_retry(
                 Message(
                     "linear",
                     {"session": self.session_id, "layer": layer.name},

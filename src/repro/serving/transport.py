@@ -88,9 +88,12 @@ class SocketTransport:
         backoff_max_s: float = 2.0,
         retry_jitter_seed: int | None = None,
         socket_factory=None,
+        max_frame_bytes: int | None = None,
     ):
         self._address = (host, port)
         self._timeout = timeout
+        #: Reply-frame size cap (``None`` = the wire module default).
+        self.max_frame_bytes = max_frame_bytes
         self._connect_timeout_s = (
             timeout if connect_timeout_s is None else connect_timeout_s
         )
@@ -131,7 +134,7 @@ class SocketTransport:
                     if self._sock is None:
                         self._sock = self._connect()
                     send_frame(self._sock, payload)
-                    reply = recv_frame(self._sock)
+                    reply = recv_frame(self._sock, self.max_frame_bytes)
                     if reply is None:
                         raise ConnectionError("server closed the connection")
                     return decode_message(reply)
@@ -203,9 +206,14 @@ class SocketServer:
         port: int = 0,
         workers: int = 16,
         drain_timeout_s: float = 30.0,
+        max_frame_bytes: int | None = None,
     ):
         self.engine = engine
         self.drain_timeout_s = drain_timeout_s
+        #: Request-frame size cap (``None`` = the wire module default).
+        #: Enforced from the length prefix before any body is buffered; a
+        #: connection claiming an oversized frame is dropped on the spot.
+        self.max_frame_bytes = max_frame_bytes
         # Ephemeral binds (port 0) retry the rare EADDRINUSE race (an
         # exhausted ephemeral range on a busy host); an explicit port is
         # the operator's claim and fails immediately.
@@ -284,7 +292,7 @@ class SocketServer:
             with conn:
                 while not self._stopping.is_set():
                     try:
-                        payload = recv_frame(conn)
+                        payload = recv_frame(conn, self.max_frame_bytes)
                     except (ValueError, OSError):
                         return  # corrupted stream or closed by stop()
                     if payload is None:

@@ -28,8 +28,11 @@ from dataclasses import dataclass, field
 _MAGIC = b"RSV1"
 _LEN = struct.Struct("<I")
 
-#: Frame size cap (bytes) for the socket transport -- a corrupted length
-#: prefix must not trigger a multi-GiB allocation.
+#: Default frame size cap (bytes) for the socket transport -- a corrupted
+#: length prefix must not trigger a multi-GiB allocation.  Servers and
+#: transports can tighten it per instance (``max_frame_bytes=``); the cap
+#: is always enforced from the length prefix alone, before a single body
+#: byte is read or buffered.
 MAX_FRAME_BYTES = 1 << 30
 
 
@@ -143,14 +146,21 @@ def send_frame(sock, payload: bytes) -> None:
     sock.sendall(_LEN.pack(len(payload)) + payload)
 
 
-def recv_frame(sock) -> bytes | None:
-    """Read one length-prefixed frame; ``None`` on a clean peer close."""
+def recv_frame(sock, max_frame_bytes: int | None = None) -> bytes | None:
+    """Read one length-prefixed frame; ``None`` on a clean peer close.
+
+    The size cap (``max_frame_bytes``, defaulting to
+    :data:`MAX_FRAME_BYTES`) is checked against the length prefix before
+    the body is read, so an oversized claim is rejected without
+    allocating or buffering anything.
+    """
+    cap = MAX_FRAME_BYTES if max_frame_bytes is None else int(max_frame_bytes)
     prefix = _recv_exact(sock, 4)
     if prefix is None:
         return None
     (length,) = _LEN.unpack(prefix)
-    if length > MAX_FRAME_BYTES:
-        raise ValueError(f"frame of {length} bytes exceeds {MAX_FRAME_BYTES}")
+    if length > cap:
+        raise ValueError(f"frame of {length} bytes exceeds cap of {cap}")
     return _recv_exact(sock, length, partial_ok=False)
 
 

@@ -5,11 +5,12 @@ execution path the repo offers --
 
 1. in-process :class:`GazelleProtocol` (the reference simulation),
 2. the serving engine over :class:`LoopbackTransport` (full wire encoding),
-3. the serving engine over a real TCP socket,
-4. artifact warm-start (``.rpa`` -> memmapped plans) over loopback,
-5. the multi-process sharded backend (``ShardPool`` + ``ShardExecutor``)
+3. the serving engine over a real TCP socket (threaded front end),
+4. the serving engine behind the asyncio :class:`AsyncGateway`,
+5. artifact warm-start (``.rpa`` -> memmapped plans) over loopback,
+6. the multi-process sharded backend (``ShardPool`` + ``ShardExecutor``)
 
--- and asserts that all five produce **bit-identical logits** and
+-- and asserts that all six produce **bit-identical logits** and
 **identical HE op counters**, under both dot-product schedules.  This is
 the gate a new execution backend must pass before it can serve traffic:
 if a refactor changes what is computed (not just where), this suite
@@ -53,6 +54,7 @@ from repro.nn.plaintext import PlaintextRunner
 from repro.protocol import GazelleProtocol
 from repro.serving import (
     DEMO_RESCALE_BITS,
+    AsyncGateway,
     ClientSession,
     LoopbackTransport,
     ServingEngine,
@@ -176,11 +178,28 @@ class _SocketFactory:
         self.server.stop()
 
 
+class _GatewayFactory:
+    """The asyncio front end, behind the same TCP client transport."""
+
+    def __init__(self, engine):
+        self.server = AsyncGateway(engine, port=0, executor_threads=2)
+
+    def __enter__(self):
+        self.server.start()
+        self.transport = SocketTransport(self.server.host, self.server.port)
+        return self.transport
+
+    def __exit__(self, *_exc):
+        self.transport.close()
+        self.server.stop()
+
+
 def _all_paths(env, image) -> dict[str, PathResult]:
     return {
         "gazelle": _run_gazelle(env, image),
         "loopback": _run_session(env, env.registry, image, _LoopbackFactory),
         "socket": _run_session(env, env.registry, image, _SocketFactory),
+        "gateway": _run_session(env, env.registry, image, _GatewayFactory),
         "artifact": _run_session(
             env, env.artifact_registry, image, _LoopbackFactory
         ),
