@@ -7,6 +7,17 @@ demo deployment: one coordinator engine over the loopback transport
 ``.rpa`` artifact.  The in-process backend (no pool) is recorded as the
 baseline.
 
+Three channel fabrics are compared at 2 workers:
+
+* ``queue`` -- whole frames pickled through mp queues (the per-task
+  serialized-byte baseline);
+* ``shm`` -- ciphertext slabs through shared-memory rings, only control
+  frames pickled.  The structural gate -- >= ``GATE_SHM_REDUCTION``x
+  fewer bytes pickled per task -- is enforced on every host (it is a
+  property of the encoding, not of core count);
+* remote TCP workers (:class:`ShardWorkerServer` fleets of 1 and 2),
+  recording req/s vs remote worker count.
+
 Every mode's logits are checked bit-identical to the plaintext runner
 (the conformance suite pins the stronger cross-path guarantee).  The
 acceptance gate -- >= ``GATE_SPEEDUP``x requests/sec at 4 workers over 1
@@ -43,6 +54,7 @@ from repro.serving import (
     ShardError,
     ShardExecutor,
     ShardPool,
+    ShardWorkerServer,
     demo_image,
     demo_network,
     demo_weights,
@@ -53,6 +65,11 @@ RECORD_PATH = Path(__file__).resolve().parents[1] / "BENCH_sharding.json"
 #: Acceptance gate: 4 shard workers vs 1 shard worker, multi-core hosts.
 GATE_SPEEDUP = 1.8
 GATE_MIN_CORES = 4
+
+#: Structural gate, enforced on every host: the shm channel must pickle
+#: >= this factor fewer bytes per task than the queue channel.
+GATE_SHM_REDUCTION = 10.0
+REMOTE_COUNTS = (1, 2)
 
 SCHEDULE = Schedule.INPUT_ALIGNED
 CLIENTS = 4
@@ -80,7 +97,7 @@ def _stage_artifact(tmp_dir, params):
     return load_zoo(tmp_dir)
 
 
-def _start_pool(artifact_dir, workers: int) -> ShardPool:
+def _start_pool(artifact_dir, workers: int, **kwargs) -> ShardPool:
     """Start a pool, absorbing one transient startup failure.
 
     A loaded CI host can OOM-kill or starve a forking worker once; a
@@ -88,10 +105,10 @@ def _start_pool(artifact_dir, workers: int) -> ShardPool:
     host's worst moment.  A second failure is a real problem and raises.
     """
     try:
-        return ShardPool(artifact_dir, workers=workers).start()
+        return ShardPool(artifact_dir, workers=workers, **kwargs).start()
     except ShardError as exc:
         print(f"pool startup failed once ({exc}); retrying")
-        return ShardPool(artifact_dir, workers=workers).start()
+        return ShardPool(artifact_dir, workers=workers, **kwargs).start()
 
 
 def _drive_clients(registry, params, images, executor):
@@ -170,16 +187,67 @@ def test_sharding_throughput(tmp_path):
     in_process = _stats(elapsed, lat, len(images))
 
     by_workers = {}
+    ipc = {}
     for workers in WORKER_COUNTS:
         pool = _start_pool(tmp_path, workers)
         try:
             elapsed, lat, logits = _drive_clients(
                 registry, params, images, ShardExecutor(pool)
             )
+            if workers == 2:
+                ipc["queue"] = pool.ipc_stats()
         finally:
             pool.stop()
         check(logits, f"{workers} workers")
         by_workers[workers] = _stats(elapsed, lat, len(images))
+
+    # Channel comparison at 2 workers: the shm fabric moves ciphertext
+    # slabs through shared-memory rings, so only small control frames
+    # cross the pickling queues.
+    pool = _start_pool(tmp_path, 2, channels="shm")
+    try:
+        elapsed, lat, logits = _drive_clients(
+            registry, params, images, ShardExecutor(pool)
+        )
+        ipc["shm"] = pool.ipc_stats()
+    finally:
+        pool.stop()
+    check(logits, "shm channels")
+    shm_mode = _stats(elapsed, lat, len(images))
+
+    def _pickled_per_task(stats):
+        return stats["pickled_bytes"] / max(1, stats["tasks"])
+
+    shm_reduction = _pickled_per_task(ipc["queue"]) / _pickled_per_task(
+        ipc["shm"]
+    )
+
+    # Remote TCP workers: a localhost fleet of ShardWorkerServer
+    # processes-worth of endpoints (in-process servers here; the frames
+    # and supervision are identical to cross-host deployment).
+    by_remote = {}
+    for count in REMOTE_COUNTS:
+        servers = [
+            ShardWorkerServer(tmp_path, port=0).start() for _ in range(count)
+        ]
+        try:
+            pool = ShardPool(
+                None, workers=0,
+                remote_endpoints=[server.endpoint for server in servers],
+            ).start()
+            try:
+                elapsed, lat, logits = _drive_clients(
+                    registry, params, images, ShardExecutor(pool)
+                )
+                if count == max(REMOTE_COUNTS):
+                    ipc["remote"] = pool.ipc_stats()
+            finally:
+                pool.stop()
+        finally:
+            for server in servers:
+                server.stop()
+        check(logits, f"{count} remote workers")
+        by_remote[count] = _stats(elapsed, lat, len(images))
 
     speedup = (
         by_workers[4]["requests_per_sec"] / by_workers[1]["requests_per_sec"]
@@ -190,9 +258,12 @@ def test_sharding_throughput(tmp_path):
     print(f"\nSharded serving, n={params.n}, {len(images)} requests, "
           f"{CLIENTS} clients, {cores} core(s)")
     print(f"{'mode':<16}{'req/s':>8}{'p50 ms':>9}{'p95 ms':>9}")
-    rows = [("in_process", in_process)] + [
-        (f"{workers} workers", stats) for workers, stats in by_workers.items()
-    ]
+    rows = (
+        [("in_process", in_process)]
+        + [(f"{w} workers", stats) for w, stats in by_workers.items()]
+        + [("2 workers shm", shm_mode)]
+        + [(f"{c} remote", stats) for c, stats in by_remote.items()]
+    )
     for name, stats in rows:
         print(
             f"{name:<16}{stats['requests_per_sec']:>8.2f}"
@@ -201,6 +272,12 @@ def test_sharding_throughput(tmp_path):
     print(
         f"4 workers vs 1 worker: {speedup:.2f}x "
         f"(gate {GATE_SPEEDUP}x, enforced: {gate_enforced})"
+    )
+    print(
+        f"per-task pickled bytes: queue "
+        f"{_pickled_per_task(ipc['queue']):,.0f} vs shm "
+        f"{_pickled_per_task(ipc['shm']):,.0f} "
+        f"({shm_reduction:.1f}x reduction, gate {GATE_SHM_REDUCTION}x)"
     )
 
     payload = {
@@ -221,6 +298,17 @@ def test_sharding_throughput(tmp_path):
         "modes": {
             "in_process": in_process,
             **{f"workers_{w}": stats for w, stats in by_workers.items()},
+            "workers_2_shm": shm_mode,
+            **{f"remote_{c}": stats for c, stats in by_remote.items()},
+        },
+        "ipc": {
+            "queue": ipc["queue"],
+            "shm": ipc["shm"],
+            "remote": ipc.get("remote", {}),
+            "queue_pickled_bytes_per_task": _pickled_per_task(ipc["queue"]),
+            "shm_pickled_bytes_per_task": _pickled_per_task(ipc["shm"]),
+            "payload_reduction_x": shm_reduction,
+            "gate_shm_reduction": GATE_SHM_REDUCTION,
         },
         "speedup_4w_vs_1w": speedup,
         "logits_bit_identical_to_plaintext": True,
@@ -232,6 +320,14 @@ def test_sharding_throughput(tmp_path):
     }
     RECORD_PATH.write_text(json.dumps(payload, indent=2) + "\n")
     print(f"wrote {RECORD_PATH}")
+
+    # Structural gate, independent of core count: the shm channel must
+    # keep ciphertext slabs out of the pickled control frames.
+    assert shm_reduction >= GATE_SHM_REDUCTION, (
+        f"shm channel pickled only {shm_reduction:.1f}x fewer bytes per "
+        f"task than the queue channel (gate {GATE_SHM_REDUCTION}x) -- "
+        f"slabs are leaking back into the control frames"
+    )
 
     if gate_enforced:
         assert speedup >= GATE_SPEEDUP, (

@@ -20,12 +20,19 @@ Commands
     deployment at startup, or warm-starting a whole artifact directory
     with zero recompute.  ``--workers N`` shards plan execution across
     N forked worker processes memmapping the same artifacts
-    (bit-identical logits, multi-core throughput).  The front end is the
+    (bit-identical logits, multi-core throughput); ``--ipc shm`` moves
+    their ciphertext slabs through zero-copy shared-memory rings, and
+    ``--remote-workers host:port,...`` adds remote ``repro
+    shard-worker`` processes to the pool.  The front end is the
     event-driven asyncio gateway by default (``--frontend threaded``
     keeps the thread-per-connection server); ``--quota-rps``,
     ``--max-queue-depth``, ``--session-ttl-s`` and ``--stats-interval``
     control admission, session lifetime, and observability, and ``GET
     /metrics`` on the serving port returns the live metrics snapshot.
+``shard-worker --artifacts DIR [--host H] [--port P]``
+    Run a standalone remote shard worker: memmaps the artifact
+    directory and serves plan-layer tasks to any ``repro serve
+    --remote-workers`` coordinator that connects.
 ``infer [--host H] [--port P] [--count K] [--model NAME]``
     Connect to a running server, run private inferences, verify logits.
 """
@@ -195,6 +202,11 @@ def _cmd_serve(args) -> int:
         demo_weights,
     )
 
+    remote_workers = [
+        spec.strip()
+        for spec in (args.remote_workers or "").split(",")
+        if spec.strip()
+    ]
     scratch_dir = None
     if args.artifacts:
         from .artifacts import load_zoo
@@ -233,16 +245,28 @@ def _cmd_serve(args) -> int:
 
     pool = None
     executor = None
-    if args.workers > 0:
+    if args.workers > 0 or remote_workers:
         from .serving import ShardExecutor, ShardPool
 
         pool = ShardPool(
-            artifact_dir, workers=args.workers, max_attempts=args.max_attempts
+            artifact_dir if args.workers > 0 else None,
+            workers=args.workers,
+            max_attempts=args.max_attempts,
+            channels=args.ipc,
+            remote_endpoints=remote_workers or None,
         ).start()
         executor = ShardExecutor(pool)
+        local = (
+            f"{args.workers} local worker process(es) "
+            f"({args.ipc} channels) memmapping {artifact_dir}"
+            if args.workers > 0 else "no local workers"
+        )
+        remote = (
+            f" + {len(remote_workers)} remote worker(s) {remote_workers}"
+            if remote_workers else ""
+        )
         print(
-            f"shard pool ready: {pool.workers} worker process(es) memmapping "
-            f"{artifact_dir} (models {pool.model_names}, "
+            f"shard pool ready: {local}{remote} (models {pool.model_names}, "
             f"max_attempts={pool.max_attempts})"
         )
     metrics = MetricsRegistry()
@@ -330,6 +354,33 @@ def _cmd_serve(args) -> int:
         pool.stop()
     if scratch_dir is not None:
         scratch_dir.cleanup()
+    return 0
+
+
+def _cmd_shard_worker(args) -> int:
+    import signal
+    import threading
+
+    from .serving import ShardWorkerServer
+
+    server = ShardWorkerServer(
+        args.artifacts, host=args.host, port=args.port
+    ).start()
+    print(
+        f"shard worker serving models {server.registry.names()} on "
+        f"{server.endpoint} (artifacts: {args.artifacts})"
+    )
+    stop_requested = threading.Event()
+
+    def _request_stop(_signum, _frame):
+        stop_requested.set()
+
+    signal.signal(signal.SIGINT, _request_stop)
+    signal.signal(signal.SIGTERM, _request_stop)
+    print("press Ctrl-C (or send SIGTERM) to stop")
+    stop_requested.wait()
+    print(f"\nshutting down ({server.tasks_served} task(s) served)")
+    server.stop()
     return 0
 
 
@@ -471,6 +522,17 @@ def build_parser() -> argparse.ArgumentParser:
              "(0 = run plans in the server process)",
     )
     serve.add_argument(
+        "--ipc", choices=["queue", "shm"], default="queue",
+        help="local shard-worker channel kind: pickling mp queues, or "
+             "zero-copy shared-memory rings for ciphertext slabs",
+    )
+    serve.add_argument(
+        "--remote-workers", default="", dest="remote_workers",
+        metavar="HOST:PORT,...",
+        help="comma-separated 'repro shard-worker' endpoints to add to "
+             "the shard pool (may be combined with local --workers)",
+    )
+    serve.add_argument(
         "--threads", type=int, default=16,
         help="engine thread budget: executor threads for the async "
              "gateway (connections are unbounded), or max concurrently "
@@ -524,6 +586,21 @@ def build_parser() -> argparse.ArgumentParser:
              "prefix before any buffering (0 = the 1 GiB wire default)",
     )
 
+    shard_worker = sub.add_parser(
+        "shard-worker",
+        help="run a standalone remote shard worker serving plan layers",
+    )
+    shard_worker.add_argument(
+        "--artifacts", required=True, metavar="DIR",
+        help="directory of compiled .rpa artifacts to memmap (must match "
+             "the coordinator's artifact set)",
+    )
+    shard_worker.add_argument("--host", default="127.0.0.1")
+    shard_worker.add_argument(
+        "--port", type=int, default=7917,
+        help="port to listen on (0 picks a free port)",
+    )
+
     infer = sub.add_parser("infer", help="run private inference against a server")
     infer.add_argument("--host", default="127.0.0.1")
     infer.add_argument("--port", type=int, default=7707)
@@ -558,6 +635,7 @@ _COMMANDS = {
     "params": _cmd_params,
     "compile": _cmd_compile,
     "serve": _cmd_serve,
+    "shard-worker": _cmd_shard_worker,
     "infer": _cmd_infer,
 }
 

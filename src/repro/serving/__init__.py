@@ -12,7 +12,11 @@ the TCP :class:`SocketTransport` / :class:`SocketServer` pair.  Plan
 math runs in-process by default (:class:`LocalExecutor`) or across a
 pool of forked worker processes memmapping the same ``.rpa`` artifacts
 (:class:`ShardPool` + :class:`ShardExecutor` -- bit-identical outputs,
-multi-core throughput).
+multi-core throughput).  The shard fabric speaks three channel kinds:
+pickling mp queues, zero-copy shared-memory rings
+(:class:`~repro.serving.shm_ring.ShmRing`, ``channels="shm"``), and
+remote TCP workers (:class:`ShardWorkerServer`, ``repro shard-worker``)
+so a fleet of hosts memmapping the same artifacts serves one model.
 
 Two front ends terminate TCP: the thread-per-connection
 :class:`SocketServer` and the event-driven :class:`AsyncGateway`, which
@@ -42,8 +46,19 @@ from .models import (
 )
 from .registry import ModelEntry, ModelRegistry
 from .session import ClientSession, ServingResult
-from .shards import ShardError, ShardExecutor, ShardPool
-from .transport import LoopbackTransport, SocketServer, SocketTransport
+from .shards import (
+    ShardError,
+    ShardExecutor,
+    ShardPool,
+    ShardWorkerServer,
+)
+from .shm_ring import ShmRing
+from .transport import (
+    LoopbackTransport,
+    SocketServer,
+    SocketTransport,
+    bind_listener,
+)
 from .wire import Message, ServingError, decode_message, encode_message
 
 __all__ = [
@@ -60,6 +75,9 @@ __all__ = [
     "ShardPool",
     "ShardExecutor",
     "ShardError",
+    "ShardWorkerServer",
+    "ShmRing",
+    "bind_listener",
     "ModelRegistry",
     "ModelEntry",
     "ClientSession",

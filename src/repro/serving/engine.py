@@ -129,6 +129,12 @@ class LocalExecutor:
         an absolute ``time.monotonic()`` instant (or ``None``); remote
         backends enforce it, the in-process path ignores it (a started
         plan execution is never abandoned half-way).
+
+    The other implementation is :class:`~repro.serving.shards
+    .ShardExecutor`, which fans layer calls out over a
+    :class:`~repro.serving.shards.ShardPool` of forked workers (queue or
+    shared-memory-ring channels) and/or remote ``tcp://`` workers --
+    all bit-identical to this executor by the conformance suite.
     """
 
     def prepare_keys(self, entry, key_id, blob, keys):

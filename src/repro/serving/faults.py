@@ -21,13 +21,18 @@ Two planes are injectable:
     ``every_incarnation=True`` models a permanently-crashing worker.
 
 :class:`ConnectionFaults`
-    Client-transport faults, applied by wrapping the TCP socket
+    Connection faults, applied by wrapping the TCP socket
     (:meth:`ConnectionFaults.connect` is a drop-in
     ``socket_factory`` for :class:`~repro.serving.transport
-    .SocketTransport`): drop or truncate the Nth request frame sent, cut
-    the connection on the Nth reply read, or flip one seeded byte in the
+    .SocketTransport` *and* ``remote_socket_factory`` for
+    :class:`~repro.serving.shards.ShardPool`, so the same plan injects
+    faults into the client->server link or the coordinator->remote-worker
+    link): drop or truncate the Nth request frame sent, cut the
+    connection on the Nth reply read, or flip one seeded byte in the
     reply to the Nth request.  Counters are shared across reconnects, so
-    "the Nth frame" means the Nth over the transport's lifetime.
+    "the Nth frame" means the Nth over the transport's lifetime.  On the
+    coordinator link every connection reads one ``shard_ready`` frame
+    and each task reads two reply frames (``claimed`` + ``result``).
 
 Both planes also parse ``REPRO_FAULT_*`` environment variables (see
 :meth:`WorkerFaults.from_env` / :meth:`ConnectionFaults.from_env`), so

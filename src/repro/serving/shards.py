@@ -22,10 +22,35 @@ never cashes in.  This module adds the missing piece:
   A batched ``(k, B, n)`` layer call is split into per-shard sub-batches
   by request rows -- and, when a single request meets a wide convolution,
   by output-channel ranges (``ConvPlan.execute(..., oc_range=...)``) --
-  shipped over the IPC queues, and the partial outputs are merged back
-  in order.  Every ciphertext crosses the process boundary through
+  shipped over the worker channels, and the partial outputs are merged
+  back in order.  Every ciphertext crosses the process boundary through
   :mod:`repro.bfv.serialize` inside a :mod:`repro.serving.wire` frame,
   so the IPC path is the *same* validated wire format the network uses.
+
+Worker channels are pluggable per worker; the pool speaks three:
+
+``queue`` (default)
+    Frames (headers *and* ciphertext blobs) are pickled through
+    per-worker ``multiprocessing.Queue`` pairs.
+``shm`` (``channels="shm"``)
+    Zero-copy local IPC: each forked worker's channel pair carries its
+    ciphertext slabs through a :class:`~repro.serving.shm_ring.ShmRing`
+    (raw page-aligned int64 bytes in ``multiprocessing.shared_memory``),
+    while the mp queues carry only small control frames holding a
+    :data:`~repro.serving.wire.SLAB_META_KEY` descriptor (ring offset,
+    byte count, CRC).  A slab that cannot fit the ring degrades that
+    one task to the in-band queue encoding, so ring capacity is a
+    performance knob, never a correctness constraint.
+``tcp://host:port`` (``remote_endpoints=[...]``)
+    Remote workers: each endpoint is a :class:`ShardWorkerServer`
+    (``repro shard-worker``) on any host that memmaps the same ``.rpa``
+    artifacts; the coordinator speaks the identical task/keys/result
+    frames over a framed TCP stream (:func:`~repro.serving.wire
+    .send_frame`).  Supervision extends to the network: connection
+    loss or a corrupt frame marks the worker dead, its in-flight tasks
+    requeue exactly once onto survivors, and the slot reconnects with
+    backoff, replaying every live Galois-key blob before new work is
+    dispatched.
 
 Bit-identity is the invariant that makes the split safe: plan execution
 is deterministic and independent per request and per output channel, so
@@ -83,6 +108,7 @@ import logging
 import multiprocessing
 import os
 import queue
+import socket
 import threading
 import time
 import uuid
@@ -93,7 +119,22 @@ from ..bfv.serialize import deserialize_ciphertext, serialize_ciphertext
 from ..nn.layers import ConvLayer
 from .engine import ExecutionBackendError
 from .faults import WorkerFaults
-from .wire import Message, attempt_of, decode_message, encode_message
+from .transport import bind_listener
+from .shm_ring import (
+    RingCorruption,
+    ShmRing,
+    pack_into_ring,
+    retire_ring,
+    unpack_from_ring,
+)
+from .wire import (
+    Message,
+    attempt_of,
+    decode_message,
+    encode_message,
+    recv_frame,
+    send_frame,
+)
 
 logger = logging.getLogger(__name__)
 
@@ -244,7 +285,8 @@ def _run_task(registry, key_cache, request: Message) -> Message:
 
 def _worker_main(
     worker_id, incarnation, artifact_dir, verify, ntt_native, task_queue,
-    key_queue, result_queue, ready_queue, fault_plan,
+    key_queue, result_queue, ready_queue, fault_plan, task_ring=None,
+    result_ring=None,
 ):
     """Worker entry point: warm-start from artifacts, then serve tasks."""
     try:
@@ -270,7 +312,21 @@ def _worker_main(
             return
         task_id = None
         try:
-            request = decode_message(payload)
+            # Control frames decode before their slab is touched, so a
+            # claim can go out (and the task id is known for error
+            # replies) even when the slab turns out to be bad.
+            try:
+                request, _ = unpack_from_ring(payload, task_ring)
+            except RingCorruption as exc:
+                # The task ring is no longer trustworthy (torn slab,
+                # desynced descriptor).  Crash-only recovery: exit so
+                # the supervisor requeues this incarnation's tasks and
+                # respawns the slot with fresh channels.
+                logger.error(
+                    "shard worker %d: task ring corrupted (%s); exiting",
+                    worker_id, exc,
+                )
+                return
             attempt = attempt_of(request)
             task_id = request.meta.get("task")
             # Claim before executing: claims tell the coordinator that
@@ -346,10 +402,73 @@ def _worker_main(
                     "reason": f"worker {worker_id}: {type(exc).__name__}: {exc}",
                 },
             )
-        result_queue.put(encode_message(reply))
+        # Result blobs ride the result ring when the channel has one (a
+        # slab the ring cannot take degrades to the in-band encoding).
+        frame, _ = pack_into_ring(reply, result_ring)
+        result_queue.put(frame)
 
 
 # -- coordinator --------------------------------------------------------------
+
+
+def parse_endpoint(endpoint: str) -> tuple[str, int]:
+    """Parse ``tcp://host:port`` (or bare ``host:port``) -> ``(host, port)``."""
+    spec = str(endpoint).strip()
+    if spec.startswith("tcp://"):
+        spec = spec[len("tcp://") :]
+    host, sep, port = spec.rpartition(":")
+    if not sep or not host or not port.isdigit():
+        raise ValueError(
+            f"malformed shard-worker endpoint {endpoint!r} "
+            "(expected tcp://host:port)"
+        )
+    return host, int(port)
+
+
+class _RemoteConn:
+    """One live connection to a remote shard worker.
+
+    Quacks enough like a ``multiprocessing.Process`` (``is_alive`` /
+    ``terminate`` / ``join``) that the pool's supervision loop treats a
+    lost connection exactly like a dead fork: requeue, backoff,
+    respawn -- where "respawn" is a fresh connection plus a Galois-key
+    replay.  Sends are serialized under a lock (dispatch, broadcasts
+    and the supervisor all write); any send or receive failure marks
+    the connection dead, and the mark is sticky until the slot
+    reconnects.
+    """
+
+    def __init__(self, sock: socket.socket):
+        self.sock = sock
+        self._send_lock = threading.Lock()
+        self._dead = threading.Event()
+
+    def is_alive(self) -> bool:
+        return not self._dead.is_set()
+
+    def mark_dead(self) -> None:
+        self._dead.set()
+        try:
+            self.sock.close()
+        except OSError:  # pragma: no cover - defensive
+            pass
+
+    # Process-shaped aliases for the supervisor.
+    def terminate(self) -> None:
+        self.mark_dead()
+
+    def join(self, timeout=None) -> None:
+        return None
+
+    def send(self, payload: bytes) -> None:
+        if self._dead.is_set():
+            raise OSError("remote shard worker connection is closed")
+        try:
+            with self._send_lock:
+                send_frame(self.sock, payload)
+        except OSError:
+            self.mark_dead()
+            raise
 
 
 class _PendingTask:
@@ -379,13 +498,21 @@ class _PendingTask:
 
 @dataclass
 class _Slot:
-    """One supervised worker position in the pool."""
+    """One supervised worker position in the pool.
+
+    ``endpoint`` selects the channel kind: ``None`` is a forked local
+    worker (queues, optionally with shm rings), a ``tcp://`` endpoint
+    is a remote worker whose ``process`` is a :class:`_RemoteConn`.
+    """
 
     worker_id: int
     process: object = None
     task_queue: object = None
     result_queue: object = None
     key_queue: object = None
+    task_ring: object = None
+    result_ring: object = None
+    endpoint: str | None = None
     incarnation: int = 0
     ready: bool = False
     abandoned: bool = False
@@ -393,16 +520,26 @@ class _Slot:
     deaths: int = 0
     last_error: str = ""
 
+    @property
+    def remote(self) -> bool:
+        return self.endpoint is not None
+
 
 class ShardPool:
-    """A supervised pool of forked worker processes executing plan layers.
+    """A supervised pool of local and/or remote workers executing plan layers.
 
-    Workers warm-start by ``load_zoo``-ing ``artifact_dir`` (memmapped
-    stacks -> the weight pages of all workers are shared through the OS
-    page cache); the coordinator dispatches each
+    Local workers fork and warm-start by ``load_zoo``-ing
+    ``artifact_dir`` (memmapped stacks -> the weight pages of all
+    workers are shared through the OS page cache); ``channels`` picks
+    their IPC flavor (``"queue"`` pickles whole frames, ``"shm"`` moves
+    ciphertext slabs through per-channel shared-memory rings of
+    ``ring_bytes`` each).  ``remote_endpoints`` adds ``tcp://host:port``
+    workers (:class:`ShardWorkerServer` instances memmapping the same
+    artifacts on any host); ``artifact_dir`` may be ``None`` for an
+    all-remote pool.  The coordinator dispatches each
     :class:`~repro.serving.wire.Message` task to the least-loaded live
-    worker's private queue.  ``ntt_native`` optionally pins the workers'
-    NTT backend (``None`` inherits the parent's); backends are
+    worker's private channel.  ``ntt_native`` optionally pins the local
+    workers' NTT backend (``None`` inherits the parent's); backends are
     bit-identical either way.
 
     A monitor thread supervises the pool (see the module docstring):
@@ -432,13 +569,40 @@ class ShardPool:
         max_respawns: int = 3,
         respawn_backoff_s: float = 0.2,
         fault_plan: WorkerFaults | None = None,
+        channels: str = "queue",
+        ring_bytes: int = 32 << 20,
+        remote_endpoints=None,
+        remote_connect_timeout_s: float = 10.0,
+        remote_socket_factory=None,
     ):
-        if workers < 1:
-            raise ValueError(f"need at least one worker, got {workers}")
+        self.remote_endpoints = [
+            str(endpoint) for endpoint in (remote_endpoints or [])
+        ]
+        for endpoint in self.remote_endpoints:
+            parse_endpoint(endpoint)  # fail fast on malformed specs
+        if workers < 0 or workers + len(self.remote_endpoints) < 1:
+            raise ValueError(
+                f"need at least one worker, got {workers} local + "
+                f"{len(self.remote_endpoints)} remote"
+            )
         if max_attempts < 1:
             raise ValueError(f"need at least one attempt, got {max_attempts}")
-        self.artifact_dir = str(artifact_dir)
-        self.workers = int(workers)
+        if channels not in ("queue", "shm"):
+            raise ValueError(f"unknown channel kind {channels!r}")
+        if artifact_dir is None and workers > 0:
+            raise ValueError("local shard workers need an artifact_dir")
+        self.artifact_dir = None if artifact_dir is None else str(artifact_dir)
+        #: Local (forked) worker count; ``workers`` is the total slot
+        #: count the executor splits over.
+        self.local_workers = int(workers)
+        self.workers = self.local_workers + len(self.remote_endpoints)
+        self.channels = channels
+        self.ring_bytes = int(ring_bytes)
+        self.remote_connect_timeout_s = float(remote_connect_timeout_s)
+        self._remote_factory = (
+            socket.create_connection if remote_socket_factory is None
+            else remote_socket_factory
+        )
         self.verify = verify
         self.ntt_native = ntt_native
         self.start_timeout_s = start_timeout_s
@@ -472,6 +636,14 @@ class ShardPool:
         self._fatal: str | None = None
         self.retries_total = 0
         self.respawns_total = 0
+        # IPC accounting (coordinator side), for BENCH_sharding.json:
+        # bytes that crossed a pickling mp queue vs bytes that rode a
+        # shared-memory ring or the remote TCP stream, and how many
+        # task/ping dispatches they amortize over.
+        self.ipc_pickled_bytes = 0
+        self.ipc_slab_bytes = 0
+        self.ipc_remote_bytes = 0
+        self.tasks_dispatched = 0
 
     # -- lifecycle ----------------------------------------------------------
 
@@ -486,9 +658,13 @@ class ShardPool:
         if self._ready_queue is not None:
             raise ShardError("shard pool already started")
         self._ready_queue = self._ctx.Queue()
-        for worker_id in range(self.workers):
-            slot = _Slot(worker_id=worker_id)
-            self._slots.append(slot)
+        for worker_id in range(self.local_workers):
+            self._slots.append(_Slot(worker_id=worker_id))
+        for index, endpoint in enumerate(self.remote_endpoints):
+            self._slots.append(
+                _Slot(worker_id=self.local_workers + index, endpoint=endpoint)
+            )
+        for slot in self._slots:
             self._spawn(slot)
         deadline = time.monotonic() + self.start_timeout_s
         ready = 0
@@ -498,7 +674,9 @@ class ShardPool:
             except queue.Empty:
                 dead = [
                     slot for slot in self._slots
-                    if not slot.ready and not slot.process.is_alive()
+                    if not slot.ready
+                    and slot.process is not None
+                    and not slot.process.is_alive()
                 ]
                 # A dead worker may have reported before dying; only
                 # abort once its sentinel is dead AND its message is not
@@ -535,20 +713,30 @@ class ShardPool:
         return self
 
     def _spawn(self, slot: _Slot) -> None:
-        """Fork one worker into ``slot`` (first start or respawn).
+        """Bring up one worker in ``slot`` (first start or respawn).
 
-        Every incarnation gets fresh task/result/key queues: a SIGKILLed
-        process can die holding a queue's internal lock or mid-write, so
-        the old incarnation's channels are never reused.  A collector
-        thread per incarnation drains its result queue (and any leftover
-        replies after a respawn supersedes it).
+        Local workers fork; remote slots connect.  Every incarnation
+        gets fresh channels -- queues, shm rings, or a TCP connection
+        -- because a SIGKILLed process (or a cut link) can leave its
+        old channels mid-write, so they are never reused.  A collector
+        thread per incarnation drains its result channel (and any
+        leftover replies after a respawn supersedes it).
         """
+        if slot.remote:
+            self._connect_remote(slot)
+            return
         ctx = self._ctx
         for old in (slot.task_queue, slot.result_queue, slot.key_queue):
             _retire_queue(old)
         task_queue = ctx.Queue()
         result_queue = ctx.Queue()
         key_queue = ctx.Queue()
+        task_ring = result_ring = None
+        if self.channels == "shm":
+            retire_ring(slot.task_ring)
+            retire_ring(slot.result_ring)
+            task_ring = ShmRing.create(self.ring_bytes)
+            result_ring = ShmRing.create(self.ring_bytes)
         # Replay every live key blob into the fresh channel *before* the
         # queue becomes visible to broadcast_keys, so the new worker's
         # FIFO key channel is complete: replayed history, then whatever
@@ -563,6 +751,7 @@ class ShardPool:
                 slot.worker_id, slot.incarnation, self.artifact_dir,
                 self.verify, self.ntt_native, task_queue, key_queue,
                 result_queue, self._ready_queue, self.fault_plan,
+                task_ring, result_ring,
             ),
             name=f"repro-shard-{slot.worker_id}",
             daemon=True,
@@ -571,13 +760,95 @@ class ShardPool:
         with self._lock:
             slot.task_queue = task_queue
             slot.result_queue = result_queue
+            slot.task_ring = task_ring
+            slot.result_ring = result_ring
             slot.process = process
             slot.ready = False
             slot.respawn_at = None
         threading.Thread(
             target=self._collect_slot,
-            args=(slot, result_queue),
+            args=(slot, result_queue, result_ring),
             name=f"repro-shard-collect-{slot.worker_id}.{slot.incarnation}",
+            daemon=True,
+        ).start()
+
+    def _connect_remote(self, slot: _Slot) -> None:
+        """Connect (or reconnect) a remote worker slot and replay its keys.
+
+        The handshake doubles as the readiness event: ``shard_hello``
+        out, ``shard_ready`` (with the worker's model names) back,
+        bounded by ``remote_connect_timeout_s``.  Live Galois-key blobs
+        are replayed *before* the connection becomes visible to
+        dispatch and broadcasts, so a reconnected worker serves
+        existing sessions immediately (same FIFO-completeness argument
+        as the local key channels).  A failed attempt counts like a
+        death: backoff, retry, and eventually slot abandonment.
+        """
+        host, port = parse_endpoint(slot.endpoint)
+        try:
+            sock = self._remote_factory(
+                (host, port), timeout=self.remote_connect_timeout_s
+            )
+            conn = _RemoteConn(sock)
+            try:
+                sock.settimeout(self.remote_connect_timeout_s)
+                conn.send(encode_message(Message("shard_hello", {})))
+                payload = recv_frame(sock)
+                if payload is None:
+                    raise OSError("worker closed during handshake")
+                ready = decode_message(payload)
+                if ready.kind != "shard_ready":
+                    raise OSError(
+                        f"unexpected handshake reply {ready.kind!r}"
+                    )
+                models = list(ready.require("models"))
+                sock.settimeout(None)
+                with self._key_lock:
+                    for payload in self._key_blobs.values():
+                        conn.send(payload)
+                    with self._lock:
+                        slot.process = conn
+                        slot.ready = True
+                        slot.respawn_at = None
+            except BaseException:
+                conn.mark_dead()
+                raise
+        except (OSError, ValueError) as exc:
+            slot.last_error = f"{type(exc).__name__}: {exc}"
+            if self._monitor is None:
+                # Initial start(): fail the whole pool fast, like a
+                # local worker dying before readiness.
+                self._ready_queue.put(
+                    ("error", slot.worker_id, slot.last_error)
+                )
+                return
+            # Reconnect attempt under supervision: treat like a death.
+            with self._lock:
+                slot.process = None
+                slot.deaths += 1
+                if slot.deaths > self.max_respawns:
+                    slot.abandoned = True
+                else:
+                    slot.incarnation += 1
+                    slot.respawn_at = time.monotonic() + (
+                        self.respawn_backoff_s * (2 ** (slot.deaths - 1))
+                    )
+            if slot.abandoned:
+                logger.error(
+                    "abandoning remote shard worker %s after %d failures "
+                    "(%s)", slot.endpoint, slot.deaths, slot.last_error,
+                )
+            else:
+                logger.warning(
+                    "reconnect to shard worker %s failed (%s); retrying",
+                    slot.endpoint, slot.last_error,
+                )
+            return
+        self._ready_queue.put(("ready", slot.worker_id, models))
+        threading.Thread(
+            target=self._collect_remote,
+            args=(slot, conn),
+            name=f"repro-shard-remote-{slot.worker_id}.{slot.incarnation}",
             daemon=True,
         ).start()
 
@@ -592,6 +863,8 @@ class ShardPool:
                 slot.process.join(timeout=5.0)
             for q in (slot.task_queue, slot.result_queue, slot.key_queue):
                 _retire_queue(q)
+            retire_ring(slot.task_ring)
+            retire_ring(slot.result_ring)
 
     def stop(self, timeout_s: float = 10.0) -> None:
         """Drain-stop the pool: workers finish their current task and exit."""
@@ -617,6 +890,8 @@ class ShardPool:
             # shutdown on their feeder threads.
             for q in (slot.task_queue, slot.result_queue, slot.key_queue):
                 _retire_queue(q)
+            retire_ring(slot.task_ring)
+            retire_ring(slot.result_ring)
         # Fail anything still pending so no submitter blocks forever.
         with self._lock:
             pending, self._pending = self._pending, {}
@@ -717,6 +992,8 @@ class ShardPool:
                 slot.abandoned = True
             for q in (slot.task_queue, slot.result_queue, slot.key_queue):
                 _retire_queue(q)
+            retire_ring(slot.task_ring)
+            retire_ring(slot.result_ring)
             logger.error(
                 "abandoning shard worker slot %d after %d deaths",
                 slot.worker_id, slot.deaths,
@@ -780,8 +1057,30 @@ class ShardPool:
             return False
         pending.assigned = (slot.worker_id, slot.incarnation)
         pending.request.meta["attempt"] = pending.attempt
-        slot.task_queue.put(encode_message(pending.request))
+        self.tasks_dispatched += 1
+        self._send_task(slot, pending.request)
         return True
+
+    def _send_task(self, slot: _Slot, request: Message) -> None:
+        """Ship one task over the slot's channel, tallying IPC bytes.
+
+        A remote send that fails mid-write leaves the task assigned to
+        the now-dead incarnation; death handling requeues it -- same
+        recovery as a local worker SIGKILLed with the frame in its
+        queue.
+        """
+        if slot.remote:
+            frame = encode_message(request)
+            self.ipc_remote_bytes += len(frame)
+            try:
+                slot.process.send(frame)
+            except OSError:
+                pass
+            return
+        frame, slab_bytes = pack_into_ring(request, slot.task_ring)
+        self.ipc_pickled_bytes += len(frame)
+        self.ipc_slab_bytes += slab_bytes
+        slot.task_queue.put(frame)
 
     def _dispatch_parked(self) -> None:
         with self._lock:
@@ -848,27 +1147,44 @@ class ShardPool:
         )
         with self._key_lock:
             self._key_blobs[key_id] = payload
-            for slot in self._slots:
-                if not slot.abandoned and slot.key_queue is not None:
-                    slot.key_queue.put(payload)
+            self._broadcast_locked(payload)
 
     def drop_keys(self, key_id: str) -> None:
         """Tell every worker to forget a session's keys (close/eviction)."""
         payload = encode_message(Message("drop_keys", {"key_id": key_id}))
         with self._key_lock:
             self._key_blobs.pop(key_id, None)
-            for slot in self._slots:
-                if not slot.abandoned and slot.key_queue is not None:
-                    slot.key_queue.put(payload)
+            self._broadcast_locked(payload)
+
+    def _broadcast_locked(self, payload: bytes) -> None:
+        """Fan one key frame out to every in-service slot (key lock held).
+
+        A remote send failure is swallowed: the connection is then dead,
+        and the reconnect replays every live blob anyway.
+        """
+        for slot in self._slots:
+            if slot.abandoned:
+                continue
+            if slot.remote:
+                conn = slot.process
+                if conn is not None and conn.is_alive():
+                    try:
+                        conn.send(payload)
+                    except OSError:
+                        pass
+            elif slot.key_queue is not None:
+                slot.key_queue.put(payload)
 
     # -- task execution -----------------------------------------------------
 
-    def _collect_slot(self, slot: _Slot, result_queue) -> None:
+    def _collect_slot(self, slot: _Slot, result_queue, result_ring) -> None:
         """Drain one incarnation's result queue (one thread per incarnation).
 
         After a respawn supersedes this queue, the thread drains any
         leftover replies (a worker may have answered right before a
-        different task killed it) and exits.
+        different task killed it) and exits.  Replies whose blobs ride
+        the incarnation's result ring are resolved here, in queue
+        order (the ring is FIFO and this is its only consumer).
         """
         while not self._stopping.is_set():
             try:
@@ -878,8 +1194,44 @@ class ShardPool:
                     return  # superseded by a respawn, leftovers drained
                 continue
             try:
-                self._handle_reply(decode_message(payload))
+                reply, slab_bytes = unpack_from_ring(
+                    payload, result_ring, timeout_s=1.0
+                )
+                self.ipc_pickled_bytes += len(payload)
+                self.ipc_slab_bytes += slab_bytes
+                self._handle_reply(reply)
             except Exception:  # never let a bad frame kill collection
+                logger.exception("discarding malformed shard reply")
+
+    def _collect_remote(self, slot: _Slot, conn: _RemoteConn) -> None:
+        """Read reply frames from one remote connection until it dies.
+
+        Any stream failure -- EOF, reset, or a frame that fails
+        validation -- poisons the whole connection (stream framing can
+        no longer be trusted), which the supervisor then treats as a
+        worker death: requeue and reconnect.
+        """
+        sock = conn.sock
+        while not self._stopping.is_set():
+            try:
+                payload = recv_frame(sock)
+                if payload is None:
+                    raise OSError("remote shard worker closed the connection")
+                reply = decode_message(payload)
+            except (OSError, ValueError) as exc:
+                if conn.is_alive() and not self._stopping.is_set():
+                    logger.warning(
+                        "remote shard worker %s connection failed: %s",
+                        slot.endpoint, exc,
+                    )
+                conn.mark_dead()
+                return
+            if slot.process is not conn:
+                return  # superseded by a reconnect
+            self.ipc_remote_bytes += len(payload)
+            try:
+                self._handle_reply(reply)
+            except Exception:  # pragma: no cover - defensive
                 logger.exception("discarding malformed shard reply")
 
     def _handle_reply(self, reply: Message) -> None:
@@ -991,6 +1343,23 @@ class ShardPool:
         """
         count = self.workers if count is None else count
         return self.execute([Message("ping", {}) for _ in range(count)])
+
+    def ipc_stats(self) -> dict:
+        """Coordinator-side IPC byte accounting (for BENCH_sharding.json).
+
+        ``pickled_bytes`` crossed a pickling ``mp.Queue`` (whole frames
+        on the ``queue`` channel, control frames only on ``shm``);
+        ``slab_bytes`` rode shared-memory rings; ``remote_bytes`` rode
+        remote TCP streams.  Counts cover both directions (dispatch and
+        collection) over ``tasks`` dispatches.
+        """
+        return {
+            "channels": self.channels,
+            "pickled_bytes": int(self.ipc_pickled_bytes),
+            "slab_bytes": int(self.ipc_slab_bytes),
+            "remote_bytes": int(self.ipc_remote_bytes),
+            "tasks": int(self.tasks_dispatched),
+        }
 
 
 @dataclass
@@ -1171,3 +1540,259 @@ class ShardExecutor:
             )
             offset += count
         return outputs
+
+
+# -- remote worker server -----------------------------------------------------
+
+
+class ShardWorkerServer:
+    """A standalone remote shard worker (``repro shard-worker``).
+
+    Runs on any host that can reach the same ``.rpa`` artifact
+    directory: the zoo is ``load_zoo``'d eagerly at :meth:`start` (so a
+    bad artifact dir fails before the port is announced), then a
+    coordinator connects and speaks the exact frames the forked workers
+    consume -- ``shard_hello``/``shard_ready`` handshake, then
+    ``keys``/``drop_keys`` broadcasts and ``ping``/``task`` requests
+    answered with ``claimed`` + ``result`` frames.
+
+    Per-connection state is only the Galois-key cache: a coordinator
+    that reconnects replays every live key blob before dispatching (see
+    :meth:`ShardPool._connect_remote`), so dropping the cache with the
+    connection is exactly right.  ``deadline_mono`` in task frames is
+    ignored here -- it is a coordinator-clock ``time.monotonic()``
+    instant, which is not comparable across hosts; the coordinator
+    still enforces the deadline on its side.
+
+    Binding ``port=0`` picks a free port (``host``/``port``/
+    ``endpoint`` report the bound address), which is what tests use to
+    avoid port races.
+    """
+
+    def __init__(
+        self,
+        artifact_dir,
+        host: str = "127.0.0.1",
+        port: int = 0,
+        verify: bool | str = True,
+        ntt_native: bool | None = None,
+        fault_plan: WorkerFaults | None = None,
+    ):
+        self.artifact_dir = str(artifact_dir)
+        self._requested = (str(host), int(port))
+        self.verify = verify
+        self.ntt_native = ntt_native
+        self.fault_plan = (
+            WorkerFaults.from_env() if fault_plan is None else fault_plan
+        )
+        self.registry = None
+        self.host: str | None = None
+        self.port: int | None = None
+        self._listener: socket.socket | None = None
+        self._accept_thread: threading.Thread | None = None
+        self._conns: set[socket.socket] = set()
+        self._conn_lock = threading.Lock()
+        self._stopping = threading.Event()
+        self.tasks_served = 0
+
+    @property
+    def endpoint(self) -> str:
+        """The ``tcp://host:port`` spec coordinators pass as an endpoint."""
+        if self.host is None:
+            raise ShardError("shard worker server is not started")
+        return f"tcp://{self.host}:{self.port}"
+
+    def start(self) -> "ShardWorkerServer":
+        if self._listener is not None:
+            raise ShardError("shard worker server already started")
+        if self.ntt_native is not None:
+            _force_ntt_backend(bool(self.ntt_native))
+        from ..artifacts.zoo import load_zoo
+
+        self.registry = load_zoo(self.artifact_dir, verify=self.verify)
+        self._params_by_model = {
+            name: self.registry.get(name).params
+            for name in self.registry.names()
+        }
+        self._listener = bind_listener(*self._requested)
+        self.host, self.port = self._listener.getsockname()[:2]
+        self._accept_thread = threading.Thread(
+            target=self._accept_loop,
+            name=f"repro-shard-worker-{self.port}",
+            daemon=True,
+        )
+        self._accept_thread.start()
+        logger.info("shard worker serving %s on %s",
+                    self.registry.names(), self.endpoint)
+        return self
+
+    def stop(self) -> None:
+        if self._stopping.is_set():
+            return
+        self._stopping.set()
+        if self._listener is not None:
+            try:
+                # Poke the accept loop awake so it observes _stopping.
+                with socket.create_connection(
+                    (self.host, self.port), timeout=1.0
+                ):
+                    pass
+            except OSError:  # pragma: no cover - already closing
+                pass
+            self._listener.close()
+        with self._conn_lock:
+            conns = list(self._conns)
+        for conn in conns:
+            try:
+                conn.close()
+            except OSError:  # pragma: no cover - defensive
+                pass
+        if self._accept_thread is not None:
+            self._accept_thread.join(timeout=5.0)
+
+    def __enter__(self) -> "ShardWorkerServer":
+        return self.start()
+
+    def __exit__(self, *_exc) -> None:
+        self.stop()
+
+    # -- connection handling ------------------------------------------------
+
+    def _accept_loop(self) -> None:
+        while not self._stopping.is_set():
+            try:
+                conn, addr = self._listener.accept()
+            except OSError:
+                return  # listener closed by stop()
+            if self._stopping.is_set():
+                conn.close()
+                return
+            with self._conn_lock:
+                self._conns.add(conn)
+            threading.Thread(
+                target=self._serve_conn,
+                args=(conn, addr),
+                name=f"repro-shard-worker-conn-{addr[1]}",
+                daemon=True,
+            ).start()
+
+    def _serve_conn(self, conn: socket.socket, addr) -> None:
+        """One coordinator connection: handshake, then serve frames.
+
+        Any protocol violation or stream failure closes the connection;
+        the coordinator's supervision treats that as a worker death and
+        reconnects with a full key replay, so there is nothing to
+        salvage here (crash-only, like the forked workers).
+        """
+        key_cache: dict[str, object] = {}
+        tasks_claimed = 0
+        try:
+            payload = recv_frame(conn)
+            if payload is None:
+                return
+            hello = decode_message(payload)
+            if hello.kind != "shard_hello":
+                raise ValueError(f"expected shard_hello, got {hello.kind!r}")
+            send_frame(conn, encode_message(Message(
+                "shard_ready",
+                {"models": self.registry.names(), "pid": os.getpid()},
+            )))
+            while not self._stopping.is_set():
+                payload = recv_frame(conn)
+                if payload is None:
+                    return  # coordinator closed cleanly
+                request = decode_message(payload)
+                if request.kind == "keys":
+                    from ..bfv.serialize import deserialize_galois_keys
+
+                    key_id, model = request.require("key_id", "model")
+                    key_cache[key_id] = deserialize_galois_keys(
+                        request.blobs[0], self._params_by_model[model]
+                    )
+                    continue
+                if request.kind == "drop_keys":
+                    key_cache.pop(request.require("key_id"), None)
+                    continue
+                self._serve_request(conn, request, key_cache, tasks_claimed)
+                tasks_claimed += 1
+        except (OSError, ValueError, KeyError) as exc:
+            if not self._stopping.is_set():
+                logger.warning(
+                    "shard worker connection from %s failed: %s", addr, exc
+                )
+        finally:
+            with self._conn_lock:
+                self._conns.discard(conn)
+            try:
+                conn.close()
+            except OSError:  # pragma: no cover - defensive
+                pass
+
+    def _serve_request(self, conn, request: Message, key_cache,
+                       tasks_claimed: int) -> None:
+        """Answer one ping/task frame with ``claimed`` + ``result``."""
+        attempt = attempt_of(request)
+        task_id = request.meta.get("task", "?")
+        send_frame(conn, encode_message(Message(
+            "claimed",
+            {
+                "task": task_id,
+                "attempt": attempt,
+                "worker": -1,
+                "incarnation": 0,
+            },
+        )))
+        try:
+            if request.kind == "ping":
+                reply = Message(
+                    "result",
+                    {
+                        "task": request.require("task"),
+                        "status": "ok",
+                        "attempt": attempt,
+                        "models": self.registry.names(),
+                        "cached_keys": sorted(key_cache),
+                        "pid": os.getpid(),
+                    },
+                )
+            elif request.kind == "task":
+                if self.fault_plan is not None:
+                    self.fault_plan.on_task(-1, 0, tasks_claimed + 1)
+                # deadline_mono deliberately ignored: not comparable
+                # across hosts (see class docstring).
+                for key_id in request.require("key_ids"):
+                    if key_id not in key_cache:
+                        raise ShardError(
+                            f"Galois keys {key_id!r} not on this connection "
+                            "(coordinator must broadcast before dispatch)"
+                        )
+                before = GLOBAL_COUNTERS.snapshot()
+                reply = _run_task(self.registry, key_cache, request)
+                # An in-process server (the test topology) shares
+                # GLOBAL_COUNTERS with the coordinator; roll this task's
+                # contribution back so the coordinator's fold of the
+                # reply delta is the one and only accounting -- exactly
+                # the arithmetic a separate-process worker gives.
+                delta = GLOBAL_COUNTERS.diff(before)
+                GLOBAL_COUNTERS.he_mult -= delta.he_mult
+                GLOBAL_COUNTERS.he_add -= delta.he_add
+                GLOBAL_COUNTERS.he_rotate -= delta.he_rotate
+                GLOBAL_COUNTERS.ntt -= delta.ntt
+                GLOBAL_COUNTERS.modmuls -= delta.modmuls
+                GLOBAL_COUNTERS.butterflies -= delta.butterflies
+                self.tasks_served += 1
+            else:
+                raise ShardError(f"unknown shard request {request.kind!r}")
+        except Exception as exc:  # keep the connection alive for retries
+            reply = Message(
+                "result",
+                {
+                    "task": task_id,
+                    "status": "error",
+                    "attempt": attempt,
+                    "reason": (
+                        f"remote worker: {type(exc).__name__}: {exc}"
+                    ),
+                },
+            )
+        send_frame(conn, encode_message(reply))

@@ -33,6 +33,28 @@ from .wire import (
 logger = logging.getLogger(__name__)
 
 
+def bind_listener(host: str, port: int, attempts: int = 5) -> socket.socket:
+    """Bind a listening socket, retrying the ephemeral-port race.
+
+    Ephemeral binds (port 0) retry the rare EADDRINUSE race (an
+    exhausted ephemeral range on a busy host); an explicit port is the
+    operator's claim and fails immediately.  Every server in the repo
+    -- and the test suite, via ``tests/conftest.py`` -- binds through
+    this helper, so no test ever needs a fixed port or a sleep.
+    """
+    for attempt in range(attempts):
+        try:
+            return socket.create_server((host, port))
+        except OSError as exc:  # pragma: no cover - needs port exhaustion
+            if (
+                port != 0
+                or exc.errno != errno.EADDRINUSE
+                or attempt == attempts - 1
+            ):
+                raise
+    raise OSError("unreachable")  # pragma: no cover
+
+
 class Transport(Protocol):
     """Anything a :class:`~repro.serving.session.ClientSession` can drive."""
 
@@ -214,16 +236,7 @@ class SocketServer:
         #: Enforced from the length prefix before any body is buffered; a
         #: connection claiming an oversized frame is dropped on the spot.
         self.max_frame_bytes = max_frame_bytes
-        # Ephemeral binds (port 0) retry the rare EADDRINUSE race (an
-        # exhausted ephemeral range on a busy host); an explicit port is
-        # the operator's claim and fails immediately.
-        for attempt in range(5):
-            try:
-                self._listener = socket.create_server((host, port))
-                break
-            except OSError as exc:  # pragma: no cover - needs port exhaustion
-                if port != 0 or exc.errno != errno.EADDRINUSE or attempt == 4:
-                    raise
+        self._listener = bind_listener(host, port)
         self.host, self.port = self._listener.getsockname()[:2]
         self._pool = ThreadPoolExecutor(
             max_workers=workers, thread_name_prefix="repro-serve"

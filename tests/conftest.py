@@ -3,9 +3,17 @@
 Cryptographic unit tests use deliberately small ring dimensions with
 ``require_security=False`` so the suite runs quickly; parameter-security
 itself is tested separately in ``test_params_security.py``.
+
+Networked tests never use fixed ports or sleeps: ``shard_worker_fleet``
+(and the servers it wraps) binds port 0 -- the OS picks a free port, and
+the EADDRINUSE race on the pick is retried inside
+:func:`repro.serving.bind_listener` -- and readiness is an event (the
+server's ``start()`` returns with the bound address), not a poll loop.
 """
 
 from __future__ import annotations
+
+from contextlib import contextmanager
 
 import numpy as np
 import pytest
@@ -68,3 +76,35 @@ def conv_keys(conv_scheme):
 @pytest.fixture(scope="session")
 def rng() -> np.random.Generator:
     return np.random.default_rng(1234)
+
+
+@pytest.fixture(scope="session")
+def shard_worker_fleet():
+    """Start-and-stop helper for remote shard-worker fleets.
+
+    Usage::
+
+        with shard_worker_fleet(artifact_dir, count=2) as servers:
+            pool = ShardPool(None, workers=0,
+                             remote_endpoints=[s.endpoint for s in servers])
+
+    Every server binds port 0 (free-port pick, EADDRINUSE-retried) and
+    ``start()`` returning *is* the readiness event -- no fixed ports, no
+    sleeps.  Servers are stopped on exit even when the body raises.
+    """
+    from repro.serving import ShardWorkerServer
+
+    @contextmanager
+    def fleet(artifact_dir, count: int = 1, **kwargs):
+        servers = []
+        try:
+            for _ in range(count):
+                servers.append(
+                    ShardWorkerServer(artifact_dir, port=0, **kwargs).start()
+                )
+            yield servers
+        finally:
+            for server in servers:
+                server.stop()
+
+    return fleet

@@ -8,9 +8,13 @@ execution path the repo offers --
 3. the serving engine over a real TCP socket (threaded front end),
 4. the serving engine behind the asyncio :class:`AsyncGateway`,
 5. artifact warm-start (``.rpa`` -> memmapped plans) over loopback,
-6. the multi-process sharded backend (``ShardPool`` + ``ShardExecutor``)
+6. the multi-process sharded backend (``ShardPool`` + ``ShardExecutor``),
+7. the sharded backend over zero-copy shared-memory ring channels
+   (``channels="shm"`` -- ciphertext slabs never pickled),
+8. the sharded backend over remote TCP workers
+   (:class:`ShardWorkerServer` endpoints, frames over sockets)
 
--- and asserts that all six produce **bit-identical logits** and
+-- and asserts that all eight produce **bit-identical logits** and
 **identical HE op counters**, under both dot-product schedules.  This is
 the gate a new execution backend must pass before it can serve traffic:
 if a refactor changes what is computed (not just where), this suite
@@ -80,7 +84,7 @@ class PathResult:
 
 
 @pytest.fixture(scope="module", params=list(Schedule), ids=lambda s: s.value)
-def env(request, tmp_path_factory):
+def env(request, tmp_path_factory, shard_worker_fleet):
     """Everything the paths share, compiled once per schedule."""
     schedule = request.param
     params = BfvParameters.create(
@@ -99,18 +103,28 @@ def env(request, tmp_path_factory):
     update_manifest(directory, entry, "demo.rpa")
     artifact_registry = load_zoo(directory)
     pool = ShardPool(directory, workers=2).start()
+    shm_pool = ShardPool(directory, workers=2, channels="shm").start()
     runner = PlaintextRunner(
         demo_network(), demo_weights(), rescale_bits=DEMO_RESCALE_BITS
     )
-    yield SimpleNamespace(
-        schedule=schedule,
-        params=params,
-        registry=registry,
-        artifact_dir=directory,
-        artifact_registry=artifact_registry,
-        pool=pool,
-        plaintext=runner,
-    )
+    with shard_worker_fleet(directory, count=2) as servers:
+        remote_pool = ShardPool(
+            None, workers=0,
+            remote_endpoints=[server.endpoint for server in servers],
+        ).start()
+        yield SimpleNamespace(
+            schedule=schedule,
+            params=params,
+            registry=registry,
+            artifact_dir=directory,
+            artifact_registry=artifact_registry,
+            pool=pool,
+            shm_pool=shm_pool,
+            remote_pool=remote_pool,
+            plaintext=runner,
+        )
+        remote_pool.stop()
+    shm_pool.stop()
     pool.stop()
 
 
@@ -206,6 +220,14 @@ def _all_paths(env, image) -> dict[str, PathResult]:
         "sharded": _run_session(
             env, env.artifact_registry, image, _LoopbackFactory,
             executor=ShardExecutor(env.pool),
+        ),
+        "shm-shard": _run_session(
+            env, env.artifact_registry, image, _LoopbackFactory,
+            executor=ShardExecutor(env.shm_pool),
+        ),
+        "remote-shard": _run_session(
+            env, env.artifact_registry, image, _LoopbackFactory,
+            executor=ShardExecutor(env.remote_pool),
         ),
     }
 

@@ -369,6 +369,176 @@ class TestConnectionFaults:
             transport.close()
 
 
+class TestShmChannelFaults:
+    """Chaos on the zero-copy shm channel: rings die with their worker."""
+
+    def test_sigkill_shm_worker_mid_task_recovers_bit_identically(
+        self, artifact_dir, registry, params, reference
+    ):
+        """SIGKILL the only shm worker at claim time, ring mid-write.
+
+        The dead incarnation's rings may hold a half-written slab; the
+        supervisor discards them wholesale, respawns the worker with
+        fresh rings, replays the Galois keys, and the requeued task
+        re-executes -- logits and op counters exactly match the
+        fault-free run, with zero local degradation.
+        """
+        plan = WorkerFaults(crash_worker=0, crash_on_task=1)
+        with ShardPool(
+            artifact_dir, workers=1, channels="shm",
+            respawn_backoff_s=0.05, fault_plan=plan,
+        ) as pool:
+            result, counters, engine = _infer_counted(
+                registry, params, reference.image,
+                executor=ShardExecutor(pool),
+            )
+            assert np.array_equal(result.logits, reference.logits)
+            assert counters == reference.counters
+            assert engine.degraded_calls == 0
+            assert pool.respawns_total >= 1
+            assert pool.retries_total >= 1
+
+    def test_sigkill_one_of_two_shm_workers_requeues_onto_sibling(
+        self, artifact_dir, registry, params, reference
+    ):
+        """The sibling's rings are untouched by the corpse's channels."""
+        plan = WorkerFaults(crash_worker=0, crash_on_task=1)
+        with ShardPool(
+            artifact_dir, workers=2, channels="shm",
+            respawn_backoff_s=0.05, fault_plan=plan,
+        ) as pool:
+            result, counters, engine = _infer_counted(
+                registry, params, reference.image,
+                executor=ShardExecutor(pool),
+            )
+            assert np.array_equal(result.logits, reference.logits)
+            assert counters == reference.counters
+            assert engine.degraded_calls == 0
+            assert pool.retries_total >= 1
+
+    def test_undersized_ring_degrades_to_inline_bit_identically(
+        self, artifact_dir, registry, params, reference
+    ):
+        """Slabs that cannot fit the ring ride the queue path instead.
+
+        A one-page ring cannot hold the demo layers' ciphertext stacks,
+        so every task falls back to in-band encoding -- ring capacity is
+        a performance knob, never a correctness constraint.
+        """
+        with ShardPool(
+            artifact_dir, workers=1, channels="shm", ring_bytes=4096
+        ) as pool:
+            result, counters, engine = _infer_counted(
+                registry, params, reference.image,
+                executor=ShardExecutor(pool),
+            )
+            assert np.array_equal(result.logits, reference.logits)
+            assert counters == reference.counters
+            assert engine.degraded_calls == 0
+            stats = pool.ipc_stats()
+            # The big task slabs overflowed the one-page ring, so the
+            # pickled path carried (at least) their inline frames.
+            assert stats["pickled_bytes"] > stats["slab_bytes"]
+
+
+class TestRemoteWorkerFaults:
+    """Chaos on the coordinator->remote-worker link: reconnect + replay."""
+
+    def test_cut_connection_mid_result_recovers_bit_identically(
+        self, artifact_dir, registry, params, reference, shard_worker_fleet
+    ):
+        """The link dies while the first task's result frame is read.
+
+        The worker already executed the task, but its reply never
+        landed: the coordinator marks the connection dead, requeues the
+        task, reconnects (replaying the session's Galois keys), and the
+        retry re-executes.  Only the accepted reply's counter delta is
+        folded, so the accounting still matches the fault-free run
+        exactly -- the exactly-once invariant under connection loss.
+        """
+        # Coordinator-side frames read per connection: 1 shard_ready,
+        # then claimed + result per task => the 3rd read is task 1's
+        # result frame.
+        faults = ConnectionFaults(cut_on_recv=3, seed=7)
+        with shard_worker_fleet(artifact_dir, count=1) as servers:
+            with ShardPool(
+                None, workers=0,
+                remote_endpoints=[servers[0].endpoint],
+                remote_socket_factory=faults.connect,
+                respawn_backoff_s=0.05,
+            ) as pool:
+                result, counters, engine = _infer_counted(
+                    registry, params, reference.image,
+                    executor=ShardExecutor(pool),
+                )
+                assert np.array_equal(result.logits, reference.logits)
+                assert counters == reference.counters
+                assert engine.degraded_calls == 0
+                assert pool.retries_total >= 1
+                assert any(f.startswith("cut_on_recv") for f in faults.fired)
+
+    def test_corrupted_remote_frame_poisons_connection_and_recovers(
+        self, artifact_dir, registry, params, reference, shard_worker_fleet
+    ):
+        """A flipped byte in a worker reply must reconnect, not decode.
+
+        Stream framing cannot be trusted past a corrupt frame, so the
+        collector treats it like a death: requeue + reconnect.  Logits
+        and counters still come out exact.
+        """
+        # Coordinator-side frames sent: hello(1), keys(2), task(3) --
+        # corrupting the reply to frame 3 hits task 1's claimed frame.
+        faults = ConnectionFaults(corrupt_reply_to=3, seed=7)
+        with shard_worker_fleet(artifact_dir, count=1) as servers:
+            with ShardPool(
+                None, workers=0,
+                remote_endpoints=[servers[0].endpoint],
+                remote_socket_factory=faults.connect,
+                respawn_backoff_s=0.05,
+            ) as pool:
+                result, counters, engine = _infer_counted(
+                    registry, params, reference.image,
+                    executor=ShardExecutor(pool),
+                )
+                assert np.array_equal(result.logits, reference.logits)
+                assert counters == reference.counters
+                assert engine.degraded_calls == 0
+                assert pool.retries_total >= 1
+                assert any(
+                    f.startswith("corrupt_reply") for f in faults.fired
+                )
+
+    def test_remote_fleet_collapse_degrades_to_local_execution(
+        self, artifact_dir, registry, params, reference, shard_worker_fleet
+    ):
+        """Every remote worker gone -> the engine serves locally.
+
+        The fleet stops after startup; with zero respawn budget the only
+        slot is abandoned on the first detected loss and the pool fails
+        fast, so the engine degrades every linear round to in-process
+        execution with exact reference accounting.
+        """
+        with shard_worker_fleet(artifact_dir, count=1) as servers:
+            pool = ShardPool(
+                None, workers=0,
+                remote_endpoints=[servers[0].endpoint],
+                max_respawns=0, max_attempts=2, respawn_backoff_s=0.05,
+            ).start()
+        # Fleet is stopped here; the pool only finds out via the link.
+        try:
+            result, counters, engine = _infer_counted(
+                registry, params, reference.image,
+                executor=ShardExecutor(pool),
+            )
+            assert np.array_equal(result.logits, reference.logits)
+            assert counters == reference.counters
+            assert engine.backend_failures == 3  # one per linear round
+            assert engine.degraded_calls == 3
+            assert pool.available_workers() == 0
+        finally:
+            pool.stop()
+
+
 class TestGracefulShutdown:
     """SIGTERM ordering: the server drains in-flight work, then the pool."""
 
