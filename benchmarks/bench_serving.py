@@ -25,6 +25,12 @@ async gateway must match or beat the threaded server at 16+ clients;
 on a single shared core the numbers are recorded honestly but the gate
 is informational (``frontend_comparison.gate_enforced`` says which).
 
+A third section measures request-tracing overhead on the serial
+loopback path: no tracer wired in vs a disabled :class:`Tracer` (the
+production default) vs tracing fully on.  The disabled tracer must cost
+at most ``TRACING_GATE_PCT`` (2%) throughput -- observability that is
+not off-by-default cheap does not ship.
+
 Every mode's logits are checked bit-identical to direct in-process
 :class:`GazelleProtocol` runs.  The acceptance gate is ``batched``
 requests/sec >= 2x ``one_session_at_a_time`` requests/sec at 8
@@ -61,6 +67,7 @@ from repro.serving import (
     ServingEngine,
     SocketServer,
     SocketTransport,
+    Tracer,
     demo_image,
     demo_network,
     demo_weights,
@@ -87,6 +94,15 @@ FRONTEND_REPS = 2
 #: actually diverge: on a single shared core every request serialises on
 #: the GIL + the one CPU, so the numbers are recorded but informational.
 GATE_ENFORCED = (os.cpu_count() or 1) >= 4
+
+#: Tracing-overhead gate: a disabled tracer (the production default) may
+#: cost at most this much throughput vs no tracer wired in at all.
+TRACING_GATE_PCT = 2.0
+#: Inferences per tracing-overhead repetition (serial loopback).
+TRACING_REQUESTS = 6
+#: Repetitions per tracer configuration (best run kept; interleaved
+#: round-robin so drift hits all three configurations alike).
+TRACING_REPS = 4
 
 #: Every RNG in the bench is seeded from here (engine blinding masks,
 #: client keygen, images), so BENCH_serving.json is reproducible
@@ -240,6 +256,56 @@ def _run_tcp_frontend(registry, params, images, clients, frontend):
     return elapsed, latencies, logits, fill
 
 
+def _run_traced(registry, params, images, expected, tracer):
+    """Serial persistent-session loopback pass under one tracer config.
+
+    Serial max_batch=1 requests make the per-request span cost the
+    largest possible fraction of the measurement -- the most pessimistic
+    view of tracing overhead the serving stack can produce.
+    """
+    engine = ServingEngine(registry, max_batch=1, seed=ENGINE_SEED, tracer=tracer)
+    transport = LoopbackTransport(engine)
+    session = ClientSession(
+        demo_network(), params, transport, seed=900,
+        trace_requests=tracer is not None,
+    )
+    session.connect("demo")
+    start = time.perf_counter()
+    for index, image in enumerate(images):
+        logits = session.infer(image).logits
+        assert np.array_equal(logits, expected[index]), (
+            f"logits diverged under tracer={tracer!r} (request {index})"
+        )
+    elapsed = time.perf_counter() - start
+    session.close()
+    return elapsed
+
+
+def _measure_tracing_overhead(registry, params, images, expected):
+    """Best-of req/s for no tracer vs disabled tracer vs enabled tracer."""
+    configs = {
+        "baseline": lambda: None,
+        "disabled": lambda: Tracer(enabled=False),
+        "enabled": lambda: Tracer(enabled=True),
+    }
+    best = {name: float("inf") for name in configs}
+    for _ in range(TRACING_REPS):
+        for name, make in configs.items():
+            elapsed = _run_traced(registry, params, images, expected, make())
+            best[name] = min(best[name], elapsed)
+    rps = {name: len(images) / elapsed for name, elapsed in best.items()}
+    return {
+        "requests": len(images),
+        "reps": TRACING_REPS,
+        "baseline_requests_per_sec": rps["baseline"],
+        "disabled_requests_per_sec": rps["disabled"],
+        "enabled_requests_per_sec": rps["enabled"],
+        "disabled_overhead_pct": (rps["baseline"] / rps["disabled"] - 1.0) * 100,
+        "enabled_overhead_pct": (rps["baseline"] / rps["enabled"] - 1.0) * 100,
+        "gate_pct": TRACING_GATE_PCT,
+    }
+
+
 def _stats(elapsed, latencies, count):
     lat = np.sort(np.asarray(latencies))
     return {
@@ -353,6 +419,11 @@ def test_serving_throughput():
         )
         frontend_points.append(point)
 
+    # -- Tracing overhead: off-by-default must be (nearly) free -------------
+    tracing = _measure_tracing_overhead(
+        registry, params, images[:TRACING_REQUESTS], expected[:TRACING_REQUESTS]
+    )
+
     serial_stats = _stats(serial_s, serial_lat, serial_count)
     persist_stats = _stats(persist_s, persist_lat, persist_count)
     speedup = (
@@ -401,6 +472,19 @@ def test_serving_throughput():
             )
         print(f"  async vs threaded: {point['async_vs_threaded']:.2f}x")
 
+    print(
+        f"\ntracing overhead (serial loopback, {tracing['requests']} requests, "
+        f"best of {tracing['reps']}):"
+    )
+    print(
+        f"  no tracer {tracing['baseline_requests_per_sec']:.2f} req/s | "
+        f"disabled {tracing['disabled_requests_per_sec']:.2f} req/s "
+        f"({tracing['disabled_overhead_pct']:+.2f}%) | "
+        f"enabled {tracing['enabled_requests_per_sec']:.2f} req/s "
+        f"({tracing['enabled_overhead_pct']:+.2f}%); "
+        f"gate: disabled <= {TRACING_GATE_PCT}%"
+    )
+
     payload = {
         "benchmark": "serving",
         "unit": "requests_per_sec",
@@ -437,6 +521,9 @@ def test_serving_throughput():
             "reps": FRONTEND_REPS,
             "points": frontend_points,
         },
+        # Serial loopback req/s with no tracer wired in, with a disabled
+        # tracer (the production default), and with tracing fully on.
+        "tracing": tracing,
         "logits_bit_identical_to_gazelle_protocol": True,
     }
     RECORD_PATH.write_text(json.dumps(payload, indent=2) + "\n")
@@ -452,3 +539,8 @@ def test_serving_throughput():
                 f"async gateway {point['async_vs_threaded']:.2f}x slower than "
                 f"the threaded server at {point['clients']} clients"
             )
+    assert tracing["disabled_overhead_pct"] <= TRACING_GATE_PCT, (
+        f"disabled tracer costs {tracing['disabled_overhead_pct']:.2f}% "
+        f"throughput, above the {TRACING_GATE_PCT}% gate -- tracing must be "
+        f"off-by-default cheap"
+    )

@@ -27,12 +27,20 @@ Commands
     event-driven asyncio gateway by default (``--frontend threaded``
     keeps the thread-per-connection server); ``--quota-rps``,
     ``--max-queue-depth``, ``--session-ttl-s`` and ``--stats-interval``
-    control admission, session lifetime, and observability, and ``GET
-    /metrics`` on the serving port returns the live metrics snapshot.
+    control admission, session lifetime, and observability.  ``GET
+    /healthz`` and ``GET /metrics`` (JSON, or Prometheus text with
+    ``?format=prometheus``) answer on the serving port of either front
+    end; ``--trace`` / ``--trace-dir`` turn on end-to-end request
+    tracing, and ``--log-level`` / ``--log-json`` shape the structured
+    logs.
 ``shard-worker --artifacts DIR [--host H] [--port P]``
     Run a standalone remote shard worker: memmaps the artifact
     directory and serves plan-layer tasks to any ``repro serve
     --remote-workers`` coordinator that connects.
+``trace DIR [--tree] [--check] [--merge OUT]``
+    Inspect the Chrome ``trace_event`` files a ``serve --trace-dir``
+    process wrote: per-trace summaries, a span-tree view, validation
+    with per-trace HE op totals, and merging for Perfetto.
 ``infer [--host H] [--port P] [--count K] [--model NAME]``
     Connect to a running server, run private inferences, verify logits.
 """
@@ -184,6 +192,7 @@ def _cmd_compile(args) -> int:
 
 def _cmd_serve(args) -> int:
     import json
+    import logging
     import signal
     import tempfile
     import threading
@@ -197,11 +206,14 @@ def _cmd_serve(args) -> int:
         ModelRegistry,
         ServingEngine,
         SocketServer,
+        configure_logging,
         demo_network,
         demo_params,
         demo_weights,
     )
 
+    configure_logging(args.log_level, args.log_json)
+    log = logging.getLogger("repro.serving.cli")
     remote_workers = [
         spec.strip()
         for spec in (args.remote_workers or "").split(",")
@@ -215,14 +227,14 @@ def _cmd_serve(args) -> int:
         registry = load_zoo(artifact_dir)
         for name in registry.names():
             entry = registry.get(name)
-            print(
-                f"warm-started model {name!r} from artifacts "
-                f"({len(entry.plans)} plans, {entry.params.describe()})"
+            log.info(
+                "warm-started model %r from artifacts (%d plans, %s)",
+                name, len(entry.plans), entry.params.describe(),
             )
     else:
         params = demo_params(n=args.n)
         registry = ModelRegistry()
-        print(f"compiling plans for model 'demo' over {params.describe()} ...")
+        log.info("compiling plans for model 'demo' over %s ...", params.describe())
         entry = registry.register(
             "demo",
             demo_network(),
@@ -265,9 +277,9 @@ def _cmd_serve(args) -> int:
             f" + {len(remote_workers)} remote worker(s) {remote_workers}"
             if remote_workers else ""
         )
-        print(
-            f"shard pool ready: {local}{remote} (models {pool.model_names}, "
-            f"max_attempts={pool.max_attempts})"
+        log.info(
+            "shard pool ready: %s%s (models %s, max_attempts=%d)",
+            local, remote, pool.model_names, pool.max_attempts,
         )
     metrics = MetricsRegistry()
     admission = AdmissionController(
@@ -275,6 +287,21 @@ def _cmd_serve(args) -> int:
         burst=args.quota_burst,
         max_queue_depth=args.max_queue_depth,
     )
+    tracer = None
+    if args.trace or args.trace_dir:
+        from .serving import Tracer
+
+        tracer = Tracer(
+            metrics=metrics,
+            trace_dir=args.trace_dir or None,
+            max_trace_files=args.trace_retention,
+            log_spans=args.log_json,
+        )
+        log.info(
+            "request tracing enabled%s",
+            f" (trace files -> {args.trace_dir}, "
+            f"retention {args.trace_retention})" if args.trace_dir else "",
+        )
     engine = ServingEngine(
         registry,
         max_batch=args.max_batch,
@@ -284,6 +311,7 @@ def _cmd_serve(args) -> int:
         session_ttl_s=args.session_ttl_s or None,
         metrics=metrics,
         admission=admission,
+        tracer=tracer,
     )
     max_frame_bytes = (
         int(args.max_frame_mb * (1 << 20)) if args.max_frame_mb else None
@@ -305,17 +333,17 @@ def _cmd_serve(args) -> int:
             max_frame_bytes=max_frame_bytes,
         )
     server.start()
-    print(
-        f"serving {len(registry.names())} model(s) {registry.names()} on "
-        f"{server.host}:{server.port} "
-        f"(frontend={args.frontend}, max_batch={engine.max_batch}, "
-        f"threads={args.threads}, shard_workers={args.workers})"
+    log.info(
+        "serving %d model(s) %s on %s:%d "
+        "(frontend=%s, max_batch=%d, threads=%d, shard_workers=%d)",
+        len(registry.names()), registry.names(), server.host, server.port,
+        args.frontend, engine.max_batch, args.threads, args.workers,
     )
-    if args.frontend == "async":
-        print(
-            f"metrics: curl http://{server.host}:{server.port}/metrics "
-            "(same snapshot as the wire 'metrics' message)"
-        )
+    log.info(
+        "http: curl http://%s:%d/healthz | .../metrics (JSON snapshot) | "
+        ".../metrics?format=prometheus (text exposition)",
+        server.host, server.port,
+    )
 
     # Graceful shutdown: SIGTERM (fleet orchestrators) and SIGINT both
     # drain in-flight requests through SocketServer.stop() instead of
@@ -331,44 +359,52 @@ def _cmd_serve(args) -> int:
     if args.stats_interval > 0:
         def _print_stats() -> None:
             while not stop_requested.wait(args.stats_interval):
-                print("stats: " + json.dumps(metrics.snapshot(), sort_keys=True))
+                log.info("stats: %s", json.dumps(metrics.snapshot(), sort_keys=True))
 
         threading.Thread(
             target=_print_stats, name="repro-serve-stats", daemon=True
         ).start()
-    print("press Ctrl-C (or send SIGTERM) to stop")
+    log.info("press Ctrl-C (or send SIGTERM) to stop")
     stop_requested.wait()
-    print("\nshutting down (draining in-flight requests)")
+    log.info("shutting down (draining in-flight requests)")
     server.stop()
     if engine.backend_failures:
-        print(
-            f"backend failures: {engine.backend_failures} "
-            f"(degraded layer calls served locally: {engine.degraded_calls})"
+        log.warning(
+            "backend failures: %d (degraded layer calls served locally: %d)",
+            engine.backend_failures, engine.degraded_calls,
         )
     if pool is not None:
         if pool.respawns_total or pool.retries_total:
-            print(
-                f"shard supervision: {pool.respawns_total} respawn(s), "
-                f"{pool.retries_total} task retry(ies)"
+            log.warning(
+                "shard supervision: %d respawn(s), %d task retry(ies)",
+                pool.respawns_total, pool.retries_total,
             )
         pool.stop()
+    if tracer is not None:
+        log.info(
+            "tracer: %d trace(s), %d span(s), %d dropped from the ring",
+            tracer.traces_total, tracer.spans_total, tracer.dropped_traces,
+        )
     if scratch_dir is not None:
         scratch_dir.cleanup()
     return 0
 
 
 def _cmd_shard_worker(args) -> int:
+    import logging
     import signal
     import threading
 
-    from .serving import ShardWorkerServer
+    from .serving import ShardWorkerServer, configure_logging
 
+    configure_logging(args.log_level, args.log_json)
+    log = logging.getLogger("repro.serving.cli")
     server = ShardWorkerServer(
         args.artifacts, host=args.host, port=args.port
     ).start()
-    print(
-        f"shard worker serving models {server.registry.names()} on "
-        f"{server.endpoint} (artifacts: {args.artifacts})"
+    log.info(
+        "shard worker serving models %s on %s (artifacts: %s)",
+        server.registry.names(), server.endpoint, args.artifacts,
     )
     stop_requested = threading.Event()
 
@@ -377,10 +413,111 @@ def _cmd_shard_worker(args) -> int:
 
     signal.signal(signal.SIGINT, _request_stop)
     signal.signal(signal.SIGTERM, _request_stop)
-    print("press Ctrl-C (or send SIGTERM) to stop")
+    log.info("press Ctrl-C (or send SIGTERM) to stop")
     stop_requested.wait()
-    print(f"\nshutting down ({server.tasks_served} task(s) served)")
+    log.info("shutting down (%d task(s) served)", server.tasks_served)
     server.stop()
+    return 0
+
+
+def _cmd_trace(args) -> int:
+    import json
+    from pathlib import Path
+
+    directory = Path(args.dir)
+    if not directory.is_dir():
+        print(f"error: {directory} is not a directory", file=sys.stderr)
+        return 1
+    paths = sorted(directory.glob("trace-*.json"))
+    if not paths:
+        print(f"error: no trace-*.json files under {directory}", file=sys.stderr)
+        return 1 if args.check else 0
+
+    def _load(path: Path):
+        """Parse one trace file; returns (events, problems)."""
+        problems: list[str] = []
+        try:
+            payload = json.loads(path.read_text())
+        except (OSError, ValueError) as exc:
+            return [], [f"unreadable JSON: {exc}"]
+        events = payload.get("traceEvents")
+        if not isinstance(events, list) or not events:
+            return [], ["empty or missing traceEvents"]
+        for index, event in enumerate(events):
+            if event.get("ph") != "X":
+                problems.append(f"event {index}: ph {event.get('ph')!r} != 'X'")
+            for field in ("name", "ts", "dur", "pid", "tid"):
+                if field not in event:
+                    problems.append(f"event {index}: missing {field!r}")
+        return events, problems
+
+    def _he_ops_totals(events):
+        """Sum he_ops over leaf compute spans (worker.compute, else execute)."""
+        totals: dict[str, int] = {}
+        names = {event.get("name") for event in events}
+        leaf = "worker.compute" if "worker.compute" in names else "execute"
+        for event in events:
+            if event.get("name") != leaf:
+                continue
+            ops = (event.get("args") or {}).get("he_ops") or {}
+            for op, count in ops.items():
+                totals[op] = totals.get(op, 0) + int(count)
+        return leaf, totals
+
+    bad = 0
+    print(f"{'file':<40}{'spans':>7}{'dur_ms':>9}  root")
+    for path in paths:
+        events, problems = _load(path)
+        if problems:
+            bad += 1
+            print(f"{path.name:<40}  INVALID: {problems[0]}")
+            continue
+        span_ms = max(e["ts"] + e["dur"] for e in events) / 1000.0
+        roots = [e for e in events if not (e.get("args") or {}).get("parent_id")]
+        root = roots[0]["name"] if roots else "?"
+        print(f"{path.name:<40}{len(events):>7}{span_ms:>9.2f}  {root}")
+        if args.check:
+            leaf, totals = _he_ops_totals(events)
+            if totals:
+                ops = ", ".join(f"{op}={n}" for op, n in sorted(totals.items()))
+                print(f"{'':<40}  {leaf} he_ops: {ops}")
+    if args.tree:
+        events, problems = _load(paths[-1])
+        if not problems:
+            print(f"\nspan tree of {paths[-1].name}:")
+            by_id = {(e.get("args") or {}).get("span_id"): e for e in events}
+            children: dict = {}
+            for event in events:
+                parent = (event.get("args") or {}).get("parent_id")
+                children.setdefault(parent if parent in by_id else None, []).append(event)
+
+            def _walk(parent_id, depth):
+                for event in sorted(
+                    children.get(parent_id, []), key=lambda e: e["ts"]
+                ):
+                    print(
+                        f"  {'  ' * depth}{event['name']:<{24 - 2 * min(depth, 8)}} "
+                        f"{event['dur'] / 1000.0:>9.3f} ms"
+                    )
+                    _walk((event.get("args") or {}).get("span_id"), depth + 1)
+
+            _walk(None, 0)
+    if args.merge:
+        merged: list = []
+        for path in paths:
+            events, problems = _load(path)
+            if not problems:
+                merged.extend(events)
+        Path(args.merge).write_text(
+            json.dumps(
+                {"traceEvents": merged, "displayTimeUnit": "ms"}, indent=1
+            )
+        )
+        print(f"\nmerged {len(merged)} event(s) from {len(paths)} file(s) "
+              f"into {args.merge}")
+    if bad:
+        print(f"\n{bad}/{len(paths)} trace file(s) invalid", file=sys.stderr)
+        return 1 if args.check else 0
     return 0
 
 
@@ -438,6 +575,20 @@ def _cmd_infer(args) -> int:
         if session._busy_retries:
             print(f"busy retries (server backpressure): {session._busy_retries}")
     return 1 if failures else 0
+
+
+def _add_log_flags(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument(
+        "--log-level", default="info", dest="log_level",
+        choices=["debug", "info", "warning", "error"],
+        help="verbosity of the 'repro' logger tree (debug logs every "
+             "finished span when tracing is on)",
+    )
+    parser.add_argument(
+        "--log-json", action="store_true", dest="log_json",
+        help="emit log records as JSON lines (one object per line; span "
+             "records carry the full span payload)",
+    )
 
 
 def build_parser() -> argparse.ArgumentParser:
@@ -585,6 +736,24 @@ def build_parser() -> argparse.ArgumentParser:
         help="request-frame size cap in MiB, enforced from the length "
              "prefix before any buffering (0 = the 1 GiB wire default)",
     )
+    serve.add_argument(
+        "--trace", action="store_true",
+        help="enable end-to-end request tracing (spans across front end, "
+             "batcher, executor, and shard workers; per-stage latency "
+             "histograms fold into /metrics)",
+    )
+    serve.add_argument(
+        "--trace-dir", default="", dest="trace_dir", metavar="DIR",
+        help="write each finished trace as Chrome trace_event JSON into "
+             "DIR (implies --trace; open in Perfetto / chrome://tracing, "
+             "or inspect with 'repro trace DIR')",
+    )
+    serve.add_argument(
+        "--trace-retention", type=int, default=64, dest="trace_retention",
+        help="trace files kept in --trace-dir before the oldest are "
+             "pruned (bounded ring, default 64)",
+    )
+    _add_log_flags(serve)
 
     shard_worker = sub.add_parser(
         "shard-worker",
@@ -599,6 +768,29 @@ def build_parser() -> argparse.ArgumentParser:
     shard_worker.add_argument(
         "--port", type=int, default=7917,
         help="port to listen on (0 picks a free port)",
+    )
+    _add_log_flags(shard_worker)
+
+    trace = sub.add_parser(
+        "trace",
+        help="inspect Chrome trace_event files written by serve --trace-dir",
+    )
+    trace.add_argument(
+        "dir", help="trace directory (the serve process's --trace-dir)"
+    )
+    trace.add_argument(
+        "--tree", action="store_true",
+        help="print the span tree of the newest trace",
+    )
+    trace.add_argument(
+        "--check", action="store_true",
+        help="validate every file (non-empty, complete 'X' events) and "
+             "print leaf he_ops sums; exit 1 on any invalid/missing trace",
+    )
+    trace.add_argument(
+        "--merge", default="", metavar="OUT",
+        help="concatenate all valid traces into one trace_event JSON "
+             "(per-trace timelines stay disjoint; handy for Perfetto)",
     )
 
     infer = sub.add_parser("infer", help="run private inference against a server")
@@ -636,6 +828,7 @@ _COMMANDS = {
     "compile": _cmd_compile,
     "serve": _cmd_serve,
     "shard-worker": _cmd_shard_worker,
+    "trace": _cmd_trace,
     "infer": _cmd_infer,
 }
 

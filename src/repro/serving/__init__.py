@@ -25,6 +25,17 @@ a small executor pool, enforces admission (:class:`AdmissionController`)
 and serves a metrics snapshot (:class:`MetricsRegistry`) over HTTP on
 the same port.  Both speak identical wire frames and are pinned to
 bit-identical outputs by the conformance suite.
+
+Observability is one :class:`Tracer` threaded through all of the above:
+front ends mint per-request root spans, the engine and batcher hang
+admission/deserialize/batch-wait/execute/blind/serialize children off
+them, and shard workers ship their own deserialize/compute/serialize
+spans back inside result frames to be stitched under the coordinator's
+dispatch envelopes.  Traces export as Chrome ``trace_event`` JSON
+(``repro trace``, ``--trace-dir``), per-span structured log lines
+(:func:`configure_logging`), and per-stage latency histograms inside
+the ``/metrics`` snapshot; ``/healthz`` and Prometheus text exposition
+ride the same HTTP surface on both front ends.
 """
 
 from .admission import AdmissionController, TokenBucket, busy_message
@@ -36,7 +47,13 @@ from .engine import (
 )
 from .faults import ConnectionFaults, WorkerFaults
 from .gateway import AsyncGateway
-from .metrics import MetricsRegistry, noise_floor_bits
+from .logging import configure_logging
+from .metrics import (
+    MetricsRegistry,
+    health_payload,
+    noise_floor_bits,
+    prometheus_text,
+)
 from .models import (
     DEMO_RESCALE_BITS,
     demo_image,
@@ -53,6 +70,7 @@ from .shards import (
     ShardWorkerServer,
 )
 from .shm_ring import ShmRing
+from .tracing import NULL_TRACER, SpanContext, Tracer
 from .transport import (
     LoopbackTransport,
     SocketServer,
@@ -69,6 +87,12 @@ __all__ = [
     "AsyncGateway",
     "MetricsRegistry",
     "noise_floor_bits",
+    "health_payload",
+    "prometheus_text",
+    "Tracer",
+    "SpanContext",
+    "NULL_TRACER",
+    "configure_logging",
     "AdmissionController",
     "TokenBucket",
     "busy_message",

@@ -44,6 +44,7 @@ from enum import Enum
 
 import numpy as np
 
+from ..bfv.counters import GLOBAL_COUNTERS
 from ..bfv.serialize import deserialize_ciphertext, deserialize_galois_keys, serialize_ciphertext
 from ..nn.layers import ConvLayer
 from ..protocol.gazelle import blind_ciphertext_rows
@@ -51,7 +52,8 @@ from ..protocol.messages import TrafficLog
 from ..scheduling.layouts import unpack_image
 from .admission import busy_message
 from .registry import ModelEntry, ModelRegistry
-from .wire import Message, error_message
+from .tracing import HE_OP_FIELDS, NULL_TRACER
+from .wire import TRACE_META_KEY, Message, error_message
 
 logger = logging.getLogger(__name__)
 
@@ -145,8 +147,11 @@ class LocalExecutor:
 
     def execute(
         self, entry: ModelEntry, layer, batch_inputs, batch_handles,
-        deadline=None,
+        deadline=None, trace=None,
     ):
+        # ``trace`` (one optional SpanContext per request) is part of the
+        # executor contract for backends that emit their own spans; the
+        # in-process path runs inside the engine's execute span already.
         plan = entry.plans[layer.name]
         if isinstance(layer, ConvLayer):
             return plan.execute_batch(batch_inputs, batch_handles)
@@ -162,7 +167,7 @@ class _BatchItem:
     """One pending layer request inside a :class:`_LayerBatcher`."""
 
     __slots__ = ("cts", "keys", "fallback_keys", "deadline", "event", "output",
-                 "error")
+                 "error", "trace_ctx", "wait_span")
 
     def __init__(self, cts, keys, fallback_keys=None, deadline=None):
         self.cts = cts
@@ -172,6 +177,10 @@ class _BatchItem:
         self.event = threading.Event()
         self.output = None
         self.error: BaseException | None = None
+        #: Trace context of the submitting request (crosses into the
+        #: leader's thread) and its open ``batch_wait`` span.
+        self.trace_ctx = None
+        self.wait_span = None
 
 
 class _LayerBatcher:
@@ -189,13 +198,14 @@ class _LayerBatcher:
 
     def __init__(
         self, execute, max_batch: int, window_s: float, idle_gap_s: float = 0.005,
-        metrics=None,
+        metrics=None, tracer=None,
     ):
         self._execute = execute
         self.max_batch = max(1, int(max_batch))
         self.window_s = window_s
         self.idle_gap_s = idle_gap_s
         self._metrics = metrics
+        self._tracer = tracer if tracer is not None else NULL_TRACER
         #: The ModelEntry this batcher executes against (set by the engine;
         #: used to prune batchers of replaced models).
         self.entry = None
@@ -204,6 +214,14 @@ class _LayerBatcher:
 
     def submit(self, cts, keys, fallback_keys=None, deadline=None):
         item = _BatchItem(cts, keys, fallback_keys, deadline)
+        parent = self._tracer.current()
+        if parent is not None:
+            # The wait span opens on the submitter's thread but closes on
+            # the leader's, hence the detached begin/finish pair; the
+            # context rides the item so the execute span can parent to
+            # this request even though the leader runs the batch.
+            item.trace_ctx = parent.context
+            item.wait_span = self._tracer.begin("batch_wait", parent)
         with self._cond:
             self._pending.append(item)
             leader = len(self._pending) == 1
@@ -235,6 +253,9 @@ class _LayerBatcher:
     def _run(self, batch: list[_BatchItem]) -> None:
         if self._metrics is not None:
             self._metrics.record_batch(len(batch))
+        for item in batch:
+            if item.wait_span is not None:
+                item.wait_span.set(batch=len(batch)).finish()
         try:
             deadlines = [
                 item.deadline for item in batch if item.deadline is not None
@@ -244,6 +265,7 @@ class _LayerBatcher:
                 [item.keys for item in batch],
                 [item.fallback_keys for item in batch],
                 min(deadlines) if deadlines else None,
+                [item.trace_ctx for item in batch],
             )
             for item, output in zip(batch, outputs):
                 item.output = output
@@ -271,8 +293,20 @@ class ServingEngine:
         session_ttl_s: float | None = None,
         metrics=None,
         admission=None,
+        tracer=None,
     ):
         self.registry = registry
+        #: Request tracer (default: shared no-op).  When enabled, it is
+        #: also handed to a trace-aware executor (``ShardExecutor``) so
+        #: shard envelopes and worker spans land in the same traces.
+        self.tracer = tracer if tracer is not None else NULL_TRACER
+        if (
+            self.tracer.enabled
+            and executor is not None
+            and hasattr(executor, "tracer")
+            and getattr(executor, "tracer") is None
+        ):
+            executor.tracer = self.tracer
         #: Where plan math runs: in-process by default, or a pluggable
         #: backend such as :class:`~repro.serving.shards.ShardExecutor`
         #: (see :class:`LocalExecutor` for the contract).
@@ -363,11 +397,18 @@ class ServingEngine:
         }.get(request.kind)
         if handler is None:
             return error_message(f"unknown request kind {request.kind!r}")
+        span = self.tracer.server_span("handle", request.meta, kind=request.kind)
         start = time.monotonic()
-        try:
-            reply = handler(request)
-        except (KeyError, ValueError, TypeError, ExecutionBackendError) as exc:
-            reply = error_message(str(exc))
+        with span:
+            try:
+                reply = handler(request)
+            except (KeyError, ValueError, TypeError, ExecutionBackendError) as exc:
+                reply = error_message(str(exc))
+            span.set(outcome=reply.kind)
+        if span.trace_id is not None:
+            # Echo the trace id so clients can correlate replies with
+            # server-side traces.
+            reply.meta.setdefault(TRACE_META_KEY, {"trace_id": span.trace_id})
         if self.metrics is not None:
             self.metrics.record_request(
                 request.kind, time.monotonic() - start, reply.kind
@@ -509,7 +550,10 @@ class ServingEngine:
                 f"session {session_id!r} has not uploaded Galois keys"
             )
         if self.admission is not None:
-            wait = self.admission.try_admit(session_id)
+            with self.tracer.span("admission") as adm_span:
+                wait = self.admission.try_admit(session_id)
+                if wait is not None:
+                    adm_span.set(outcome="busy", retry_after_s=wait)
             if wait is not None:
                 return busy_message(wait, "server at capacity")
             try:
@@ -531,7 +575,11 @@ class ServingEngine:
                 f"layer {layer_name!r} expects {expected} ciphertext(s), "
                 f"got {len(request.blobs)}"
             )
-        cts = [deserialize_ciphertext(blob, entry.params) for blob in request.blobs]
+        with self.tracer.span("deserialize", blobs=len(request.blobs)):
+            cts = [
+                deserialize_ciphertext(blob, entry.params)
+                for blob in request.blobs
+            ]
         session.traffic.send_to_cloud(
             sum(len(blob) for blob in request.blobs), layer_name
         )
@@ -547,8 +595,11 @@ class ServingEngine:
         )
         if self.metrics is not None:
             self.metrics.record_layer(layer_name, time.monotonic() - start)
-        ct_blobs = [serialize_ciphertext(ct, entry.params) for ct in masked_cts]
-        mask_blob = np.ascontiguousarray(mask, dtype="<i8").tobytes()
+        with self.tracer.span("serialize"):
+            ct_blobs = [
+                serialize_ciphertext(ct, entry.params) for ct in masked_cts
+            ]
+            mask_blob = np.ascontiguousarray(mask, dtype="<i8").tobytes()
         session.traffic.send_to_client(
             sum(len(blob) for blob in ct_blobs) + len(mask_blob),
             layer_name + "+mask",
@@ -572,7 +623,8 @@ class ServingEngine:
             if self.metrics is not None:
                 self.metrics.record_batch(1)
             return self._execute_layer(
-                entry, layer, [cts], [galois_keys], [fallback_keys], deadline
+                entry, layer, [cts], [galois_keys], [fallback_keys], deadline,
+                [self.tracer.current_context()],
             )[0]
         # Keyed by entry *identity*: re-registering a model name creates a
         # fresh ModelEntry, and sessions opened before and after must not
@@ -584,13 +636,14 @@ class ServingEngine:
             if batcher is None:
                 self._prune_stale_batchers()
                 batcher = _LayerBatcher(
-                    lambda inputs, keys, fallback, batch_deadline,
+                    lambda inputs, keys, fallback, batch_deadline, ctxs,
                     e=entry, l=layer: self._execute_layer(
-                        e, l, inputs, keys, fallback, batch_deadline
+                        e, l, inputs, keys, fallback, batch_deadline, ctxs
                     ),
                     self.max_batch,
                     self.batch_window_s,
                     metrics=self.metrics,
+                    tracer=self.tracer,
                 )
                 batcher.entry = entry
                 self._batchers[key] = batcher
@@ -609,7 +662,7 @@ class ServingEngine:
 
     def _execute_layer(
         self, entry: ModelEntry, layer, batch_inputs, batch_keys,
-        batch_fallback=None, deadline=None,
+        batch_fallback=None, deadline=None, trace_ctxs=None,
     ):
         """One stacked plan execution + blinding for B pending requests.
 
@@ -619,9 +672,23 @@ class ServingEngine:
         deterministic, so the local replay is bit-identical to what the
         backend would have produced.
         """
+        ctxs = list(trace_ctxs or [])
+        ctxs += [None] * (len(batch_inputs) - len(ctxs))
+        traced = self.tracer.enabled and any(ctx is not None for ctx in ctxs)
+        exec_spans = []
+        before = None
+        if traced:
+            exec_spans = [
+                self.tracer.begin(
+                    "execute", ctx, layer=layer.name, batch=len(batch_inputs)
+                )
+                for ctx in ctxs
+            ]
+            before = GLOBAL_COUNTERS.snapshot()
         try:
             outputs = self.executor.execute(
-                entry, layer, batch_inputs, batch_keys, deadline=deadline
+                entry, layer, batch_inputs, batch_keys, deadline=deadline,
+                trace=[span.context for span in exec_spans] if traced else None,
             )
         except ExecutionBackendError as exc:
             with self._stats_lock:
@@ -633,21 +700,38 @@ class ServingEngine:
                 or len(fallback) != len(batch_inputs)
                 or any(keys is None for keys in fallback)
             ):
+                for span in exec_spans:
+                    span.set(error=type(exc).__name__).finish()
                 raise
             logger.warning(
                 "execution backend failed for layer %r (%s); degrading "
                 "this call to the in-process executor", layer.name, exc,
             )
+            for span in exec_spans:
+                span.set(degraded=True)
             outputs = self._local.execute(entry, layer, batch_inputs, fallback)
             with self._stats_lock:
                 self.degraded_calls += 1
+        if traced:
+            # The batch's HE-op delta, attached to every member's execute
+            # span (the work is shared; per-request splits live on the
+            # shard-task / worker spans underneath when sharded).
+            delta = GLOBAL_COUNTERS.diff(before)
+            ops = {f: getattr(delta, f) for f in HE_OP_FIELDS}
+            for span in exec_spans:
+                span.set(he_ops=ops).finish()
         # One blinding pass over every output of the whole batch: the mask
         # encode + eval-domain lift run as a single (k, B*co, n) call.
         flat = [ct for request_cts in outputs for ct in request_cts]
+        blind_spans = [
+            self.tracer.begin("blind", ctx, rows=len(flat)) for ctx in ctxs
+        ] if traced else []
         with self._mask_lock:
             masked_flat, mask_rows = blind_ciphertext_rows(
                 entry.scheme, self._rng, flat
             )
+        for span in blind_spans:
+            span.finish()
         results = []
         offset = 0
         for request_cts in outputs:

@@ -39,7 +39,6 @@ flight.
 from __future__ import annotations
 
 import asyncio
-import json
 import logging
 import struct
 import threading
@@ -47,7 +46,16 @@ import time
 from concurrent.futures import ThreadPoolExecutor
 
 from .admission import busy_message
-from .wire import MAX_FRAME_BYTES, Message, decode_message, encode_message, error_message
+from .metrics import render_http
+from .tracing import NULL_TRACER
+from .wire import (
+    MAX_FRAME_BYTES,
+    TRACE_META_KEY,
+    Message,
+    decode_message,
+    encode_message,
+    error_message,
+)
 
 logger = logging.getLogger(__name__)
 
@@ -88,6 +96,9 @@ class AsyncGateway:
             MAX_FRAME_BYTES if max_frame_bytes is None else int(max_frame_bytes)
         )
         self.metrics = metrics if metrics is not None else getattr(engine, "metrics", None)
+        #: Request tracer, shared with the engine: the gateway owns each
+        #: request's root span, the engine hangs its ``handle`` span off it.
+        self.tracer = getattr(engine, "tracer", None) or NULL_TRACER
         self.busy_retry_after_s = float(busy_retry_after_s)
         self.drain_timeout_s = float(drain_timeout_s)
         self.session_sweep_interval_s = float(session_sweep_interval_s)
@@ -255,6 +266,9 @@ class AsyncGateway:
             request = decode_message(payload)
         except ValueError as exc:
             return encode_message(error_message(f"bad frame: {exc}"))
+        span = self.tracer.accept(
+            "request", request.meta, kind=request.kind, frontend="async"
+        )
         if (
             self.queue_limit
             and request.kind == "linear"
@@ -266,12 +280,18 @@ class AsyncGateway:
             reply = busy_message(self.busy_retry_after_s, "gateway job queue full")
             if self.metrics is not None:
                 self.metrics.record_request(request.kind, 0.0, reply.kind)
+            span.set(outcome="busy").finish()
+            if span.trace_id is not None:
+                reply.meta.setdefault(
+                    TRACE_META_KEY, {"trace_id": span.trace_id}
+                )
             return encode_message(reply)
         self._inflight += 1
         try:
             reply = await asyncio.get_running_loop().run_in_executor(
                 self._executor, self._handle, request
             )
+            span.set(outcome=reply.kind).finish()
             return encode_message(reply)
         finally:
             self._inflight -= 1
@@ -283,12 +303,7 @@ class AsyncGateway:
             logger.exception("engine raised handling %r", request.kind)
             return error_message(f"internal error: {exc}")
 
-    # -- the HTTP metrics surface --------------------------------------------
-
-    def _metrics_snapshot(self) -> dict:
-        if self.metrics is None:
-            return {"error": "metrics are not enabled on this server"}
-        return self.metrics.snapshot()
+    # -- the HTTP surface (/metrics, /healthz) -------------------------------
 
     async def _serve_http(
         self, reader: asyncio.StreamReader, writer: asyncio.StreamWriter
@@ -296,7 +311,10 @@ class AsyncGateway:
         """One-shot HTTP GET on the wire port (``curl :port/metrics``).
 
         The ``b"GET "`` prefix was already consumed by the sniffer, so
-        the stream resumes at the request target.
+        the stream resumes at the request target.  Routing (``/metrics``
+        JSON, ``/metrics?format=prometheus``, ``/healthz``) is shared
+        with the threaded front end via
+        :func:`~repro.serving.metrics.render_http`.
         """
         try:
             head = await asyncio.wait_for(
@@ -310,17 +328,12 @@ class AsyncGateway:
             OSError,
         ):
             return
-        path = head.split(b" ", 1)[0].decode("latin-1").partition("?")[0]
-        if path in ("/metrics", "/metrics/"):
-            status = "200 OK"
-            body = (json.dumps(self._metrics_snapshot(), indent=2) + "\n").encode()
-        else:
-            status = "404 Not Found"
-            body = b'{"error": "unknown path; try GET /metrics"}\n'
+        target = head.split(b" ", 1)[0].decode("latin-1")
+        status, content_type, body = render_http(target, self.engine, self.metrics)
         writer.write(
             (
                 f"HTTP/1.1 {status}\r\n"
-                "Content-Type: application/json\r\n"
+                f"Content-Type: {content_type}\r\n"
                 f"Content-Length: {len(body)}\r\n"
                 "Connection: close\r\n\r\n"
             ).encode()

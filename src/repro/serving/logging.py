@@ -1,0 +1,86 @@
+"""One logging setup for the whole serving stack.
+
+Every layer logs through a child of the ``repro`` logger --
+``repro.serving.cli``, ``repro.serving.gateway``,
+``repro.serving.transport``, ``repro.serving.shards``,
+``repro.serving.trace`` -- so a single :func:`configure_logging` call
+(driven by ``--log-level`` / ``--log-json`` on the CLI) controls
+verbosity and format for all of them, replacing the ad-hoc prints that
+used to land unstructured in ``serve.log``.
+
+The JSON format emits one object per line (``ts`` is seconds since the
+formatter was created, monotonic, so lines are orderable without wall
+clocks); a record carrying a ``span`` extra -- the tracer's per-span
+log line -- gets the full span dict merged in, which makes a
+``--log-json`` serve log a queryable span stream.
+"""
+
+from __future__ import annotations
+
+import json
+import logging
+import sys
+import time
+
+__all__ = ["JsonFormatter", "configure_logging"]
+
+#: Marker attribute so reconfiguration replaces our handler, never the
+#: user's own.
+_HANDLER_TAG = "_repro_serving_handler"
+
+_LEVELS = {
+    "debug": logging.DEBUG,
+    "info": logging.INFO,
+    "warning": logging.WARNING,
+    "error": logging.ERROR,
+}
+
+
+class JsonFormatter(logging.Formatter):
+    """One JSON object per line; merges the tracer's ``span`` extra."""
+
+    def __init__(self):
+        super().__init__()
+        self._t0 = time.monotonic()
+
+    def format(self, record: logging.LogRecord) -> str:
+        out = {
+            "ts": round(time.monotonic() - self._t0, 6),
+            "level": record.levelname.lower(),
+            "logger": record.name,
+            "msg": record.getMessage(),
+        }
+        span = getattr(record, "span", None)
+        if isinstance(span, dict):
+            out["span"] = span
+        if record.exc_info:
+            out["exc"] = self.formatException(record.exc_info)
+        return json.dumps(out)
+
+
+def configure_logging(level: str = "info", json_lines: bool = False,
+                      stream=None) -> logging.Logger:
+    """Install one handler on the ``repro`` root logger; idempotent.
+
+    Returns the configured root so callers can grab children off it.
+    ``level`` accepts the usual names (case-insensitive); unknown names
+    fall back to INFO rather than raising -- a bad ``--log-level``
+    should not take the server down.
+    """
+    root = logging.getLogger("repro")
+    root.setLevel(_LEVELS.get(str(level).lower(), logging.INFO))
+    root.propagate = False
+    handler = logging.StreamHandler(stream if stream is not None else sys.stderr)
+    if json_lines:
+        handler.setFormatter(JsonFormatter())
+    else:
+        handler.setFormatter(logging.Formatter(
+            "%(asctime)s %(levelname)-7s %(name)s: %(message)s",
+            datefmt="%H:%M:%S",
+        ))
+    setattr(handler, _HANDLER_TAG, True)
+    for existing in list(root.handlers):
+        if getattr(existing, _HANDLER_TAG, False):
+            root.removeHandler(existing)
+    root.addHandler(handler)
+    return root

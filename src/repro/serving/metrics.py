@@ -35,7 +35,13 @@ from collections import deque
 
 from ..bfv.counters import GLOBAL_COUNTERS
 
-__all__ = ["MetricsRegistry", "noise_floor_bits"]
+__all__ = [
+    "MetricsRegistry",
+    "health_payload",
+    "noise_floor_bits",
+    "prometheus_text",
+    "render_http",
+]
 
 
 def noise_floor_bits(entry) -> float:
@@ -138,6 +144,7 @@ class MetricsRegistry:
         self._layers: dict[str, _Series] = {}
         self._batch_fill: dict[int, int] = {}
         self._batch_requests = 0
+        self._stages: dict[str, _Series] = {}
         self._gauges: dict[str, object] = {}
 
     # -- recording -----------------------------------------------------
@@ -173,6 +180,20 @@ class MetricsRegistry:
         with self._lock:
             self._batch_fill[size] = self._batch_fill.get(size, 0) + 1
             self._batch_requests += size
+
+    def record_stage(self, stage: str, seconds: float) -> None:
+        """One trace span finished: per-stage latency histogram.
+
+        Fed by the :class:`~repro.serving.tracing.Tracer` for every
+        span (``handle``, ``batch_wait``, ``execute``, ``worker.compute``,
+        ...), so ``/metrics`` can answer "queue-wait vs compute" without
+        anyone capturing a trace.
+        """
+        with self._lock:
+            series = self._stages.get(stage)
+            if series is None:
+                series = self._stages[stage] = _Series(self.reservoir_size)
+            series.record(seconds)
 
     def add_gauge(self, name: str, fn) -> None:
         """Register a pull-based gauge; ``fn()`` runs at snapshot time."""
@@ -217,6 +238,10 @@ class MetricsRegistry:
                     for name, series in sorted(self._layers.items())
                 },
                 "batch_fill": batch,
+                "stages": {
+                    name: series.summary()
+                    for name, series in sorted(self._stages.items())
+                },
                 "he_ops": {
                     "he_mult": he.he_mult,
                     "he_add": he.he_add,
@@ -235,3 +260,155 @@ class MetricsRegistry:
             except Exception as exc:  # pragma: no cover - defensive
                 out["gauges"][name] = f"error: {exc}"
         return out
+
+
+# -- HTTP endpoints (shared by both front ends) --------------------------------
+
+
+def _prom_name(name: str) -> str:
+    return "".join(c if c.isalnum() or c == "_" else "_" for c in name)
+
+
+def prometheus_text(snapshot: dict) -> str:
+    """Render a :meth:`MetricsRegistry.snapshot` in Prometheus text format.
+
+    Version 0.0.4 exposition: ``# TYPE`` lines, one sample per line,
+    seconds as the base unit for latencies.  Series summaries map to a
+    gauge triple (p50/p95/mean) rather than native histograms -- the
+    registry keeps percentile reservoirs, not cumulative buckets.
+    """
+    lines: list[str] = []
+
+    def emit(name: str, kind: str, samples, help_text: str = "") -> None:
+        if help_text:
+            lines.append(f"# HELP {name} {help_text}")
+        lines.append(f"# TYPE {name} {kind}")
+        for labels, value in samples:
+            if isinstance(value, bool):
+                value = int(value)
+            if not isinstance(value, (int, float)):
+                continue
+            label_s = ""
+            if labels:
+                inner = ",".join(f'{k}="{v}"' for k, v in labels.items())
+                label_s = "{" + inner + "}"
+            lines.append(f"{name}{label_s} {value}")
+
+    req = snapshot.get("requests", {})
+    emit("repro_uptime_seconds", "gauge",
+         [({}, snapshot.get("uptime_s", 0.0))])
+    emit("repro_requests_total", "counter",
+         [({"outcome": o}, req.get(o, 0)) for o in ("ok", "error", "busy")],
+         "Protocol rounds handled, by outcome.")
+    emit("repro_requests_by_kind_total", "counter",
+         [({"kind": k}, v) for k, v in sorted(req.get("by_kind", {}).items())])
+    emit("repro_requests_per_second", "gauge",
+         [({}, req.get("per_second", 0.0))])
+    latency = [({"q": q}, req[key] / 1e3)
+               for q, key in (("0.5", "p50_ms"), ("0.95", "p95_ms"))
+               if key in req]
+    emit("repro_request_latency_seconds", "gauge", latency,
+         "Request latency quantiles over the reservoir window.")
+
+    for section, metric in (("layers", "repro_layer_seconds"),
+                            ("stages", "repro_stage_seconds")):
+        entries = snapshot.get(section, {})
+        samples = []
+        counts = []
+        for name, summary in sorted(entries.items()):
+            counts.append(({section[:-1]: name}, summary.get("count", 0)))
+            for q, key in (("0.5", "p50_ms"), ("0.95", "p95_ms")):
+                if key in summary:
+                    samples.append(({section[:-1]: name, "q": q},
+                                    summary[key] / 1e3))
+        if counts:
+            emit(metric + "_count", "counter", counts)
+        if samples:
+            emit(metric, "gauge", samples)
+
+    batch = snapshot.get("batch_fill", {})
+    emit("repro_batches_total", "counter", [({}, batch.get("batches", 0))])
+    emit("repro_batch_mean_fill", "gauge", [({}, batch.get("mean_fill", 0.0))])
+    emit("repro_batch_fill_total", "counter",
+         [({"size": k}, v)
+          for k, v in sorted(batch.get("histogram", {}).items())])
+
+    emit("repro_he_ops_total", "counter",
+         [({"op": k}, v) for k, v in sorted(snapshot.get("he_ops", {}).items())],
+         "Process-wide HE operation counters.")
+    emit("repro_gauge", "gauge",
+         [({"name": k}, v) for k, v in sorted(snapshot.get("gauges", {}).items())
+          if isinstance(v, (int, float)) and not isinstance(v, bool)])
+    return "\n".join(lines) + "\n"
+
+
+def health_payload(engine, frontend: str | None = None) -> dict:
+    """Liveness + worker-quorum status for ``GET /healthz``.
+
+    ``status`` is ``"ok"`` while the engine can serve at full strength
+    and ``"degraded"`` once the shard pool is below the executor's
+    quorum (requests then fall back to local execution or fail,
+    depending on ``fallback_local``).
+    """
+    payload: dict = {"status": "ok"}
+    if frontend:
+        payload["frontend"] = frontend
+    if engine is None:
+        return payload
+    registry = getattr(engine, "registry", None)
+    if registry is not None:
+        payload["models"] = sorted(registry.names())
+    sessions = getattr(engine, "_sessions", None)
+    if sessions is not None:
+        payload["sessions"] = len(sessions)
+    payload["degraded_calls"] = getattr(engine, "degraded_calls", 0)
+    payload["backend_failures"] = getattr(engine, "backend_failures", 0)
+    executor = getattr(engine, "executor", None)
+    pool = getattr(executor, "pool", None)
+    if pool is not None:
+        available = pool.available_workers()
+        quorum = int(getattr(executor, "quorum", 1))
+        pool_status = {
+            "workers": pool.workers,
+            "available_workers": available,
+            "quorum": quorum,
+            "quorum_ok": available >= quorum,
+            "respawns_total": getattr(pool, "respawns_total", 0),
+            "retries_total": getattr(pool, "retries_total", 0),
+        }
+        payload["pool"] = pool_status
+        if not pool_status["quorum_ok"]:
+            payload["status"] = "degraded"
+    return payload
+
+
+def render_http(target: str, engine, metrics) -> tuple:
+    """Route one HTTP target to ``(status_line, content_type, body_bytes)``.
+
+    The single router behind both front ends' ``GET`` handling, so
+    ``/metrics`` (JSON), ``/metrics?format=prometheus`` (text
+    exposition) and ``/healthz`` behave identically over the async
+    gateway and the threaded socket server.
+    """
+    import json as _json
+    from urllib.parse import parse_qs, urlsplit
+
+    parts = urlsplit(target)
+    path = parts.path or "/"
+    query = parse_qs(parts.query)
+    if path in ("/metrics", "/metrics/"):
+        if metrics is None:
+            body = _json.dumps({"error": "metrics not enabled"}).encode()
+            return "404 Not Found", "application/json", body
+        snapshot = metrics.snapshot()
+        if query.get("format", [""])[0] == "prometheus":
+            return ("200 OK", "text/plain; version=0.0.4; charset=utf-8",
+                    prometheus_text(snapshot).encode())
+        return "200 OK", "application/json", _json.dumps(snapshot).encode()
+    if path in ("/healthz", "/healthz/"):
+        payload = health_payload(engine)
+        status = "200 OK" if payload["status"] == "ok" \
+            else "503 Service Unavailable"
+        return status, "application/json", _json.dumps(payload).encode()
+    body = _json.dumps({"error": f"no such endpoint {path}"}).encode()
+    return "404 Not Found", "application/json", body

@@ -23,6 +23,7 @@ logits bit-identical to :meth:`GazelleProtocol.run
 from __future__ import annotations
 
 import time
+import uuid
 from dataclasses import dataclass
 
 import numpy as np
@@ -47,7 +48,7 @@ from ..protocol.gazelle import (
 from ..scheduling.fc import pack_fc_input
 from ..scheduling.layouts import pack_image
 from .transport import Transport
-from .wire import Message, ServingError, raise_on_error
+from .wire import TRACE_META_KEY, Message, ServingError, raise_on_error
 
 
 @dataclass
@@ -81,6 +82,7 @@ class ClientSession:
         track_noise: bool = False,
         tenant: str = "default",
         busy_retry_limit: int = 64,
+        trace_requests: bool = False,
     ):
         self.network = network
         self.params = params
@@ -91,6 +93,14 @@ class ClientSession:
         self.tenant = tenant
         #: Consecutive ``busy`` replies tolerated per round before giving up.
         self.busy_retry_limit = int(busy_retry_limit)
+        #: Stamp a client-minted trace id on every request so server-side
+        #: traces are correlatable with this session; ids the server
+        #: echoes back collect in :attr:`trace_ids`.
+        self.trace_requests = bool(trace_requests)
+        #: Trace ids echoed in replies (in request order, one per round
+        #: the server traced) -- feed them to the server's tracer /
+        #: ``repro trace`` to pull this session's span trees.
+        self.trace_ids: list[str] = []
         self.scheme = BfvScheme(params, seed=seed)
         self.secret, self.public = self.scheme.keygen()
         self.session_id: str | None = None
@@ -100,10 +110,26 @@ class ClientSession:
 
     # -- setup --------------------------------------------------------------
 
+    def _send(self, message: Message) -> Message:
+        """One transport round; stamps/collects trace context when enabled.
+
+        ``setdefault`` keeps the id stable across busy/transport replays
+        of the same round, so every attempt lands in one trace.
+        """
+        if self.trace_requests:
+            message.meta.setdefault(
+                TRACE_META_KEY, {"trace_id": uuid.uuid4().hex[:16]}
+            )
+        reply = self.transport.request(message)
+        ctx = reply.meta.get(TRACE_META_KEY)
+        if isinstance(ctx, dict) and ctx.get("trace_id"):
+            self.trace_ids.append(str(ctx["trace_id"]))
+        return reply
+
     def connect(self, model: str) -> None:
         """Handshake and Galois-key upload; raises ServingError on rejection."""
         reply = raise_on_error(
-            self.transport.request(
+            self._send(
                 Message(
                     "hello",
                     {
@@ -120,7 +146,7 @@ class ClientSession:
         steps = [int(step) for step in reply.require("rotation_steps")]
         galois = self.scheme.generate_galois_keys(self.secret, steps)
         raise_on_error(
-            self.transport.request(
+            self._send(
                 Message(
                     "galois_keys",
                     {"session": self.session_id},
@@ -131,7 +157,7 @@ class ClientSession:
 
     def close(self) -> None:
         if self.session_id is not None:
-            self.transport.request(Message("close", {"session": self.session_id}))
+            self._send(Message("close", {"session": self.session_id}))
             self.session_id = None
 
     # -- inference ----------------------------------------------------------
@@ -224,7 +250,7 @@ class ClientSession:
         immediately admitted request would have received.
         """
         for _attempt in range(self.busy_retry_limit + 1):
-            reply = self.transport.request(message)
+            reply = self._send(message)
             if reply.kind != "busy":
                 return reply
             self._busy_retries += 1

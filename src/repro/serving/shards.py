@@ -119,6 +119,8 @@ from ..bfv.serialize import deserialize_ciphertext, serialize_ciphertext
 from ..nn.layers import ConvLayer
 from .engine import ExecutionBackendError
 from .faults import WorkerFaults
+from .metrics import noise_floor_bits
+from .tracing import WorkerSpanLog
 from .transport import bind_listener
 from .shm_ring import (
     RingCorruption,
@@ -128,6 +130,7 @@ from .shm_ring import (
     unpack_from_ring,
 )
 from .wire import (
+    TRACE_META_KEY,
     Message,
     attempt_of,
     decode_message,
@@ -225,14 +228,24 @@ def _drain_key_queue(key_queue, key_cache, params_by_model, block_for=None,
 
 
 def _run_task(registry, key_cache, request: Message) -> Message:
-    """Execute one layer sub-batch; reply with outputs + counter delta."""
+    """Execute one layer sub-batch; reply with outputs + counter delta.
+
+    When the task carries a trace context the worker records its own
+    deserialize / compute / serialize spans as *offsets* from a local
+    t0 (see :class:`~repro.serving.tracing.WorkerSpanLog`) and ships
+    them back in the result meta; the coordinator anchors them inside
+    its dispatch envelope, so no cross-process clock comparison ever
+    happens.
+    """
     model, layer_name, task_id = request.require("model", "layer", "task")
     key_ids = request.require("key_ids")
     counts = [int(c) for c in request.require("cts_per_request")]
     oc_range = request.meta.get("oc_range")
+    slog = WorkerSpanLog() if TRACE_META_KEY in request.meta else None
     entry = registry.get(model)
     layer = entry.layer(layer_name)
     plan = entry.plans[layer_name]
+    t_stage = time.monotonic()
     batch_inputs, offset = [], 0
     for count in counts:
         batch_inputs.append(
@@ -243,6 +256,12 @@ def _run_task(registry, key_cache, request: Message) -> Message:
         )
         offset += count
     batch_keys = [key_cache[key_id] for key_id in key_ids]
+    if slog is not None:
+        slog.add(
+            "worker.deserialize", t_stage,
+            bytes=sum(len(blob) for blob in request.blobs),
+        )
+        t_stage = time.monotonic()
     before = GLOBAL_COUNTERS.snapshot()
     if isinstance(layer, ConvLayer):
         outputs = plan.execute_batch(
@@ -258,29 +277,40 @@ def _run_task(registry, key_cache, request: Message) -> Message:
             )
         ]
     delta = GLOBAL_COUNTERS.diff(before)
+    counters = {
+        "he_mult": delta.he_mult,
+        "he_add": delta.he_add,
+        "he_rotate": delta.he_rotate,
+        "ntt": delta.ntt,
+        "modmuls": delta.modmuls,
+        "butterflies": delta.butterflies,
+    }
+    if slog is not None:
+        slog.add(
+            "worker.compute", t_stage,
+            he_ops=counters,
+            noise_headroom_bits=noise_floor_bits(entry),
+        )
+        t_stage = time.monotonic()
     blobs = [
         serialize_ciphertext(ct, entry.params)
         for request_cts in outputs
         for ct in request_cts
     ]
-    return Message(
-        "result",
-        {
-            "task": task_id,
-            "status": "ok",
-            "attempt": attempt_of(request),
-            "outputs_per_request": [len(cts) for cts in outputs],
-            "counters": {
-                "he_mult": delta.he_mult,
-                "he_add": delta.he_add,
-                "he_rotate": delta.he_rotate,
-                "ntt": delta.ntt,
-                "modmuls": delta.modmuls,
-                "butterflies": delta.butterflies,
-            },
-        },
-        blobs,
-    )
+    meta = {
+        "task": task_id,
+        "status": "ok",
+        "attempt": attempt_of(request),
+        "outputs_per_request": [len(cts) for cts in outputs],
+        "counters": counters,
+    }
+    if slog is not None:
+        slog.add(
+            "worker.serialize", t_stage,
+            bytes=sum(len(blob) for blob in blobs),
+        )
+        meta["spans"] = slog.dump()
+    return Message("result", meta, blobs)
 
 
 def _worker_main(
@@ -481,7 +511,7 @@ class _PendingTask:
 
     __slots__ = (
         "request", "event", "reply", "attempt", "assigned", "claimed_at",
-        "dispatched_at",
+        "dispatched_at", "first_dispatched_at",
     )
 
     def __init__(self, request: Message):
@@ -494,6 +524,9 @@ class _PendingTask:
         self.assigned: tuple[int, int] | None = None
         self.claimed_at: float | None = None
         self.dispatched_at: float | None = None
+        #: When attempt 0 left the coordinator -- the start of the task's
+        #: trace envelope, surviving requeues (``dispatched_at`` resets).
+        self.first_dispatched_at: float | None = None
 
 
 @dataclass
@@ -1051,6 +1084,8 @@ class ShardPool:
         """Dispatch (requires ``self._lock``); parks when no worker is live."""
         pending.claimed_at = None
         pending.dispatched_at = time.monotonic()
+        if pending.first_dispatched_at is None:
+            pending.first_dispatched_at = pending.dispatched_at
         slot = self._eligible_slot()
         if slot is None:
             pending.assigned = None  # parked; the supervisor re-dispatches
@@ -1253,6 +1288,21 @@ class ShardPool:
                 # First ok reply wins, whatever attempt produced it --
                 # replays are bit-identical by construction.
                 self._pending.pop(task_id, None)
+                if TRACE_META_KEY in pending.request.meta:
+                    # Coordinator-clock envelope for the trace: first
+                    # dispatch -> this receive (plus which attempt and
+                    # worker won), so the executor can record the shard
+                    # span and anchor the worker's offset spans inside it.
+                    reply.meta["env"] = {
+                        "first_dispatch": pending.first_dispatched_at,
+                        "dispatch": pending.dispatched_at,
+                        "recv": time.monotonic(),
+                        "attempt": pending.attempt,
+                        "worker": (
+                            pending.assigned[0]
+                            if pending.assigned is not None else None
+                        ),
+                    }
                 pending.reply = reply
                 pending.event.set()
                 return
@@ -1396,6 +1446,9 @@ class ShardExecutor:
         self.pool = pool
         self.oc_split_min_co = int(oc_split_min_co)
         self.quorum = int(quorum)
+        #: Set by a tracing-enabled engine: shard dispatch envelopes and
+        #: piggybacked worker spans are recorded against request traces.
+        self.tracer = None
         # Key ids on the wire are scoped per executor *and* per upload:
         # several engines may share one pool, and their session ids all
         # start at "s0".  Scoping makes every broadcast's id unique, so
@@ -1434,7 +1487,8 @@ class ShardExecutor:
         if scoped is not None and not self.pool._stopping.is_set():
             self.pool.drop_keys(scoped)
 
-    def execute(self, entry, layer, batch_inputs, batch_handles, deadline=None):
+    def execute(self, entry, layer, batch_inputs, batch_handles, deadline=None,
+                trace=None):
         available = self.pool.available_workers()
         if available < self.quorum:
             raise ShardError(
@@ -1444,6 +1498,8 @@ class ShardExecutor:
         batch = len(batch_inputs)
         workers = max(1, self.pool.workers)
         key_ids = [handle.key_id for handle in batch_handles]
+        ctxs = list(trace or [])
+        ctxs += [None] * (batch - len(ctxs))
         if (
             batch == 1
             and workers > 1
@@ -1451,15 +1507,17 @@ class ShardExecutor:
             and layer.co >= self.oc_split_min_co
         ):
             return self._execute_oc_split(
-                entry, layer, batch_inputs[0], key_ids[0], workers, deadline
+                entry, layer, batch_inputs[0], key_ids[0], workers, deadline,
+                ctxs[0],
             )
         return self._execute_row_split(
-            entry, layer, batch_inputs, key_ids, workers, deadline
+            entry, layer, batch_inputs, key_ids, workers, deadline, ctxs
         )
 
     # -- splitting ----------------------------------------------------------
 
-    def _task(self, entry, layer, chunk_inputs, chunk_key_ids, oc_range=None):
+    def _task(self, entry, layer, chunk_inputs, chunk_key_ids, oc_range=None,
+              trace_ctxs=None):
         meta = {
             "model": entry.name,
             "layer": layer.name,
@@ -1468,6 +1526,14 @@ class ShardExecutor:
         }
         if oc_range is not None:
             meta["oc_range"] = [int(oc_range[0]), int(oc_range[1])]
+        traced = next(
+            (ctx for ctx in (trace_ctxs or []) if ctx is not None), None
+        )
+        if traced is not None:
+            # The task only needs to know *that* it is traced (workers
+            # key their span logs off this); parenting happens entirely
+            # coordinator-side, per participating request.
+            meta[TRACE_META_KEY] = {"trace_id": traced.trace_id}
         blobs = [
             serialize_ciphertext(ct, entry.params)
             for cts in chunk_inputs
@@ -1476,28 +1542,34 @@ class ShardExecutor:
         return Message("task", meta, blobs)
 
     def _execute_row_split(
-        self, entry, layer, batch_inputs, key_ids, workers, deadline=None
+        self, entry, layer, batch_inputs, key_ids, workers, deadline=None,
+        trace_ctxs=None,
     ):
         batch = len(batch_inputs)
+        ctxs = list(trace_ctxs or [])
+        ctxs += [None] * (batch - len(ctxs))
         shards = min(batch, workers)
         bounds = [round(i * batch / shards) for i in range(shards + 1)]
+        spans = [bounds[i : i + 2] for i in range(shards)
+                 if bounds[i] < bounds[i + 1]]
         tasks = [
             self._task(
                 entry, layer,
-                batch_inputs[bounds[i] : bounds[i + 1]],
-                key_ids[bounds[i] : bounds[i + 1]],
+                batch_inputs[lo:hi],
+                key_ids[lo:hi],
+                trace_ctxs=ctxs[lo:hi],
             )
-            for i in range(shards)
-            if bounds[i] < bounds[i + 1]
+            for lo, hi in spans
         ]
         replies = self.pool.execute(tasks, deadline=deadline)
         outputs = []
-        for reply in replies:
+        for (lo, hi), reply in zip(spans, replies):
+            self._trace_task(ctxs[lo:hi], reply)
             outputs.extend(self._parse_outputs(entry, reply))
         return outputs
 
     def _execute_oc_split(
-        self, entry, layer, cts, key_id, workers, deadline=None
+        self, entry, layer, cts, key_id, workers, deadline=None, trace_ctx=None
     ):
         shards = min(workers, layer.co)
         bounds = [round(i * layer.co / shards) for i in range(shards + 1)]
@@ -1505,6 +1577,7 @@ class ShardExecutor:
             self._task(
                 entry, layer, [cts], [key_id],
                 oc_range=(bounds[i], bounds[i + 1]),
+                trace_ctxs=[trace_ctx],
             )
             for i in range(shards)
             if bounds[i] < bounds[i + 1]
@@ -1512,8 +1585,52 @@ class ShardExecutor:
         replies = self.pool.execute(tasks, deadline=deadline)
         merged: list = []
         for reply in replies:
+            self._trace_task([trace_ctx], reply)
             merged.extend(self._parse_outputs(entry, reply)[0])
         return [merged]
+
+    def _trace_task(self, ctxs, reply: Message) -> None:
+        """Record one accepted task's spans into each participating trace.
+
+        The ``shard_task`` span is the coordinator-clock envelope (first
+        dispatch of attempt 0 to accepted receive); when the accepted
+        reply came from a retry, the lost attempt's window shows up as a
+        sibling ``shard_requeue`` span (first dispatch to the winning
+        re-dispatch) rather than disappearing.  Worker offset spans are
+        anchored inside the envelope by :meth:`Tracer.ingest`.
+        """
+        tracer = self.tracer
+        if tracer is None or not tracer.enabled:
+            return
+        env = reply.meta.get("env")
+        if not isinstance(env, dict):
+            return
+        first = env.get("first_dispatch")
+        dispatch = env.get("dispatch")
+        recv = env.get("recv")
+        if first is None or dispatch is None or recv is None:
+            return
+        attempts = int(env.get("attempt") or 0)
+        worker = env.get("worker")
+        task_id = reply.meta.get("task")
+        worker_spans = reply.meta.get("spans") or []
+        for ctx in ctxs:
+            if ctx is None:
+                continue
+            span_id = tracer.record(
+                ctx.trace_id, "shard_task", first, recv,
+                parent_id=ctx.span_id,
+                task=task_id, worker=worker, attempts=attempts,
+            )
+            if attempts > 0:
+                tracer.record(
+                    ctx.trace_id, "shard_requeue", first, dispatch,
+                    parent_id=ctx.span_id, task=task_id, attempts=attempts,
+                )
+            tracer.ingest(
+                ctx.trace_id, span_id, worker_spans, dispatch, recv,
+                worker=worker,
+            )
 
     def _parse_outputs(self, entry, reply: Message):
         """Deserialize a reply's ciphertexts and fold in its op counters.

@@ -21,8 +21,14 @@ from concurrent.futures import ThreadPoolExecutor
 from typing import Protocol
 
 from .engine import ServingEngine
+from .metrics import render_http
+from .tracing import NULL_TRACER
 from .wire import (
+    MAX_FRAME_BYTES,
+    TRACE_META_KEY,
     Message,
+    _LEN,
+    _recv_exact,
     decode_message,
     encode_message,
     error_message,
@@ -236,6 +242,11 @@ class SocketServer:
         #: Enforced from the length prefix before any body is buffered; a
         #: connection claiming an oversized frame is dropped on the spot.
         self.max_frame_bytes = max_frame_bytes
+        #: Shared with the gateway front end: ``/metrics`` + ``/healthz``
+        #: answer on the wire port, and the server owns each traced
+        #: request's root span.
+        self.metrics = getattr(engine, "metrics", None)
+        self.tracer = getattr(engine, "tracer", None) or NULL_TRACER
         self._listener = bind_listener(host, port)
         self.host, self.port = self._listener.getsockname()[:2]
         self._pool = ThreadPoolExecutor(
@@ -304,8 +315,32 @@ class SocketServer:
         try:
             with conn:
                 while not self._stopping.is_set():
+                    # Sniff the first four bytes: a ``b"GET "`` opener is
+                    # a one-shot HTTP scrape (as a length prefix it would
+                    # claim a ~0.5 GiB frame, past any sane cap);
+                    # anything else is a wire frame's length prefix.
                     try:
-                        payload = recv_frame(conn, self.max_frame_bytes)
+                        prefix = _recv_exact(conn, 4)
+                    except (ValueError, OSError):
+                        return
+                    if prefix is None:
+                        return
+                    if prefix == b"GET ":
+                        self._serve_http(conn)
+                        return
+                    (length,) = _LEN.unpack(prefix)
+                    cap = (
+                        MAX_FRAME_BYTES if self.max_frame_bytes is None
+                        else self.max_frame_bytes
+                    )
+                    if length > cap:
+                        logger.warning(
+                            "dropping connection claiming a %d-byte frame "
+                            "(cap %d)", length, cap,
+                        )
+                        return
+                    try:
+                        payload = _recv_exact(conn, length, partial_ok=False)
                     except (ValueError, OSError):
                         return  # corrupted stream or closed by stop()
                     if payload is None:
@@ -315,15 +350,27 @@ class SocketServer:
                             return  # connections are being shut down
                         self._inflight += 1
                     try:
+                        span = None
                         try:
                             request = decode_message(payload)
                         except ValueError as exc:
                             reply = error_message(f"bad frame: {exc}")
                         else:
+                            span = self.tracer.accept(
+                                "request", request.meta,
+                                kind=request.kind, frontend="threaded",
+                            )
                             try:
                                 reply = self.engine.handle(request)
                             except Exception as exc:  # keep the connection alive
                                 reply = error_message(f"internal error: {exc}")
+                        if span is not None:
+                            span.set(outcome=reply.kind).finish()
+                            if span.trace_id is not None:
+                                reply.meta.setdefault(
+                                    TRACE_META_KEY,
+                                    {"trace_id": span.trace_id},
+                                )
                         try:
                             send_frame(conn, encode_message(reply))
                         except OSError:
@@ -336,6 +383,38 @@ class SocketServer:
             with self._conn_cond:
                 self._connections.discard(conn)
                 self._conn_cond.notify_all()
+
+    def _serve_http(self, conn: socket.socket) -> None:
+        """One-shot HTTP GET on the wire port (``curl :port/healthz``).
+
+        The ``b"GET "`` prefix was already consumed by the sniffer; the
+        stream resumes at the request target.  Routing is shared with
+        the async gateway via :func:`~repro.serving.metrics.render_http`.
+        """
+        try:
+            conn.settimeout(5.0)
+            head = b""
+            while b"\r\n\r\n" not in head and len(head) < 8192:
+                chunk = conn.recv(1024)
+                if not chunk:
+                    break
+                head += chunk
+        except OSError:
+            return
+        target = head.split(b" ", 1)[0].decode("latin-1") or "/"
+        status, content_type, body = render_http(target, self.engine, self.metrics)
+        try:
+            conn.sendall(
+                (
+                    f"HTTP/1.1 {status}\r\n"
+                    f"Content-Type: {content_type}\r\n"
+                    f"Content-Length: {len(body)}\r\n"
+                    "Connection: close\r\n\r\n"
+                ).encode()
+                + body
+            )
+        except OSError:
+            pass
 
     def stop(self) -> None:
         """Stop accepting, drain in-flight requests, then tear down.

@@ -139,6 +139,16 @@ class ServingError(RuntimeError):
     """A server-reported protocol failure (handshake rejection, bad state)."""
 
 
+# -- optional meta extensions --------------------------------------------------
+
+#: Meta key under which a frame carries its distributed-tracing context
+#: (``{"trace_id": ..., "span_id": ..., "fe": ...}``).  Optional and
+#: backward-compatible by construction: :func:`decode_message` preserves
+#: unknown meta keys verbatim, so peers that predate tracing simply
+#: ignore it, and frames without it stay untraced.
+TRACE_META_KEY = "trace"
+
+
 # -- shared-memory slab descriptors -------------------------------------------
 
 #: Meta key under which a frame references an out-of-band slab: the

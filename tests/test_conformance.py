@@ -67,6 +67,7 @@ from repro.serving import (
     ShardPool,
     SocketServer,
     SocketTransport,
+    Tracer,
     demo_image,
     demo_network,
     demo_weights,
@@ -146,20 +147,47 @@ def _run_gazelle(env, image) -> PathResult:
 
 
 def _run_session(env, registry, image, transport_factory, executor=None) -> PathResult:
-    """Drive one serial ClientSession over an arbitrary transport."""
+    """Drive one serial ClientSession over an arbitrary transport.
+
+    Every path runs with tracing on and a trace-stamping client, so the
+    conformance sweep doubles as the propagation matrix: client-minted
+    trace ids must round-trip through whatever transport/executor
+    combination the path uses and land as complete span trees.
+    """
+    tracer = Tracer(enabled=True)
     engine = ServingEngine(
-        registry, max_batch=1, seed=ENGINE_SEED, executor=executor
+        registry, max_batch=1, seed=ENGINE_SEED, executor=executor,
+        tracer=tracer,
     )
     with transport_factory(engine) as transport:
         session = ClientSession(
-            demo_network(), env.params, transport, seed=7, track_noise=True
+            demo_network(), env.params, transport, seed=7, track_noise=True,
+            trace_requests=True,
         )
         session.connect("demo")
         with counting() as delta:
             result = session.infer(image)
         session.close()
+    _assert_traced(tracer, session, result.rounds)
     return PathResult(
         result.logits, _counters_tuple(delta()), result.min_noise_budget
+    )
+
+
+def _assert_traced(tracer, session, rounds) -> None:
+    """The propagation contract every execution path must honour."""
+    server_ids = set(tracer.trace_ids())
+    assert session.trace_ids, "server echoed no trace ids"
+    assert set(session.trace_ids) <= server_ids, (
+        "client-observed trace ids missing from the server tracer"
+    )
+    with_execute = [
+        trace_id for trace_id in server_ids
+        if any(s["name"] == "execute" for s in tracer.spans_of(trace_id))
+    ]
+    assert len(with_execute) >= rounds, (
+        f"only {len(with_execute)} traces carry execute spans for "
+        f"{rounds} linear rounds"
     )
 
 
