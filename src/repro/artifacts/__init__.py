@@ -13,8 +13,10 @@ from .format import ArtifactError, FORMAT_VERSION, SECTION_ALIGN
 from .store import ARTIFACT_SUFFIX, ModelArtifact, load_artifact, save_artifact
 from .zoo import (
     MANIFEST_NAME,
+    diff_manifests,
     load_zoo,
     manifest_entry,
+    manifest_generation,
     read_manifest,
     update_manifest,
     zoo_files,
@@ -29,8 +31,10 @@ __all__ = [
     "load_artifact",
     "save_artifact",
     "MANIFEST_NAME",
+    "diff_manifests",
     "load_zoo",
     "manifest_entry",
+    "manifest_generation",
     "read_manifest",
     "update_manifest",
     "zoo_files",

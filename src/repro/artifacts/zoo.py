@@ -10,6 +10,15 @@ for?" without opening the binaries.
 :func:`load_zoo` turns such a directory into a populated
 :class:`~repro.serving.registry.ModelRegistry` -- one multi-model server
 warm-started from disk with zero plan recompilation.
+
+Manifests are *versioned*: every :func:`update_manifest` call bumps a
+monotonic ``generation`` counter, so a running server can answer "is the
+zoo on disk newer than what I serve?" with one integer compare
+(:func:`manifest_generation`) and reload only when it is.
+:func:`diff_manifests` names exactly which models an upgrade would add,
+remove, or change -- the unit of work for
+:meth:`~repro.serving.registry.ModelRegistry.reload_zoo` and
+:meth:`~repro.serving.shards.ShardPool.rolling_upgrade`.
 """
 
 from __future__ import annotations
@@ -51,6 +60,69 @@ def manifest_entry(model, file_name: str, tuned: dict | None = None) -> dict:
     return entry
 
 
+def manifest_generation(manifest) -> int:
+    """The generation counter of a manifest (or zoo directory).
+
+    Accepts a parsed manifest dict, a directory (read on the spot), or
+    ``None``.  Manifests written before generations existed -- and
+    directories without a manifest at all -- count as generation 0, so
+    every versioned manifest compares newer than every unversioned one.
+    """
+    if manifest is None:
+        return 0
+    if not isinstance(manifest, dict):
+        manifest = read_manifest(manifest)
+        if manifest is None:
+            return 0
+    generation = manifest.get("generation", 0)
+    try:
+        generation = int(generation)
+    except (TypeError, ValueError):
+        raise ArtifactError(
+            f"zoo manifest generation must be an integer, got {generation!r}"
+        ) from None
+    if generation < 0:
+        raise ArtifactError(
+            f"zoo manifest generation must be >= 0, got {generation}"
+        )
+    return generation
+
+
+def diff_manifests(old, new) -> dict:
+    """Model-level diff between two manifests (dicts or ``None``).
+
+    Returns ``{"added", "removed", "changed", "unchanged"}``, each a
+    sorted list of model names.  A model is *changed* when any recorded
+    fact differs -- file name, parameter fingerprint, schedule, rescale
+    bits, rotation-step count, or tuned stamp -- because each of those
+    invalidates something a serving process derived from the entry.
+    """
+    old_models = {
+        entry["name"]: entry
+        for entry in (old or {}).get("models", [])
+        if "name" in entry
+    }
+    new_models = {
+        entry["name"]: entry
+        for entry in (new or {}).get("models", [])
+        if "name" in entry
+    }
+    added = sorted(set(new_models) - set(old_models))
+    removed = sorted(set(old_models) - set(new_models))
+    changed, unchanged = [], []
+    for name in sorted(set(old_models) & set(new_models)):
+        if old_models[name] == new_models[name]:
+            unchanged.append(name)
+        else:
+            changed.append(name)
+    return {
+        "added": added,
+        "removed": removed,
+        "changed": changed,
+        "unchanged": unchanged,
+    }
+
+
 def read_manifest(directory) -> dict | None:
     """Parse ``manifest.json`` in ``directory``; ``None`` when absent."""
     path = Path(directory) / MANIFEST_NAME
@@ -68,7 +140,12 @@ def read_manifest(directory) -> dict | None:
 def update_manifest(
     directory, model, file_name: str, tuned: dict | None = None
 ) -> Path:
-    """Add or replace ``model``'s entry in the directory manifest."""
+    """Add or replace ``model``'s entry in the directory manifest.
+
+    Every call bumps the manifest's ``generation`` counter: the manifest
+    is the deployment record, and any write to it *is* a new deployment
+    generation as far as a running server is concerned.
+    """
     directory = Path(directory)
     manifest = read_manifest(directory) or {"kind": _MANIFEST_KIND, "models": []}
     models = [
@@ -77,6 +154,7 @@ def update_manifest(
     ]
     models.append(manifest_entry(model, file_name, tuned=tuned))
     manifest["models"] = sorted(models, key=lambda entry: entry["name"])
+    manifest["generation"] = manifest_generation(manifest) + 1
     path = directory / MANIFEST_NAME
     directory.mkdir(parents=True, exist_ok=True)
     path.write_text(json.dumps(manifest, indent=2, sort_keys=True) + "\n")
@@ -126,6 +204,12 @@ def load_zoo(directory, registry=None, verify: bool | str = True):
     -- memmapped stacks, zero plan recompilation.  Two artifacts
     declaring the same model name are an error (a zoo is a deployment
     record, not a precedence puzzle).
+
+    The loaded registry remembers *which* deployment it serves: the zoo
+    directory, the manifest generation, and the set of model names the
+    zoo provided, so a later
+    :meth:`~repro.serving.registry.ModelRegistry.reload_zoo` can no-op on
+    a same-generation directory and remove models a new generation drops.
     """
     from ..serving.registry import ModelRegistry
 
@@ -145,4 +229,7 @@ def load_zoo(directory, registry=None, verify: bool | str = True):
             )
         seen[artifact.name] = path
         registry.register_artifact(artifact)
+    registry.zoo_dir = str(directory)
+    registry.zoo_generation = manifest_generation(read_manifest(directory))
+    registry._zoo_names = set(seen)
     return registry

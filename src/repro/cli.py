@@ -43,11 +43,18 @@ Commands
     with per-trace HE op totals, and merging for Perfetto.
 ``infer [--host H] [--port P] [--count K] [--model NAME]``
     Connect to a running server, run private inferences, verify logits.
+``admin ACTION [--host H] [--port P] [--token T]``
+    Operator control plane against a running server started with
+    ``--admin-token``: ``status``, ``reload-zoo`` (swap in a new zoo
+    generation and rolling-upgrade the shard pool with zero downtime),
+    ``drain-worker``, ``evict-session``, ``drain-tenant``.  The token
+    may also come from ``REPRO_ADMIN_TOKEN``.
 """
 
 from __future__ import annotations
 
 import argparse
+import os
 import sys
 
 from . import CheetahFramework
@@ -190,8 +197,22 @@ def _cmd_compile(args) -> int:
     return 0
 
 
-def _cmd_serve(args) -> int:
+def _stats_loop(metrics, interval_s: float, stop_event, log=None) -> None:
+    """Periodic metrics-snapshot dump behind ``serve --stats-interval``.
+
+    Runs until ``stop_event`` is set; each tick logs one sorted-keys
+    JSON object (grep-able, machine-parsable) of the full registry
+    snapshot.
+    """
     import json
+    import logging
+
+    log = log if log is not None else logging.getLogger("repro.serving.cli")
+    while not stop_event.wait(interval_s):
+        log.info("stats: %s", json.dumps(metrics.snapshot(), sort_keys=True))
+
+
+def _cmd_serve(args) -> int:
     import logging
     import signal
     import tempfile
@@ -302,6 +323,7 @@ def _cmd_serve(args) -> int:
             f" (trace files -> {args.trace_dir}, "
             f"retention {args.trace_retention})" if args.trace_dir else "",
         )
+    admin_token = args.admin_token or os.environ.get("REPRO_ADMIN_TOKEN", "")
     engine = ServingEngine(
         registry,
         max_batch=args.max_batch,
@@ -312,7 +334,10 @@ def _cmd_serve(args) -> int:
         metrics=metrics,
         admission=admission,
         tracer=tracer,
+        admin_token=admin_token or None,
     )
+    if admin_token:
+        log.info("admin control plane enabled (repro admin --token ...)")
     max_frame_bytes = (
         int(args.max_frame_mb * (1 << 20)) if args.max_frame_mb else None
     )
@@ -357,12 +382,10 @@ def _cmd_serve(args) -> int:
     signal.signal(signal.SIGINT, _request_stop)
     signal.signal(signal.SIGTERM, _request_stop)
     if args.stats_interval > 0:
-        def _print_stats() -> None:
-            while not stop_requested.wait(args.stats_interval):
-                log.info("stats: %s", json.dumps(metrics.snapshot(), sort_keys=True))
-
         threading.Thread(
-            target=_print_stats, name="repro-serve-stats", daemon=True
+            target=_stats_loop,
+            args=(metrics, args.stats_interval, stop_requested, log),
+            name="repro-serve-stats", daemon=True,
         ).start()
     log.info("press Ctrl-C (or send SIGTERM) to stop")
     stop_requested.wait()
@@ -577,6 +600,59 @@ def _cmd_infer(args) -> int:
     return 1 if failures else 0
 
 
+def _cmd_admin(args) -> int:
+    import json
+
+    from .serving import admin_message, one_shot_request
+
+    token = args.token or os.environ.get("REPRO_ADMIN_TOKEN", "")
+    if not token:
+        print(
+            "error: no admin token (pass --token or set REPRO_ADMIN_TOKEN)",
+            file=sys.stderr,
+        )
+        return 2
+    meta = {}
+    if args.action == "reload-zoo":
+        if args.directory:
+            meta["directory"] = args.directory
+        meta["rolling"] = not args.no_rolling
+    elif args.action == "drain-worker":
+        if args.worker is None:
+            print("error: drain-worker requires --worker ID", file=sys.stderr)
+            return 2
+        meta["worker"] = args.worker
+        meta["resume"] = args.resume
+        meta["wait_s"] = args.wait_s
+    elif args.action == "evict-session":
+        if not args.session:
+            print("error: evict-session requires --session ID", file=sys.stderr)
+            return 2
+        meta["session"] = args.session
+    elif args.action == "drain-tenant":
+        if not args.tenant:
+            print("error: drain-tenant requires --tenant NAME", file=sys.stderr)
+            return 2
+        meta["tenant"] = args.tenant
+    try:
+        reply = one_shot_request(
+            args.host, args.port,
+            admin_message(args.action, token, **meta),
+            timeout=args.timeout_s,
+        )
+    except (OSError, ConnectionError) as exc:
+        print(f"error: {args.host}:{args.port} unreachable: {exc}", file=sys.stderr)
+        return 1
+    if reply.kind != "admin_ok":
+        print(
+            f"error: {reply.meta.get('reason', 'unspecified server error')}",
+            file=sys.stderr,
+        )
+        return 1
+    print(json.dumps(reply.meta.get("result", {}), indent=2, sort_keys=True))
+    return 0
+
+
 def _add_log_flags(parser: argparse.ArgumentParser) -> None:
     parser.add_argument(
         "--log-level", default="info", dest="log_level",
@@ -753,6 +829,12 @@ def build_parser() -> argparse.ArgumentParser:
         help="trace files kept in --trace-dir before the oldest are "
              "pruned (bounded ring, default 64)",
     )
+    serve.add_argument(
+        "--admin-token", default="", dest="admin_token",
+        help="shared secret enabling the 'repro admin' control plane "
+             "(reload-zoo, drain-worker, evict-session, ...); defaults "
+             "to $REPRO_ADMIN_TOKEN, empty disables admin entirely",
+    )
     _add_log_flags(serve)
 
     shard_worker = sub.add_parser(
@@ -815,6 +897,61 @@ def build_parser() -> argparse.ArgumentParser:
         help="tenant label for the server's per-tenant rate limits",
     )
 
+    admin = sub.add_parser(
+        "admin",
+        help="operator actions against a server started with --admin-token",
+    )
+    admin.add_argument(
+        "action",
+        choices=[
+            "status", "reload-zoo", "drain-worker", "evict-session",
+            "drain-tenant",
+        ],
+        help="status: health/zoo/pool summary; reload-zoo: swap in the "
+             "new zoo generation and rolling-upgrade the shard pool; "
+             "drain-worker: take one worker out of dispatch; "
+             "evict-session / drain-tenant: force session eviction",
+    )
+    admin.add_argument("--host", default="127.0.0.1")
+    admin.add_argument("--port", type=int, default=7707)
+    admin.add_argument(
+        "--token", default="",
+        help="admin shared secret (defaults to $REPRO_ADMIN_TOKEN)",
+    )
+    admin.add_argument(
+        "--timeout-s", type=float, default=120.0, dest="timeout_s",
+        help="reply timeout in seconds (a rolling upgrade drains workers "
+             "one at a time, so reload-zoo replies can take a while)",
+    )
+    admin.add_argument(
+        "--directory", default="", metavar="DIR",
+        help="reload-zoo: zoo directory to load (default: the directory "
+             "the server already serves, re-read for a new generation)",
+    )
+    admin.add_argument(
+        "--no-rolling", action="store_true", dest="no_rolling",
+        help="reload-zoo: swap the registry only; skip the shard-pool "
+             "rolling upgrade",
+    )
+    admin.add_argument(
+        "--worker", type=int, default=None,
+        help="drain-worker: shard worker id",
+    )
+    admin.add_argument(
+        "--resume", action="store_true",
+        help="drain-worker: put the worker back into dispatch instead",
+    )
+    admin.add_argument(
+        "--wait-s", type=float, default=30.0, dest="wait_s",
+        help="drain-worker: seconds to wait for in-flight tasks",
+    )
+    admin.add_argument(
+        "--session", default="", help="evict-session: session id"
+    )
+    admin.add_argument(
+        "--tenant", default="", help="drain-tenant: tenant name"
+    )
+
     return parser
 
 
@@ -830,6 +967,7 @@ _COMMANDS = {
     "shard-worker": _cmd_shard_worker,
     "trace": _cmd_trace,
     "infer": _cmd_infer,
+    "admin": _cmd_admin,
 }
 
 

@@ -36,6 +36,14 @@ dispatch envelopes.  Traces export as Chrome ``trace_event`` JSON
 (:func:`configure_logging`), and per-stage latency histograms inside
 the ``/metrics`` snapshot; ``/healthz`` and Prometheus text exposition
 ride the same HTTP surface on both front ends.
+
+Deployments stay live while they change: the zoo manifest carries a
+monotonic generation, :meth:`ModelRegistry.reload_zoo` atomically swaps
+in a new generation (in-flight rounds finish on their pinned entries),
+:meth:`ShardPool.rolling_upgrade` drains and warm-respawns workers one
+at a time so quorum is never violated, and an authenticated ``admin``
+wire message (:func:`admin_message`, ``repro admin``) drives it all
+from the operator's terminal through either front end.
 """
 
 from .admission import AdmissionController, TokenBucket, busy_message
@@ -76,8 +84,15 @@ from .transport import (
     SocketServer,
     SocketTransport,
     bind_listener,
+    one_shot_request,
 )
-from .wire import Message, ServingError, decode_message, encode_message
+from .wire import (
+    Message,
+    ServingError,
+    admin_message,
+    decode_message,
+    encode_message,
+)
 
 __all__ = [
     "ServingEngine",
@@ -111,6 +126,8 @@ __all__ = [
     "SocketTransport",
     "Message",
     "ServingError",
+    "admin_message",
+    "one_shot_request",
     "WorkerFaults",
     "ConnectionFaults",
     "encode_message",

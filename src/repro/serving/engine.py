@@ -35,6 +35,7 @@ labels, round counts), matching the accounting of the in-process
 
 from __future__ import annotations
 
+import hmac
 import logging
 import threading
 import time
@@ -294,8 +295,14 @@ class ServingEngine:
         metrics=None,
         admission=None,
         tracer=None,
+        admin_token: str | None = None,
     ):
         self.registry = registry
+        #: Shared secret for the ``admin`` wire message (``repro admin``).
+        #: ``None`` disables the admin surface entirely: an unauthenticated
+        #: deployment must not expose reload/drain/evict to anyone who can
+        #: reach the serving port.
+        self.admin_token = admin_token if admin_token else None
         #: Request tracer (default: shared no-op).  When enabled, it is
         #: also handed to a trace-aware executor (``ShardExecutor``) so
         #: shard envelopes and worker spans land in the same traces.
@@ -379,6 +386,20 @@ class ServingEngine:
                     for entry in self.registry.entries()
                 },
             )
+            # Live-deployment gauges: which zoo generation is being
+            # served, and whether a rolling upgrade is in progress
+            # (0 when the executor has no shard pool).
+            metrics.add_gauge(
+                "zoo_generation",
+                lambda: getattr(self.registry, "zoo_generation", 0),
+            )
+            metrics.add_gauge(
+                "upgrading_slots",
+                lambda: getattr(
+                    getattr(self.executor, "pool", None),
+                    "upgrading_slots", 0,
+                ),
+            )
             if admission is not None:
                 metrics.add_gauge("admission", admission.stats)
 
@@ -394,6 +415,7 @@ class ServingEngine:
             "linear": self._handle_linear,
             "close": self._handle_close,
             "metrics": self._handle_metrics,
+            "admin": self._handle_admin,
         }.get(request.kind)
         if handler is None:
             return error_message(f"unknown request kind {request.kind!r}")
@@ -420,6 +442,156 @@ class ServingEngine:
         if self.metrics is None:
             return error_message("metrics are not enabled on this server")
         return Message("metrics_ok", {"metrics": self.metrics.snapshot()})
+
+    # -- admin control plane -------------------------------------------------
+
+    def _handle_admin(self, request: Message) -> Message:
+        """Authenticated operator actions (``repro admin``).
+
+        Disabled unless the engine was constructed with an
+        ``admin_token``; every request must carry the matching token
+        (compared with :func:`hmac.compare_digest`).  Actions run under
+        their own tracer span even without client trace context, so
+        operator interventions are visible in the same traces as the
+        traffic they affect.
+        """
+        if not self.admin_token:
+            return error_message(
+                "admin is not enabled on this server "
+                "(start it with --admin-token)"
+            )
+        token = str(request.meta.get("token", ""))
+        if not hmac.compare_digest(str(self.admin_token), token):
+            logger.warning("admin: rejected request with invalid token")
+            return error_message("admin: invalid token")
+        action = str(request.meta.get("action", ""))
+        handler = {
+            "status": self._admin_status,
+            "reload-zoo": self._admin_reload_zoo,
+            "drain-worker": self._admin_drain_worker,
+            "evict-session": self._admin_evict_session,
+            "drain-tenant": self._admin_drain_tenant,
+        }.get(action)
+        if handler is None:
+            return error_message(
+                f"admin: unknown action {action!r} (expected one of "
+                "status, reload-zoo, drain-worker, evict-session, "
+                "drain-tenant)"
+            )
+        # Admin requests usually arrive without trace context (the CLI is
+        # not a traced client), but operator actions are exactly the events
+        # one wants to see in a trace -- so start a fresh root when there
+        # is no parent to attach to.
+        parent = self.tracer.current()
+        if parent is not None:
+            span = self.tracer.span(f"admin:{action}")
+        else:
+            span = self.tracer.root_span(f"admin:{action}")
+        with span:
+            try:
+                result = handler(request)
+            except Exception as exc:  # noqa: BLE001 - reported to operator
+                span.set(outcome="error")
+                logger.warning("admin %s failed: %s", action, exc)
+                return error_message(f"admin {action} failed: {exc}")
+            span.set(outcome="ok")
+        return Message("admin_ok", {"action": action, "result": result})
+
+    def _admin_status(self, request: Message) -> dict:
+        """Deployment status: health, zoo generation, pool upgrade state."""
+        from .metrics import health_payload
+
+        payload = health_payload(self)
+        payload["zoo"] = {
+            "dir": getattr(self.registry, "zoo_dir", None),
+            "generation": getattr(self.registry, "zoo_generation", 0),
+            "models": sorted(self.registry.names()),
+        }
+        pool = getattr(self.executor, "pool", None)
+        if pool is not None:
+            payload.setdefault("pool", {}).update(
+                {
+                    "draining_workers": pool.draining_workers(),
+                    "upgrading_slots": pool.upgrading_slots,
+                    "upgrades_total": pool.upgrades_total,
+                    "artifact_dir": pool.artifact_dir,
+                }
+            )
+        with self._lock:
+            tenants: dict[str, int] = {}
+            for session in self._sessions.values():
+                tenants[session.tenant] = tenants.get(session.tenant, 0) + 1
+        payload["tenants"] = tenants
+        return payload
+
+    def _admin_reload_zoo(self, request: Message) -> dict:
+        """Swap in a new zoo generation, then roll it across the pool.
+
+        The registry reload is the atomic front-end swap (new sessions
+        bind the new generation; in-flight rounds finish on their pinned
+        entries).  When the executor is a shard pool and the reload
+        applied, the workers are then rolling-upgraded one at a time so
+        quorum is never violated; ``rolling: false`` skips that step.
+        """
+        directory = request.meta.get("directory")
+        summary = self.registry.reload_zoo(directory)
+        pool = getattr(self.executor, "pool", None)
+        if summary.get("applied") and pool is not None and bool(
+            request.meta.get("rolling", True)
+        ):
+            summary["pool"] = pool.rolling_upgrade(
+                getattr(self.registry, "zoo_dir", None)
+            )
+        return summary
+
+    def _admin_drain_worker(self, request: Message) -> dict:
+        """Drain (or resume) one shard worker out of the dispatch set."""
+        pool = getattr(self.executor, "pool", None)
+        if pool is None:
+            raise ValueError("this server has no shard pool to drain")
+        worker = request.meta.get("worker")
+        if worker is None:
+            raise ValueError("drain-worker requires a worker id")
+        if bool(request.meta.get("resume", False)):
+            return pool.resume_worker(int(worker))
+        return pool.drain_worker(
+            int(worker), wait_s=float(request.meta.get("wait_s", 30.0))
+        )
+
+    def _admin_evict_session(self, request: Message) -> dict:
+        """Force-evict one session (keys and traffic log released)."""
+        session_id = request.meta.get("session")
+        if not session_id:
+            raise ValueError("evict-session requires a session id")
+        session_id = str(session_id)
+        with self._lock:
+            session = self._sessions.pop(session_id, None)
+        if session is not None:
+            self._release_session(session_id)
+            logger.info("admin: evicted session %s", session_id)
+        return {"session": session_id, "evicted": session is not None}
+
+    def _admin_drain_tenant(self, request: Message) -> dict:
+        """Evict every session belonging to one tenant."""
+        tenant = request.meta.get("tenant")
+        if not tenant:
+            raise ValueError("drain-tenant requires a tenant name")
+        tenant = str(tenant)
+        with self._lock:
+            matched = [
+                session_id
+                for session_id, session in self._sessions.items()
+                if session.tenant == tenant
+            ]
+            for session_id in matched:
+                del self._sessions[session_id]
+        for session_id in matched:
+            self._release_session(session_id)
+        if matched:
+            logger.info(
+                "admin: drained tenant %s (%d session(s))", tenant, len(matched)
+            )
+        return {"tenant": tenant, "evicted": sorted(matched)}
 
     def session_traffic(self, session_id: str) -> TrafficLog:
         """The per-session byte/round tally (server-side view)."""

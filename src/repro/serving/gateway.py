@@ -61,6 +61,13 @@ logger = logging.getLogger(__name__)
 
 _LEN = struct.Struct("<I")
 
+#: Request kinds the gateway may refuse with ``busy`` under load.  Only
+#: the HE-heavy data-plane round is sheddable; control-plane kinds
+#: (``hello``, ``galois_keys``, ``close``, ``metrics``, ``admin``) always
+#: get through -- an operator must be able to reach (and drain, and
+#: upgrade) a server precisely when it is saturated.
+SHEDDABLE_KINDS = frozenset({"linear"})
+
 
 class AsyncGateway:
     """Event-driven TCP front end for a :class:`ServingEngine`.
@@ -271,7 +278,7 @@ class AsyncGateway:
         )
         if (
             self.queue_limit
-            and request.kind == "linear"
+            and request.kind in SHEDDABLE_KINDS
             and self._inflight >= self.queue_limit
         ):
             # Load shedding in the event loop: the refusal costs no

@@ -358,6 +358,7 @@ def health_payload(engine, frontend: str | None = None) -> dict:
     registry = getattr(engine, "registry", None)
     if registry is not None:
         payload["models"] = sorted(registry.names())
+        payload["zoo_generation"] = getattr(registry, "zoo_generation", 0)
     sessions = getattr(engine, "_sessions", None)
     if sessions is not None:
         payload["sessions"] = len(sessions)
@@ -375,6 +376,8 @@ def health_payload(engine, frontend: str | None = None) -> dict:
             "quorum_ok": available >= quorum,
             "respawns_total": getattr(pool, "respawns_total", 0),
             "retries_total": getattr(pool, "retries_total", 0),
+            "upgrading_slots": getattr(pool, "upgrading_slots", 0),
+            "upgrades_total": getattr(pool, "upgrades_total", 0),
         }
         payload["pool"] = pool_status
         if not pool_status["quorum_ok"]:

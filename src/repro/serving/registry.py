@@ -13,7 +13,9 @@ same parameter set reuse one set of twiddle tables.
 
 from __future__ import annotations
 
+import threading
 from dataclasses import dataclass, field
+from pathlib import Path
 
 import numpy as np
 
@@ -112,10 +114,25 @@ class ModelEntry:
 
 
 class ModelRegistry:
-    """Name -> :class:`ModelEntry` table with one-time plan compilation."""
+    """Name -> :class:`ModelEntry` table with one-time plan compilation.
+
+    Reads are lock-free: lookups hand out immutable :class:`ModelEntry`
+    references, and :meth:`reload_zoo` replaces the whole name table in
+    one atomic assignment (read-copy-update), so an in-flight round that
+    already resolved its entry keeps serving the old generation while new
+    handshakes bind the new one.
+    """
 
     def __init__(self) -> None:
         self._models: dict[str, ModelEntry] = {}
+        #: Serialises registry *mutations* (reloads and registrations);
+        #: never taken on the lookup path.
+        self._swap_lock = threading.Lock()
+        #: Deployment identity when the registry was populated by
+        #: :func:`~repro.artifacts.zoo.load_zoo` / :meth:`reload_zoo`.
+        self.zoo_dir: str | None = None
+        self.zoo_generation: int = 0
+        self._zoo_names: set[str] = set()
 
     def register(
         self,
@@ -180,6 +197,18 @@ class ModelRegistry:
         ``ModelArtifact`` was already checked at whatever level its
         ``load_artifact`` call requested, and is not re-read here.
         """
+        entry = self._entry_from_artifact(source, name=name, verify=verify, seed=seed)
+        self._models[entry.name] = entry
+        return entry
+
+    def _entry_from_artifact(
+        self,
+        source,
+        name: str | None = None,
+        verify: bool | str = True,
+        seed: int = 0,
+    ) -> ModelEntry:
+        """Build (but do not register) a :class:`ModelEntry` from an artifact."""
         from ..artifacts.store import ModelArtifact, load_artifact
 
         artifact = (
@@ -199,7 +228,7 @@ class ModelRegistry:
                 f"artifact rotation steps {sorted(artifact.rotation_steps)} "
                 f"do not match the rebuilt plans' union {sorted(steps)}"
             )
-        entry = ModelEntry(
+        return ModelEntry(
             name=name or artifact.name,
             network=artifact.network,
             params=artifact.params,
@@ -209,8 +238,115 @@ class ModelRegistry:
             plans=plans,
             rotation_steps=sorted(steps),
         )
-        self._models[entry.name] = entry
-        return entry
+
+    def reload_zoo(self, directory=None, verify: bool | str = True) -> dict:
+        """Reload a zoo directory and atomically swap to its generation.
+
+        The live-upgrade path (``repro admin reload-zoo``): re-reads
+        ``directory`` (default: the directory this registry was loaded
+        from), and
+
+        - **no-ops when nothing changed** -- same directory at the same
+          manifest generation returns ``{"applied": False, ...}`` without
+          touching any entry (reloads are idempotent, so an admin retry
+          or a replayed wire frame is harmless);
+        - **stages everything before applying anything** -- every
+          artifact of the new generation is loaded and validated first,
+          so a corrupt or incompatible artifact raises
+          :class:`~repro.artifacts.format.ArtifactError` and leaves the
+          registry exactly as it was (a multi-model diff is never
+          partially applied);
+        - **rejects parameter changes** -- a model whose parameter
+          fingerprint differs from the entry currently serving that name
+          raises ``ArtifactError``: sessions, Galois keys, and mask
+          encodings are parameter-bound, so such a change needs a new
+          deployment, not a live swap;
+        - **swaps by read-copy-update** -- the name table is replaced in
+          one assignment.  Sessions that pinned an old entry at handshake
+          keep computing on it (old plans and memmaps stay alive as long
+          as anything references them); new handshakes resolve the new
+          generation.
+
+        Returns a summary dict: ``applied``, ``generation``,
+        ``previous_generation``, and the ``added`` / ``updated`` /
+        ``removed`` model-name lists.
+        """
+        from ..artifacts.format import ArtifactError
+        from ..artifacts.store import load_artifact
+        from ..artifacts.zoo import (
+            manifest_generation,
+            read_manifest,
+            zoo_files,
+        )
+
+        if directory is None:
+            directory = self.zoo_dir
+        if directory is None:
+            raise ArtifactError(
+                "reload_zoo needs a directory: this registry was not "
+                "loaded from a zoo and none was given"
+            )
+        directory = Path(directory)
+        with self._swap_lock:
+            generation = manifest_generation(read_manifest(directory))
+            previous = self.zoo_generation
+            if (
+                self.zoo_dir is not None
+                and directory == Path(self.zoo_dir)
+                and generation == previous
+            ):
+                return {
+                    "applied": False,
+                    "generation": generation,
+                    "previous_generation": previous,
+                    "added": [],
+                    "updated": [],
+                    "removed": [],
+                }
+            # Stage: load and validate the entire new generation before
+            # touching the live table.
+            files = zoo_files(directory)
+            if not files:
+                raise ArtifactError(f"no artifacts found in {directory}")
+            staged: dict[str, ModelEntry] = {}
+            for path in files:
+                artifact = load_artifact(path, verify=verify)
+                if artifact.name in staged:
+                    raise ArtifactError(
+                        f"{path.name} redeclares model {artifact.name!r}"
+                    )
+                current = self._models.get(artifact.name)
+                if current is not None and params_to_dict(
+                    artifact.params
+                ) != params_to_dict(current.params):
+                    raise ArtifactError(
+                        f"reload rejected: model {artifact.name!r} changes "
+                        f"its parameter fingerprint; live sessions and keys "
+                        f"are parameter-bound (redeploy instead)"
+                    )
+                staged[artifact.name] = self._entry_from_artifact(artifact)
+            removed = sorted(self._zoo_names - set(staged))
+            added = sorted(name for name in staged if name not in self._models)
+            updated = sorted(name for name in staged if name in self._models)
+            # Commit: one new table, one assignment.
+            models = {
+                name: entry
+                for name, entry in self._models.items()
+                if name not in removed
+            }
+            models.update(staged)
+            self._models = models
+            self.zoo_dir = str(directory)
+            self.zoo_generation = generation
+            self._zoo_names = set(staged)
+        return {
+            "applied": True,
+            "generation": generation,
+            "previous_generation": previous,
+            "added": added,
+            "updated": updated,
+            "removed": removed,
+        }
 
     def get(self, name: str) -> ModelEntry:
         try:

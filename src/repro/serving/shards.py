@@ -552,6 +552,13 @@ class _Slot:
     respawn_at: float | None = None
     deaths: int = 0
     last_error: str = ""
+    #: Excluded from new dispatch (admin drain, or the drain phase of a
+    #: rolling upgrade); in-flight tasks finish normally.
+    draining: bool = False
+    #: The rolling-upgrade swap window: :meth:`ShardPool.rolling_upgrade`
+    #: owns this slot's lifecycle, so the supervisor must not treat the
+    #: deliberate kill/reconnect as a death.
+    upgrading: bool = False
 
     @property
     def remote(self) -> bool:
@@ -669,6 +676,14 @@ class ShardPool:
         self._fatal: str | None = None
         self.retries_total = 0
         self.respawns_total = 0
+        #: Slots currently inside a rolling-upgrade drain/swap window
+        #: (exported as the ``upgrading_slots`` gauge) and how many
+        #: whole-pool upgrades have completed.
+        self.upgrading_slots = 0
+        self.upgrades_total = 0
+        #: Serialises rolling upgrades: one at a time, pool-wide, so the
+        #: one-slot-out-at-a-time quorum argument holds.
+        self._upgrade_lock = threading.Lock()
         # IPC accounting (coordinator side), for BENCH_sharding.json:
         # bytes that crossed a pickling mp queue vs bytes that rode a
         # shared-memory ring or the remote TCP stream, and how many
@@ -948,6 +963,215 @@ class ShardPool:
         """Worker slots still in service (alive or pending respawn)."""
         return sum(1 for slot in self._slots if not slot.abandoned)
 
+    def draining_workers(self) -> list[int]:
+        """Worker ids currently excluded from dispatch by a drain."""
+        return [slot.worker_id for slot in self._slots if slot.draining]
+
+    # -- live upgrades ------------------------------------------------------
+
+    def _slot_by_id(self, worker_id: int) -> _Slot:
+        for slot in self._slots:
+            if slot.worker_id == int(worker_id):
+                return slot
+        raise ShardError(f"no shard worker slot {worker_id}")
+
+    def _slot_inflight(self, slot: _Slot) -> int:
+        """In-flight tasks assigned to ``slot`` (any incarnation)."""
+        with self._lock:
+            return sum(
+                1
+                for pending in self._pending.values()
+                if pending.assigned is not None
+                and pending.assigned[0] == slot.worker_id
+                and not pending.event.is_set()
+            )
+
+    def drain_worker(self, worker_id: int, wait_s: float = 30.0) -> dict:
+        """Stop dispatching to one worker and wait out its in-flight tasks.
+
+        The admin surface for taking a worker out of rotation without
+        killing it (inspect it, let the host drain, ...).  The slot keeps
+        its process, channels, and cached keys; :meth:`resume_worker`
+        puts it back into dispatch.  Returns the drain outcome, including
+        how many tasks were still in flight when ``wait_s`` ran out.
+        """
+        slot = self._slot_by_id(worker_id)
+        if slot.abandoned:
+            raise ShardError(f"shard worker slot {worker_id} is abandoned")
+        with self._lock:
+            slot.draining = True
+        deadline = time.monotonic() + max(0.0, float(wait_s))
+        inflight = self._slot_inflight(slot)
+        while inflight and time.monotonic() < deadline:
+            time.sleep(0.01)
+            inflight = self._slot_inflight(slot)
+        return {
+            "worker": slot.worker_id,
+            "draining": True,
+            "inflight": inflight,
+        }
+
+    def resume_worker(self, worker_id: int) -> dict:
+        """Put a drained worker back into dispatch rotation."""
+        slot = self._slot_by_id(worker_id)
+        with self._lock:
+            slot.draining = False
+        return {"worker": slot.worker_id, "draining": False}
+
+    def rolling_upgrade(
+        self,
+        artifact_dir=None,
+        drain_timeout_s: float = 60.0,
+        ready_timeout_s: float | None = None,
+    ) -> dict:
+        """Swap every worker onto a new artifact zoo with no serving gap.
+
+        One slot at a time: stop dispatching to it (``draining``), wait
+        out its in-flight tasks, stop the old worker, warm-respawn it
+        against ``artifact_dir`` (local slots fork and ``load_zoo`` the
+        new directory; remote slots reconnect, which makes the
+        :class:`ShardWorkerServer` re-read its own zoo when the manifest
+        generation on disk changed), replay every live Galois-key blob
+        into the fresh channel (:meth:`_spawn`'s standard key replay),
+        and wait for readiness before touching the next slot -- so at
+        most one slot is ever out of rotation and
+        :meth:`available_workers` (the executor's quorum input) never
+        drops.
+
+        ``artifact_dir=None`` re-rolls onto the current directory (the
+        regenerated-in-place case).  Upgrades are serialised pool-wide;
+        a worker that dies mid-drain or crashes right after its swap is
+        handled by the normal supervision path (requeue onto siblings,
+        respawn with backoff), and the upgrade waits for the slot to
+        come back before proceeding.  Raises :class:`ShardError` when a
+        slot cannot rejoin (it is then abandoned, like any other
+        permanent failure).
+        """
+        if self._ready_queue is None or self._monitor is None:
+            raise ShardError("shard pool is not running")
+        if self._stopping.is_set():
+            raise ShardError("shard pool is stopping")
+        if self._fatal is not None:
+            raise ShardError(self._fatal)
+        if artifact_dir is not None and self.local_workers > 0:
+            from ..artifacts.zoo import zoo_files
+
+            # Validate the new zoo before any slot is touched: a broken
+            # directory must fail the upgrade, not strand the fleet.
+            if not zoo_files(artifact_dir):
+                raise ShardError(f"no artifacts found in {artifact_dir}")
+        ready_timeout = (
+            self.start_timeout_s if ready_timeout_s is None
+            else float(ready_timeout_s)
+        )
+        with self._upgrade_lock:
+            if artifact_dir is not None and self.local_workers > 0:
+                self.artifact_dir = str(artifact_dir)
+            upgraded, skipped = [], []
+            for slot in list(self._slots):
+                if slot.abandoned:
+                    skipped.append(slot.worker_id)
+                    continue
+                logger.info(
+                    "rolling upgrade: draining shard worker %d",
+                    slot.worker_id,
+                )
+                self._upgrade_slot(slot, drain_timeout_s, ready_timeout)
+                upgraded.append(slot.worker_id)
+            self.upgrades_total += 1
+        return {
+            "upgraded": upgraded,
+            "skipped": skipped,
+            "artifact_dir": self.artifact_dir,
+        }
+
+    def _upgrade_slot(
+        self, slot: _Slot, drain_timeout_s: float, ready_timeout_s: float
+    ) -> None:
+        """Drain, swap, and rejoin one slot (the rolling-upgrade unit)."""
+        with self._lock:
+            slot.draining = True
+            self.upgrading_slots += 1
+        try:
+            # Phase 1 -- drain: dispatch already avoids this slot; wait
+            # for its in-flight tasks.  A worker that dies mid-drain is
+            # the supervisor's business as usual (requeue onto siblings,
+            # schedule a respawn); the drain just observes the in-flight
+            # count reach zero either way.
+            deadline = time.monotonic() + max(0.0, float(drain_timeout_s))
+            while self._slot_inflight(slot) and time.monotonic() < deadline:
+                if self._stopping.is_set():
+                    raise ShardError("shard pool stopped during upgrade")
+                time.sleep(0.01)
+            # Phase 2 -- swap, with the supervisor hands-off so the
+            # deliberate stop is not mistaken for a death.
+            slot.upgrading = True
+            try:
+                with self._lock:
+                    process = slot.process
+                    slot.process = None
+                    slot.ready = False
+                    slot.respawn_at = None
+                    stragglers = [
+                        pending
+                        for pending in self._pending.values()
+                        if pending.assigned is not None
+                        and pending.assigned[0] == slot.worker_id
+                        and not pending.event.is_set()
+                    ]
+                # A drain that timed out still upgrades: whatever was
+                # left on the old incarnation replays onto siblings
+                # (replays are bit-identical; the first ok reply wins).
+                for pending in stragglers:
+                    self._retry(
+                        pending,
+                        f"worker {slot.worker_id} drained for upgrade",
+                    )
+                if slot.remote:
+                    if process is not None:
+                        process.mark_dead()
+                elif process is not None:
+                    if process.is_alive():
+                        # Drain-stop: the sentinel lets the worker exit
+                        # its loop cleanly; terminate is the backstop.
+                        try:
+                            slot.task_queue.put(None)
+                        except (OSError, ValueError):
+                            pass
+                        process.join(timeout=5.0)
+                        if process.is_alive():
+                            process.terminate()
+                    process.join(timeout=5.0)
+                with self._lock:
+                    slot.incarnation += 1
+                self._spawn(slot)
+            finally:
+                slot.upgrading = False
+        finally:
+            with self._lock:
+                slot.draining = False
+                self.upgrading_slots -= 1
+        # Phase 3 -- rejoin: the supervisor collects readiness (and
+        # supervises a fresh worker that crashes during warm-up: requeue,
+        # backoff, respawn); wait for it before the caller touches the
+        # next slot, so at most one slot is ever out of rotation.
+        deadline = time.monotonic() + max(0.0, float(ready_timeout_s))
+        while time.monotonic() < deadline:
+            if self._stopping.is_set():
+                raise ShardError("shard pool stopped during upgrade")
+            if slot.abandoned:
+                raise ShardError(
+                    f"worker {slot.worker_id} failed during upgrade"
+                    + (f": {slot.last_error}" if slot.last_error else "")
+                )
+            if slot.ready:
+                return
+            time.sleep(0.01)
+        raise ShardError(
+            f"worker {slot.worker_id} did not rejoin within "
+            f"{ready_timeout_s:.0f}s after its upgrade swap"
+        )
+
     # -- supervision --------------------------------------------------------
 
     def _supervise(self) -> None:
@@ -956,7 +1180,10 @@ class ShardPool:
             self._drain_ready()
             now = time.monotonic()
             for slot in self._slots:
-                if slot.abandoned:
+                if slot.abandoned or slot.upgrading:
+                    # An upgrading slot's kill/respawn is owned by
+                    # rolling_upgrade; treating it as a death here would
+                    # double-spawn the slot.
                     continue
                 if slot.process is not None and not slot.process.is_alive():
                     self._handle_death(slot, now)
@@ -995,6 +1222,11 @@ class ShardPool:
             slot = self._slots[worker_id]
             if status == "ready":
                 slot.ready = True
+                # A respawned worker reports the zoo it actually loaded;
+                # after a rolling upgrade that is the new generation's
+                # model list, which prepare_keys validates against.
+                if detail:
+                    self.model_names = list(detail)
             else:
                 # Startup failure of a respawn: the process exits right
                 # after reporting; _handle_death picks up the corpse.
@@ -1071,6 +1303,8 @@ class ShardPool:
         for slot in self._slots:
             if (
                 slot.abandoned
+                or slot.draining
+                or slot.upgrading
                 or slot.process is None
                 or not slot.process.is_alive()
             ):
@@ -1711,6 +1945,9 @@ class ShardWorkerServer:
         self._conn_lock = threading.Lock()
         self._stopping = threading.Event()
         self.tasks_served = 0
+        #: Serialises zoo reloads triggered by concurrent handshakes.
+        self._reload_lock = threading.Lock()
+        self.reloads_total = 0
 
     @property
     def endpoint(self) -> str:
@@ -1773,6 +2010,51 @@ class ShardWorkerServer:
     def __exit__(self, *_exc) -> None:
         self.stop()
 
+    def _maybe_reload(self) -> None:
+        """Pick up a regenerated zoo when the manifest generation moved.
+
+        Called on every new coordinator connection, which is exactly when
+        a rolling upgrade reaches this worker: the coordinator drains the
+        slot, drops the connection, and reconnects --
+        :meth:`ShardPool._connect_remote`'s handshake then serves as the
+        upgrade trigger.  In-flight tasks on *other* connections keep
+        their already-resolved registry entries (read-copy-update, same
+        as :meth:`~repro.serving.registry.ModelRegistry.reload_zoo`).  A
+        reload failure is logged and the current generation keeps
+        serving: availability beats freshness for a worker.
+        """
+        from ..artifacts.format import ArtifactError
+        from ..artifacts.zoo import manifest_generation, read_manifest
+
+        with self._reload_lock:
+            try:
+                generation = manifest_generation(
+                    read_manifest(self.artifact_dir)
+                )
+                if generation == self.registry.zoo_generation:
+                    return
+                summary = self.registry.reload_zoo(
+                    self.artifact_dir, verify=self.verify
+                )
+            except ArtifactError as exc:
+                logger.warning(
+                    "shard worker keeping zoo generation %d (reload of %s "
+                    "failed: %s)",
+                    self.registry.zoo_generation, self.artifact_dir, exc,
+                )
+                return
+            if summary["applied"]:
+                self.reloads_total += 1
+                self._params_by_model = {
+                    name: self.registry.get(name).params
+                    for name in self.registry.names()
+                }
+                logger.info(
+                    "shard worker reloaded zoo %s: generation %d -> %d",
+                    self.artifact_dir, summary["previous_generation"],
+                    summary["generation"],
+                )
+
     # -- connection handling ------------------------------------------------
 
     def _accept_loop(self) -> None:
@@ -1810,6 +2092,7 @@ class ShardWorkerServer:
             hello = decode_message(payload)
             if hello.kind != "shard_hello":
                 raise ValueError(f"expected shard_hello, got {hello.kind!r}")
+            self._maybe_reload()
             send_frame(conn, encode_message(Message(
                 "shard_ready",
                 {"models": self.registry.names(), "pid": os.getpid()},

@@ -327,6 +327,20 @@ class Tracer:
         return Span(self, trace_id, self._new_span_id(), ctx.get("span_id"),
                     name, self._clock(), root=root, attrs=attrs)
 
+    def root_span(self, name: str, **attrs):
+        """An unconditional root span for server-initiated work.
+
+        Admin actions and other operator-triggered maintenance have no
+        client trace context to adopt, but must still be visible in the
+        span stream (and the per-stage latency series): this mints a
+        fresh trace unconditionally, unlike :meth:`server_span` which
+        stays no-op without a request context.
+        """
+        if not self.enabled:
+            return NOOP_SPAN
+        return Span(self, self._new_trace_id(), self._new_span_id(), None,
+                    name, self._clock(), root=True, attrs=attrs)
+
     def span(self, name: str, parent=None, **attrs):
         """Context-managed child of ``parent`` (default: current span)."""
         if not self.enabled:

@@ -215,6 +215,28 @@ class SocketTransport:
         self.close()
 
 
+def one_shot_request(
+    host: str,
+    port: int,
+    message: Message,
+    timeout: float | None = 30.0,
+    max_retries: int = 0,
+) -> Message:
+    """Send one message over a fresh connection and return the reply.
+
+    The control-plane shape (``repro admin``, health probes): no session
+    to keep warm, so the connection is opened, used for one round, and
+    closed.  Retries default to off -- an admin action such as
+    ``reload-zoo`` is *not* a blind replay-safe round from the
+    operator's point of view (it may have applied before the reply was
+    lost), so the caller decides whether to retry.
+    """
+    with SocketTransport(
+        host, port, timeout=timeout, max_retries=max_retries
+    ) as transport:
+        return transport.request(message)
+
+
 class SocketServer:
     """TCP front end for a :class:`ServingEngine` with a worker pool.
 

@@ -128,6 +128,19 @@ def error_message(reason: str) -> Message:
     return Message("error", {"reason": reason})
 
 
+def admin_message(action: str, token: str, **meta) -> Message:
+    """Build one authenticated ``admin`` request (``repro admin``).
+
+    ``action`` is one of the engine's admin verbs (``status``,
+    ``reload-zoo``, ``drain-worker``, ``evict-session``,
+    ``drain-tenant``); ``meta`` carries the action's arguments (worker
+    id, session id, tenant, directory, ...).  The token rides in meta
+    like any other field -- the admin surface assumes the same trust in
+    the transport as Galois-key uploads do.
+    """
+    return Message("admin", {"action": str(action), "token": str(token), **meta})
+
+
 def raise_on_error(reply: Message) -> Message:
     """Client-side check: surface a server ``error`` reply as ServingError."""
     if reply.kind == "error":

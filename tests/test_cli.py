@@ -42,6 +42,20 @@ class TestParser:
         args = build_parser().parse_args(["infer", "--model", "alpha"])
         assert args.model == "alpha"
 
+    def test_serve_admin_token_flag(self):
+        args = build_parser().parse_args(["serve", "--admin-token", "hunter2"])
+        assert args.admin_token == "hunter2"
+        assert build_parser().parse_args(["serve"]).admin_token == ""
+
+    def test_admin_parser(self):
+        args = build_parser().parse_args(
+            ["admin", "reload-zoo", "--token", "t", "--directory", "zoo/"]
+        )
+        assert args.action == "reload-zoo"
+        assert args.directory == "zoo/" and not args.no_rolling
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["admin", "self-destruct"])
+
 
 class TestCommands:
     def test_models(self, capsys):
@@ -98,6 +112,135 @@ class TestCommands:
         manifest = read_manifest(tmp_path)
         assert manifest["models"][0]["file"] == "demo.rpa"
         assert manifest["models"][0]["tuned"] == artifact.tuned
+
+
+def _trace_event(name, ts, trace_id, span_id, parent_id=None, **args):
+    return {
+        "name": name, "ph": "X", "ts": ts, "dur": 100,
+        "pid": 1, "tid": 1,
+        "args": {
+            "trace_id": trace_id, "span_id": span_id,
+            "parent_id": parent_id, **args,
+        },
+    }
+
+
+def _write_trace(directory, stem, events):
+    import json
+
+    path = directory / f"trace-{stem}.json"
+    path.write_text(json.dumps({"traceEvents": events}))
+    return path
+
+
+class TestTraceMerge:
+    """``repro trace --merge``: the Perfetto-concatenation path."""
+
+    def test_empty_directory_merges_nothing(self, tmp_path, capsys):
+        out = tmp_path / "merged.json"
+        assert main(["trace", str(tmp_path), "--merge", str(out)]) == 0
+        assert "no trace-*.json files" in capsys.readouterr().err
+        assert not out.exists()
+
+    def test_single_file_merge_round_trips(self, tmp_path, capsys):
+        import json
+
+        events = [
+            _trace_event("request", 0, "t1", "s1"),
+            _trace_event("execute", 10, "t1", "s2", parent_id="s1"),
+        ]
+        _write_trace(tmp_path, "aaa", events)
+        out = tmp_path / "merged.json"
+        assert main(["trace", str(tmp_path), "--merge", str(out)]) == 0
+        assert "merged 2 event(s) from 1 file(s)" in capsys.readouterr().out
+        merged = json.loads(out.read_text())
+        assert merged["traceEvents"] == events
+
+    def test_overlapping_trace_ids_merge_completely(self, tmp_path, capsys):
+        """Two files carrying the *same* trace id both survive the merge.
+
+        A trace that spans front-end and worker files (or was exported
+        twice under retention churn) must concatenate -- events are
+        never deduplicated or dropped by id.
+        """
+        import json
+
+        shared = [
+            _trace_event("request", 0, "t-shared", "s1"),
+            _trace_event("execute", 20, "t-shared", "s2", parent_id="s1"),
+        ]
+        also_shared = [
+            _trace_event("worker.compute", 30, "t-shared", "s3", parent_id="s2"),
+        ]
+        other = [_trace_event("request", 50, "t-other", "s9")]
+        _write_trace(tmp_path, "aaa", shared)
+        _write_trace(tmp_path, "bbb", also_shared + other)
+        out = tmp_path / "merged.json"
+        assert main(["trace", str(tmp_path), "--merge", str(out)]) == 0
+        merged = json.loads(out.read_text())
+        assert len(merged["traceEvents"]) == 4
+        by_trace: dict = {}
+        for event in merged["traceEvents"]:
+            by_trace.setdefault(event["args"]["trace_id"], []).append(event)
+        assert len(by_trace["t-shared"]) == 3
+        assert len(by_trace["t-other"]) == 1
+        # Sorted glob order keeps per-file timelines contiguous.
+        assert [e["name"] for e in merged["traceEvents"]] == [
+            "request", "execute", "worker.compute", "request",
+        ]
+
+    def test_invalid_file_is_excluded_from_merge(self, tmp_path, capsys):
+        import json
+
+        _write_trace(tmp_path, "good", [_trace_event("request", 0, "t1", "s1")])
+        (tmp_path / "trace-bad.json").write_text("{not json")
+        out = tmp_path / "merged.json"
+        assert main(["trace", str(tmp_path), "--merge", str(out)]) == 0
+        assert len(json.loads(out.read_text())["traceEvents"]) == 1
+
+
+class TestStatsLoop:
+    def test_stats_interval_dumps_parsable_snapshot(self, caplog):
+        """The ``serve --stats-interval`` thread logs real JSON snapshots."""
+        import json
+        import logging
+        import threading
+        import time
+
+        from repro.cli import _stats_loop
+        from repro.serving import MetricsRegistry
+
+        metrics = MetricsRegistry()
+        metrics.record_request("linear", 0.01, "linear_ok")
+        metrics.add_gauge("zoo_generation", lambda: 3)
+        stop = threading.Event()
+        logger = logging.getLogger("test.repro.stats")
+        with caplog.at_level(logging.INFO, logger=logger.name):
+            thread = threading.Thread(
+                target=_stats_loop, args=(metrics, 0.01, stop, logger)
+            )
+            thread.start()
+            deadline = time.monotonic() + 10.0
+            while (
+                not any(
+                    record.getMessage().startswith("stats: ")
+                    for record in caplog.records
+                )
+                and time.monotonic() < deadline
+            ):
+                time.sleep(0.01)
+            stop.set()
+            thread.join(timeout=10.0)
+        assert not thread.is_alive()
+        lines = [
+            record.getMessage()
+            for record in caplog.records
+            if record.getMessage().startswith("stats: ")
+        ]
+        assert lines, "no stats dump was logged"
+        snapshot = json.loads(lines[0][len("stats: "):])
+        assert snapshot["gauges"]["zoo_generation"] == 3
+        assert snapshot["requests"]["by_kind"]["linear"] == 1
 
 
 class TestBatchMode:

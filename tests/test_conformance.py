@@ -37,6 +37,9 @@ deployment scale.
 from __future__ import annotations
 
 import math
+import threading
+import time
+from contextlib import ExitStack
 from dataclasses import dataclass
 from types import SimpleNamespace
 
@@ -332,6 +335,130 @@ class TestConformance:
         assert np.array_equal(baseline.logits, expected)
         assert np.array_equal(numpy_result.logits, expected)
         assert numpy_result.counters == baseline.counters
+
+
+class TestRollingUpgradeConformance:
+    """Zero-downtime upgrades are conformance-gated like any other path.
+
+    A client hammering serial inference rounds while the deployment is
+    regenerated (same weights, new artifact bytes, new manifest
+    generation) and rolling-upgraded must observe **zero errors** and
+    **bit-identical logits** on every round -- before, during, and
+    after the swap -- on all three shard fabrics.
+    """
+
+    @pytest.mark.parametrize("fabric", ["queue", "shm", "remote"])
+    def test_continuous_rounds_through_rolling_upgrade(
+        self, env, fabric, tmp_path_factory, shard_worker_fleet
+    ):
+        from repro.artifacts import load_zoo, save_artifact, update_manifest
+
+        # A private zoo copy: the upgrade regenerates it in place, which
+        # must not perturb the module-shared conformance environment.
+        zoo_dir = tmp_path_factory.mktemp(
+            f"upgrade-{env.schedule.value}-{fabric}"
+        )
+        live_entry = env.registry.get("demo")
+        save_artifact(live_entry, zoo_dir / "demo.rpa")
+        update_manifest(zoo_dir, live_entry, "demo.rpa")
+        registry = load_zoo(zoo_dir)
+        assert registry.zoo_generation == 1
+        image = demo_image(0)
+        expected = env.plaintext.run(image)
+
+        with ExitStack() as stack:
+            if fabric == "remote":
+                servers = stack.enter_context(
+                    shard_worker_fleet(zoo_dir, count=2)
+                )
+                pool = stack.enter_context(
+                    ShardPool(
+                        None, workers=0,
+                        remote_endpoints=[s.endpoint for s in servers],
+                    )
+                )
+            else:
+                servers = []
+                pool = stack.enter_context(
+                    ShardPool(zoo_dir, workers=2, channels=fabric)
+                )
+            engine = ServingEngine(
+                registry, max_batch=1, seed=ENGINE_SEED,
+                executor=ShardExecutor(pool),
+            )
+            session = ClientSession(
+                demo_network(), env.params, LoopbackTransport(engine),
+                seed=7, track_noise=True,
+            )
+            session.connect("demo")
+            stop = threading.Event()
+            outcome: dict = {"logits": [], "errors": []}
+
+            def hammer():
+                while not stop.is_set():
+                    try:
+                        outcome["logits"].append(session.infer(image).logits)
+                    except BaseException as exc:
+                        outcome["errors"].append(exc)
+                        return
+
+            client = threading.Thread(target=hammer)
+            client.start()
+            try:
+                # Let the client establish its cadence first.
+                deadline = time.monotonic() + 30.0
+                while not outcome["logits"] and client.is_alive():
+                    assert time.monotonic() < deadline, "client never started"
+                    time.sleep(0.01)
+                rounds_before = len(outcome["logits"])
+                # Regenerate the deployment: same weights recompiled
+                # from scratch (new artifact bytes), manifest generation
+                # bumped -- the canonical "redeploy the same model" op.
+                regenerated = ModelRegistry().register(
+                    "demo", demo_network(), demo_weights(), env.params,
+                    schedule=env.schedule, rescale_bits=DEMO_RESCALE_BITS,
+                )
+                save_artifact(regenerated, zoo_dir / "demo.rpa")
+                update_manifest(zoo_dir, regenerated, "demo.rpa")
+                summary = registry.reload_zoo(zoo_dir)
+                assert summary["applied"] is True
+                assert summary["updated"] == ["demo"]
+                upgrade = pool.rolling_upgrade(
+                    None if fabric == "remote" else zoo_dir
+                )
+                # Keep the client running past the swap so post-upgrade
+                # rounds are asserted too.
+                deadline = time.monotonic() + 60.0
+                while (
+                    len(outcome["logits"]) < rounds_before + 2
+                    and time.monotonic() < deadline
+                    and client.is_alive()
+                ):
+                    time.sleep(0.01)
+            finally:
+                stop.set()
+                client.join(timeout=120.0)
+            assert not client.is_alive()
+            assert outcome["errors"] == [], outcome["errors"]
+            assert len(outcome["logits"]) >= rounds_before + 2, (
+                "client made no progress across the upgrade"
+            )
+            for index, logits in enumerate(outcome["logits"]):
+                assert np.array_equal(logits, expected), (
+                    f"round {index} diverged during the rolling upgrade "
+                    f"({fabric}, {env.schedule.value})"
+                )
+            assert len(upgrade["upgraded"]) == 2
+            assert upgrade["skipped"] == []
+            assert registry.zoo_generation == 2
+            assert pool.upgrades_total == 1
+            assert engine.degraded_calls == 0
+            if fabric == "remote":
+                # Each worker server noticed the new generation at its
+                # reconnect handshake and reloaded its own zoo.
+                for server in servers:
+                    assert server.reloads_total >= 1
+                    assert server.registry.zoo_generation == 2
 
 
 class TestNoiseRegression:

@@ -20,6 +20,8 @@ one exact failure point and the suite is deterministic.
 
 from __future__ import annotations
 
+import os
+import signal
 import threading
 import time
 from types import SimpleNamespace
@@ -601,6 +603,194 @@ class TestGracefulShutdown:
         assert masked.shape == mask.shape
         assert engine.degraded_calls == 0  # the pool served it, pre-stop
         transport.close()
+
+
+class TestUpgradeChaos:
+    """Faults injected *into* a rolling upgrade: the swap must stay safe.
+
+    A rolling upgrade is the one moment the pool deliberately takes a
+    worker down, so it is exactly where an unplanned failure is most
+    likely to be mishandled (double-spawns, lost requeues, a quorum
+    dip).  Each test here breaks one phase of the upgrade -- the drain,
+    the freshly-swapped worker, the key re-broadcast -- and asserts the
+    same two invariants as every other chaos case: bit-identical logits
+    and exact op-counter accounting.
+    """
+
+    def test_sigkill_mid_drain_recovers_bit_identically(
+        self, artifact_dir, registry, params, reference
+    ):
+        """The draining worker is SIGKILLed while its task is in flight.
+
+        A stall fault parks the first round on worker 0; the upgrade
+        starts draining that slot and then the worker is killed outright
+        mid-drain.  The supervisor's death path requeues the round onto
+        the sibling, the drain observes in-flight reach zero, and the
+        upgrade completes its swap as planned -- the client never sees
+        an error and the accounting is exact (the killed attempt's delta
+        was never folded).
+        """
+        plan = WorkerFaults(stall_worker=0, stall_on_task=1, stall_s=3.0)
+        with ShardPool(
+            artifact_dir, workers=2, fault_plan=plan, respawn_backoff_s=0.05
+        ) as pool:
+            engine = ServingEngine(
+                registry, max_batch=1, executor=ShardExecutor(pool)
+            )
+            session = ClientSession(
+                demo_network(), params, LoopbackTransport(engine),
+                seed=7, track_noise=True,
+            )
+            session.connect("demo")
+            slot0 = pool._slots[0]
+            outcome: dict = {}
+
+            def run_inference():
+                try:
+                    with counting() as delta:
+                        outcome["result"] = session.infer(reference.image)
+                    d = delta()
+                    outcome["counters"] = (
+                        d.he_mult, d.he_add, d.he_rotate,
+                        d.ntt, d.modmuls, d.butterflies,
+                    )
+                except BaseException as exc:  # surfaced by the assert below
+                    outcome["error"] = exc
+
+            infer_thread = threading.Thread(target=run_inference)
+            infer_thread.start()
+            # Wait until the stalled round is in flight on worker 0, so
+            # the upgrade's drain phase genuinely has something to wait
+            # out.
+            deadline = time.monotonic() + 10.0
+            while (
+                pool._slot_inflight(slot0) == 0
+                and time.monotonic() < deadline
+            ):
+                time.sleep(0.005)
+            assert pool._slot_inflight(slot0) >= 1, "round never reached worker 0"
+
+            upgrade_outcome: dict = {}
+
+            def run_upgrade():
+                try:
+                    upgrade_outcome.update(pool.rolling_upgrade())
+                except BaseException as exc:
+                    upgrade_outcome["error"] = exc
+
+            upgrade_thread = threading.Thread(target=run_upgrade)
+            upgrade_thread.start()
+            # The kill lands mid-drain: slot 0 is flagged draining but
+            # its stalled task has not finished.
+            deadline = time.monotonic() + 10.0
+            while not slot0.draining and time.monotonic() < deadline:
+                time.sleep(0.005)
+            assert slot0.draining, "upgrade never started draining slot 0"
+            process = slot0.process
+            assert process is not None
+            os.kill(process.pid, signal.SIGKILL)
+
+            infer_thread.join(timeout=120.0)
+            upgrade_thread.join(timeout=120.0)
+            assert not infer_thread.is_alive()
+            assert not upgrade_thread.is_alive()
+            assert "error" not in outcome, outcome.get("error")
+            assert "error" not in upgrade_outcome, upgrade_outcome.get("error")
+            assert upgrade_outcome["upgraded"] == [0, 1]
+            assert np.array_equal(
+                outcome["result"].logits, reference.logits
+            )
+            assert outcome["counters"] == reference.counters
+            assert engine.degraded_calls == 0
+            assert pool.upgrades_total == 1
+            assert pool.available_workers() == 2  # quorum never violated
+
+    def test_fresh_worker_crash_on_first_task_recovers(
+        self, artifact_dir, registry, params, reference
+    ):
+        """The freshly-swapped worker dies the moment it claims work.
+
+        No task is dispatched before the upgrade, so the crash fault
+        (``every_incarnation``) can only ever fire on the *post-swap*
+        incarnation's first claimed task.  The supervisor handles it as
+        a normal death -- requeue onto the sibling, backoff respawn --
+        and the round still comes out bit-identical with exact
+        counters.
+        """
+        plan = WorkerFaults(
+            crash_worker=0, crash_on_task=1, every_incarnation=True
+        )
+        with ShardPool(
+            artifact_dir, workers=2, fault_plan=plan, respawn_backoff_s=0.05
+        ) as pool:
+            summary = pool.rolling_upgrade()
+            assert summary["upgraded"] == [0, 1]
+            assert pool.upgrades_total == 1
+            result, counters, engine = _infer_counted(
+                registry, params, reference.image, executor=ShardExecutor(pool)
+            )
+            assert np.array_equal(result.logits, reference.logits)
+            assert counters == reference.counters
+            assert engine.degraded_calls == 0
+            # The post-swap worker really did crash and was re-supervised.
+            assert pool._slots[0].deaths >= 1
+            assert pool.available_workers() == 2
+
+    def test_remote_cut_during_key_rebroadcast_recovers(
+        self, artifact_dir, registry, params, reference, shard_worker_fleet
+    ):
+        """The coordinator link dies while replaying Galois keys.
+
+        A remote slot upgrades by reconnecting; the reconnect replays
+        every live key blob before the slot rejoins dispatch.  Cutting
+        the link on exactly that replay frame fails the reconnect
+        mid-re-broadcast -- the pool treats it as a death, backs off,
+        reconnects again (replaying the keys in full), and the upgrade's
+        rejoin wait succeeds.  Coordinator-side frames sent: hello(1),
+        keys(2), 3 tasks (3-5), then the upgrade reconnect's hello(6)
+        and key re-broadcast(7) -- the injected cut.
+        """
+        faults = ConnectionFaults(drop_on_send=7, seed=7)
+        with shard_worker_fleet(artifact_dir, count=1) as servers:
+            with ShardPool(
+                None, workers=0,
+                remote_endpoints=[servers[0].endpoint],
+                remote_socket_factory=faults.connect,
+                respawn_backoff_s=0.05,
+            ) as pool:
+                engine = ServingEngine(
+                    registry, max_batch=1, executor=ShardExecutor(pool)
+                )
+                session = ClientSession(
+                    demo_network(), params, LoopbackTransport(engine),
+                    seed=7, track_noise=True,
+                )
+                session.connect("demo")
+                with counting() as delta:
+                    before = session.infer(reference.image)
+                d = delta()
+                counters_before = (
+                    d.he_mult, d.he_add, d.he_rotate,
+                    d.ntt, d.modmuls, d.butterflies,
+                )
+                summary = pool.rolling_upgrade()
+                assert summary["upgraded"] == [0]
+                assert any(
+                    f.startswith("drop_on_send") for f in faults.fired
+                ), "the key re-broadcast cut never fired"
+                with counting() as delta:
+                    after = session.infer(reference.image)
+                d = delta()
+                counters_after = (
+                    d.he_mult, d.he_add, d.he_rotate,
+                    d.ntt, d.modmuls, d.butterflies,
+                )
+                assert np.array_equal(before.logits, reference.logits)
+                assert np.array_equal(after.logits, reference.logits)
+                assert counters_before == reference.counters
+                assert counters_after == reference.counters
+                assert engine.degraded_calls == 0
+                assert pool.upgrades_total == 1
 
 
 class TestEnvHooks:
